@@ -1,0 +1,266 @@
+//! Hamming-ball dilation and minimum-distance queries.
+//!
+//! These are the operations that turn a set of visited activation patterns
+//! into the paper's γ-comfort zone (Definition 2) and that let a monitor
+//! report *how far* an unseen pattern is from the zone.
+
+use crate::manager::{Bdd, NodeId, VarId};
+use std::collections::HashMap;
+
+impl Bdd {
+    /// Enlarges a pattern set by all patterns at Hamming distance ≤ 1
+    /// (Algorithm 1, lines 9–14): the union over every variable `j` of
+    /// `∃ x_j . f`.
+    ///
+    /// Because `f ⇒ ∃x_j.f`, the result always contains `f` itself, so
+    /// iterating this map `γ` times yields the full radius-`γ` ball.
+    pub fn dilate_once(&mut self, f: NodeId) -> NodeId {
+        let mut acc = NodeId::ZERO;
+        for v in 0..self.num_vars as VarId {
+            let e = self.exists(f, v);
+            acc = self.or(acc, e);
+        }
+        // A function over zero variables has no quantification to apply.
+        if self.num_vars == 0 {
+            f
+        } else {
+            acc
+        }
+    }
+
+    /// Enlarges a pattern set by all patterns at Hamming distance ≤ `gamma`:
+    /// `gamma` repetitions of [`Bdd::dilate_once`].
+    ///
+    /// This is the construction of `Z^γ_c` from `Z^0_c` in Definition 2 of
+    /// the paper.
+    pub fn dilate(&mut self, f: NodeId, gamma: u32) -> NodeId {
+        let mut acc = f;
+        for _ in 0..gamma {
+            let next = self.dilate_once(acc);
+            if next == acc {
+                break; // fixpoint: the ball saturated the whole space
+            }
+            acc = next;
+        }
+        acc
+    }
+
+    /// Restricted dilation that only flips variables in `vars`.
+    ///
+    /// Useful when a monitor watches a neuron subset and wants generalization
+    /// confined to the watched positions.
+    pub fn dilate_once_within(&mut self, f: NodeId, vars: &[VarId]) -> NodeId {
+        if vars.is_empty() {
+            return f;
+        }
+        let mut acc = NodeId::ZERO;
+        for &v in vars {
+            let e = self.exists(f, v);
+            acc = self.or(acc, e);
+        }
+        acc
+    }
+
+    /// Minimum Hamming distance from `pattern` to any satisfying assignment
+    /// of `f`, or `None` if `f` is unsatisfiable.
+    ///
+    /// Runs in time linear in the number of nodes of `f` via memoised
+    /// shortest-path recursion: at a node testing variable `v`, following the
+    /// branch that agrees with `pattern[v]` costs 0 and the disagreeing
+    /// branch costs 1; variables skipped by the diagram cost 0 because the
+    /// function does not depend on them.
+    ///
+    /// The monitor uses this to report *how far outside* the comfort zone an
+    /// input fell, a refinement of the binary verdict discussed around
+    /// Figure 2 of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern.len() != num_vars`.
+    pub fn min_hamming_distance(&self, f: NodeId, pattern: &[bool]) -> Option<u32> {
+        assert_eq!(
+            pattern.len(),
+            self.num_vars,
+            "pattern length must equal the variable count"
+        );
+        let mut memo: HashMap<NodeId, Option<u32>> = HashMap::new();
+        self.min_dist_rec(f, pattern, &mut memo)
+    }
+
+    fn min_dist_rec(
+        &self,
+        f: NodeId,
+        pattern: &[bool],
+        memo: &mut HashMap<NodeId, Option<u32>>,
+    ) -> Option<u32> {
+        if f == NodeId::ONE {
+            return Some(0);
+        }
+        if f == NodeId::ZERO {
+            return None;
+        }
+        if let Some(&d) = memo.get(&f) {
+            return d;
+        }
+        let node = self.nodes[f.index()];
+        let bit = pattern[node.var as usize];
+        let agree = if bit { node.high } else { node.low };
+        let disagree = if bit { node.low } else { node.high };
+        let d_agree = self.min_dist_rec(agree, pattern, memo);
+        let d_disagree = self
+            .min_dist_rec(disagree, pattern, memo)
+            .map(|d| d.saturating_add(1));
+        let d = match (d_agree, d_disagree) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
+        memo.insert(f, d);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Bdd;
+
+    fn ball_brute_force(seed: &[bool], gamma: u32) -> Vec<Vec<bool>> {
+        let n = seed.len();
+        (0..(1usize << n))
+            .map(|m| (0..n).map(|i| (m >> i) & 1 == 1).collect::<Vec<bool>>())
+            .filter(|p| {
+                let d: u32 = p.iter().zip(seed).map(|(a, b)| u32::from(a != b)).sum();
+                d <= gamma
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dilate_once_is_radius_one_ball() {
+        let mut bdd = Bdd::new(5);
+        let seed = [true, false, true, true, false];
+        let f = bdd.cube_from_bools(&seed);
+        let z1 = bdd.dilate_once(f);
+        for m in 0..32usize {
+            let p: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            let dist: u32 = p.iter().zip(&seed).map(|(a, b)| u32::from(a != b)).sum();
+            assert_eq!(bdd.eval(z1, &p), dist <= 1, "pattern {p:?}");
+        }
+    }
+
+    #[test]
+    fn dilate_gamma_matches_brute_force_ball() {
+        let mut bdd = Bdd::new(6);
+        let seed = [false, true, true, false, false, true];
+        let f = bdd.cube_from_bools(&seed);
+        for gamma in 0..4 {
+            let z = bdd.dilate(f, gamma);
+            let ball = ball_brute_force(&seed, gamma);
+            let count = bdd.sat_count(z);
+            assert_eq!(count, ball.len() as f64, "gamma={gamma}");
+            for p in &ball {
+                assert!(bdd.eval(z, p));
+            }
+        }
+    }
+
+    #[test]
+    fn dilation_is_monotone() {
+        let mut bdd = Bdd::new(6);
+        let p = bdd.cube_from_bools(&[true, true, false, false, true, false]);
+        let q = bdd.cube_from_bools(&[false, false, false, true, true, true]);
+        let f = bdd.or(p, q);
+        let mut prev = f;
+        for _ in 0..4 {
+            let next = bdd.dilate_once(prev);
+            assert!(bdd.implies(prev, next), "Z^g must be a subset of Z^g+1");
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn dilation_saturates_to_full_space() {
+        let mut bdd = Bdd::new(4);
+        let f = bdd.cube_from_bools(&[true, true, true, true]);
+        let z = bdd.dilate(f, 4);
+        assert_eq!(z, bdd.one());
+        // Asking for more than num_vars steps hits the fixpoint early.
+        let z2 = bdd.dilate(f, 100);
+        assert_eq!(z2, bdd.one());
+    }
+
+    #[test]
+    fn dilate_zero_steps_is_identity() {
+        let mut bdd = Bdd::new(3);
+        let f = bdd.cube_from_bools(&[true, false, false]);
+        assert_eq!(bdd.dilate(f, 0), f);
+    }
+
+    #[test]
+    fn dilate_within_only_flips_listed_vars() {
+        let mut bdd = Bdd::new(3);
+        let f = bdd.cube_from_bools(&[false, false, false]);
+        let z = bdd.dilate_once_within(f, &[1]);
+        assert!(bdd.eval(z, &[false, true, false]));
+        assert!(!bdd.eval(z, &[true, false, false]));
+        assert!(bdd.eval(z, &[false, false, false]));
+    }
+
+    #[test]
+    fn min_distance_zero_inside() {
+        let mut bdd = Bdd::new(4);
+        let f = bdd.cube_from_bools(&[true, false, true, false]);
+        assert_eq!(
+            bdd.min_hamming_distance(f, &[true, false, true, false]),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn min_distance_counts_flips() {
+        let mut bdd = Bdd::new(4);
+        let f = bdd.cube_from_bools(&[true, false, true, false]);
+        assert_eq!(
+            bdd.min_hamming_distance(f, &[false, false, true, true]),
+            Some(2)
+        );
+        assert_eq!(
+            bdd.min_hamming_distance(f, &[false, true, false, true]),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn min_distance_of_empty_set_is_none() {
+        let bdd = Bdd::new(3);
+        assert_eq!(bdd.min_hamming_distance(bdd.zero(), &[true; 3]), None);
+    }
+
+    #[test]
+    fn min_distance_over_union_takes_minimum() {
+        let mut bdd = Bdd::new(5);
+        let p = bdd.cube_from_bools(&[true; 5]);
+        let q = bdd.cube_from_bools(&[false; 5]);
+        let f = bdd.or(p, q);
+        // One bit away from all-false, four away from all-true.
+        assert_eq!(
+            bdd.min_hamming_distance(f, &[true, false, false, false, false]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn min_distance_agrees_with_dilation_membership() {
+        let mut bdd = Bdd::new(6);
+        let p = bdd.cube_from_bools(&[true, false, true, false, true, false]);
+        let q = bdd.cube_from_bools(&[false, false, false, true, true, true]);
+        let f = bdd.or(p, q);
+        let probe = [true, true, true, true, true, true];
+        let d = bdd.min_hamming_distance(f, &probe).unwrap();
+        // probe is a member of the dilated set exactly from radius d onward.
+        for gamma in 0..6 {
+            let z = bdd.dilate(f, gamma);
+            assert_eq!(bdd.eval(z, &probe), gamma >= d, "gamma={gamma} d={d}");
+        }
+    }
+}

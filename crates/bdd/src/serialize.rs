@@ -1,0 +1,247 @@
+//! Snapshot serialization: persist a function (e.g. a built comfort zone)
+//! and restore it into a fresh manager, for monitor deployment.
+
+use crate::error::BddError;
+use crate::manager::{Bdd, NodeId, VarId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A self-contained, manager-independent dump of one BDD function.
+///
+/// Nodes are stored in topological order (children before parents), with
+/// indices `0` and `1` reserved for the terminals, so restoring is a single
+/// forward pass of hash-consing insertions.
+///
+/// # Example
+///
+/// ```
+/// use naps_bdd::{Bdd, BddSnapshot};
+///
+/// let mut bdd = Bdd::new(3);
+/// let f = bdd.cube_from_bools(&[true, false, true]);
+/// let z = bdd.dilate_once(f);
+/// let snap = BddSnapshot::capture(&bdd, z);
+///
+/// let mut fresh = Bdd::new(3);
+/// let restored = snap.restore(&mut fresh)?;
+/// assert!(fresh.eval(restored, &[true, false, true]));
+/// # Ok::<(), naps_bdd::BddError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BddSnapshot {
+    num_vars: usize,
+    /// `(var, low, high)` triples; `low`/`high` index into this list shifted
+    /// by 2 (0 and 1 denote the terminals).
+    nodes: Vec<(VarId, u32, u32)>,
+    /// Index (same encoding) of the root.
+    root: u32,
+}
+
+impl BddSnapshot {
+    /// Captures the function rooted at `root` from `bdd`.
+    pub fn capture(bdd: &Bdd, root: NodeId) -> Self {
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut index_of: HashMap<NodeId, u32> = HashMap::new();
+        // Iterative post-order so children precede parents.
+        let mut stack: Vec<(NodeId, bool)> = vec![(root, false)];
+        while let Some((n, expanded)) = stack.pop() {
+            if n.is_terminal() || index_of.contains_key(&n) {
+                continue;
+            }
+            if expanded {
+                index_of.insert(n, order.len() as u32 + 2);
+                order.push(n);
+            } else {
+                stack.push((n, true));
+                stack.push((bdd.low(n), false));
+                stack.push((bdd.high(n), false));
+            }
+        }
+        let encode = |n: NodeId, index_of: &HashMap<NodeId, u32>| -> u32 {
+            match n {
+                NodeId::ZERO => 0,
+                NodeId::ONE => 1,
+                other => index_of[&other],
+            }
+        };
+        let nodes = order
+            .iter()
+            .map(|&n| {
+                (
+                    bdd.node_var(n).expect("decision node"),
+                    encode(bdd.low(n), &index_of),
+                    encode(bdd.high(n), &index_of),
+                )
+            })
+            .collect();
+        BddSnapshot {
+            num_vars: bdd.num_vars(),
+            nodes,
+            root: encode(root, &index_of),
+        }
+    }
+
+    /// Number of variables the captured function was defined over.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of decision nodes in the snapshot.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Rebuilds the function inside `bdd`, returning its root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::VarCountMismatch`] if `bdd` was created with a
+    /// different variable count, [`BddError::CorruptSnapshot`] if a child
+    /// index points past its definition, and [`BddError::MalformedSnapshot`]
+    /// if a node violates reducedness or the variable order.
+    pub fn restore(&self, bdd: &mut Bdd) -> Result<NodeId, BddError> {
+        if self.num_vars != bdd.num_vars() {
+            return Err(BddError::VarCountMismatch {
+                expected: self.num_vars,
+                actual: bdd.num_vars(),
+            });
+        }
+        let mut ids: Vec<NodeId> = Vec::with_capacity(self.nodes.len() + 2);
+        ids.push(NodeId::ZERO);
+        ids.push(NodeId::ONE);
+        for (i, &(var, low, high)) in self.nodes.iter().enumerate() {
+            let slot = i + 2;
+            if low as usize >= slot || high as usize >= slot {
+                return Err(BddError::CorruptSnapshot { index: i });
+            }
+            if (var as usize) >= self.num_vars {
+                return Err(BddError::MalformedSnapshot {
+                    reason: "node variable out of range",
+                });
+            }
+            if low == high {
+                return Err(BddError::MalformedSnapshot {
+                    reason: "node is not reduced (low == high)",
+                });
+            }
+            let lo = ids[low as usize];
+            let hi = ids[high as usize];
+            for child in [lo, hi] {
+                if let Some(cv) = bdd.node_var(child) {
+                    if cv <= var {
+                        return Err(BddError::MalformedSnapshot {
+                            reason: "variable ordering violated",
+                        });
+                    }
+                }
+            }
+            ids.push(bdd.mk_node(var, lo, hi));
+        }
+        let root = self.root as usize;
+        ids.get(root)
+            .copied()
+            .ok_or(BddError::CorruptSnapshot { index: root })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_semantics() {
+        let mut bdd = Bdd::new(5);
+        let p = bdd.cube_from_bools(&[true, false, true, false, true]);
+        let q = bdd.cube_from_bools(&[false, true, false, true, false]);
+        let u = bdd.or(p, q);
+        let z = bdd.dilate(u, 1);
+        let snap = BddSnapshot::capture(&bdd, z);
+
+        let mut fresh = Bdd::new(5);
+        let r = snap.restore(&mut fresh).expect("restore");
+        for m in 0..32usize {
+            let a: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(bdd.eval(z, &a), fresh.eval(r, &a), "assignment {a:?}");
+        }
+    }
+
+    #[test]
+    fn terminal_snapshots_roundtrip() {
+        let bdd = Bdd::new(3);
+        for t in [bdd.zero(), bdd.one()] {
+            let snap = BddSnapshot::capture(&bdd, t);
+            assert_eq!(snap.node_count(), 0);
+            let mut fresh = Bdd::new(3);
+            assert_eq!(snap.restore(&mut fresh).expect("restore"), t);
+        }
+    }
+
+    #[test]
+    fn var_count_mismatch_is_reported() {
+        let mut bdd = Bdd::new(3);
+        let f = bdd.var(0);
+        let snap = BddSnapshot::capture(&bdd, f);
+        let mut fresh = Bdd::new(4);
+        assert_eq!(
+            snap.restore(&mut fresh),
+            Err(BddError::VarCountMismatch {
+                expected: 3,
+                actual: 4
+            })
+        );
+    }
+
+    #[test]
+    fn corrupt_child_index_is_rejected() {
+        let snap = BddSnapshot {
+            num_vars: 2,
+            nodes: vec![(0, 5, 1)],
+            root: 2,
+        };
+        let mut fresh = Bdd::new(2);
+        assert!(matches!(
+            snap.restore(&mut fresh),
+            Err(BddError::CorruptSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn unreduced_node_is_rejected() {
+        let snap = BddSnapshot {
+            num_vars: 2,
+            nodes: vec![(0, 1, 1)],
+            root: 2,
+        };
+        let mut fresh = Bdd::new(2);
+        assert!(matches!(
+            snap.restore(&mut fresh),
+            Err(BddError::MalformedSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn restore_into_populated_manager_shares_structure() {
+        let mut a = Bdd::new(4);
+        let f = bdd_sample(&mut a);
+        let snap = BddSnapshot::capture(&a, f);
+        // Restoring into the same manager returns the identical node.
+        let restored = snap.restore(&mut a).expect("restore");
+        assert_eq!(restored, f);
+    }
+
+    fn bdd_sample(bdd: &mut Bdd) -> NodeId {
+        let p = bdd.cube_from_bools(&[true, true, false, false]);
+        let q = bdd.cube_from_bools(&[false, true, true, false]);
+        bdd.or(p, q)
+    }
+
+    #[test]
+    fn serde_json_roundtrip() {
+        let mut bdd = Bdd::new(4);
+        let f = bdd_sample(&mut bdd);
+        let snap = BddSnapshot::capture(&bdd, f);
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: BddSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(snap, back);
+    }
+}

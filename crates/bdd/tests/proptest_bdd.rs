@@ -1,0 +1,271 @@
+//! Property-based tests for the ROBDD package: canonicity, boolean algebra
+//! laws, quantification semantics, dilation vs. brute-force Hamming balls.
+
+use naps_bdd::{Bdd, BddSnapshot, NodeId};
+use proptest::prelude::*;
+
+const VARS: usize = 7;
+
+/// A random pattern over `VARS` bits.
+fn pattern() -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), VARS)
+}
+
+/// A random small set of patterns.
+fn pattern_set() -> impl Strategy<Value = Vec<Vec<bool>>> {
+    proptest::collection::vec(pattern(), 1..8)
+}
+
+fn build_set(bdd: &mut Bdd, pats: &[Vec<bool>]) -> NodeId {
+    let mut acc = bdd.zero();
+    for p in pats {
+        let c = bdd.cube_from_bools(p);
+        acc = bdd.or(c, acc);
+    }
+    acc
+}
+
+fn hamming(a: &[bool], b: &[bool]) -> u32 {
+    a.iter().zip(b).map(|(x, y)| u32::from(x != y)).sum()
+}
+
+fn all_assignments() -> Vec<Vec<bool>> {
+    (0..(1usize << VARS))
+        .map(|m| (0..VARS).map(|i| (m >> i) & 1 == 1).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hash-consing canonicity: building the same set in two different
+    /// insertion orders yields the identical node.
+    #[test]
+    fn insertion_order_is_irrelevant(pats in pattern_set()) {
+        let mut bdd = Bdd::new(VARS);
+        let fwd = build_set(&mut bdd, &pats);
+        let rev: Vec<_> = pats.iter().rev().cloned().collect();
+        let bwd = build_set(&mut bdd, &rev);
+        prop_assert_eq!(fwd, bwd);
+    }
+
+    /// Membership after construction matches the seed set exactly (γ = 0
+    /// soundness + exactness).
+    #[test]
+    fn stored_set_is_exact(pats in pattern_set(), probe in pattern()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build_set(&mut bdd, &pats);
+        let expect = pats.iter().any(|p| p == &probe);
+        prop_assert_eq!(bdd.eval(f, &probe), expect);
+    }
+
+    /// `dilate(γ)` is exactly the union of radius-γ Hamming balls around
+    /// the seeds.
+    #[test]
+    fn dilation_is_hamming_ball(pats in pattern_set(), gamma in 0u32..3) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build_set(&mut bdd, &pats);
+        let z = bdd.dilate(f, gamma);
+        for probe in all_assignments() {
+            let dist = pats.iter().map(|p| hamming(p, &probe)).min().unwrap();
+            prop_assert_eq!(bdd.eval(z, &probe), dist <= gamma,
+                "probe {:?} dist {} gamma {}", probe, dist, gamma);
+        }
+    }
+
+    /// `min_hamming_distance` equals the brute-force minimum distance.
+    #[test]
+    fn min_distance_is_exact(pats in pattern_set(), probe in pattern()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build_set(&mut bdd, &pats);
+        let expect = pats.iter().map(|p| hamming(p, &probe)).min().unwrap();
+        prop_assert_eq!(bdd.min_hamming_distance(f, &probe), Some(expect));
+    }
+
+    /// De Morgan + double negation over random sets.
+    #[test]
+    fn boolean_algebra_laws(a in pattern_set(), b in pattern_set()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build_set(&mut bdd, &a);
+        let g = build_set(&mut bdd, &b);
+        let and = bdd.and(f, g);
+        let lhs = bdd.not(and);
+        let nf = bdd.not(f);
+        let ng = bdd.not(g);
+        let rhs = bdd.or(nf, ng);
+        prop_assert_eq!(lhs, rhs);
+        let nnf = {
+            let n = bdd.not(f);
+            bdd.not(n)
+        };
+        prop_assert_eq!(nnf, f);
+    }
+
+    /// Distributivity: f ∧ (g ∨ h) == (f ∧ g) ∨ (f ∧ h).
+    #[test]
+    fn distributivity(a in pattern_set(), b in pattern_set(), c in pattern_set()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build_set(&mut bdd, &a);
+        let g = build_set(&mut bdd, &b);
+        let h = build_set(&mut bdd, &c);
+        let gh = bdd.or(g, h);
+        let lhs = bdd.and(f, gh);
+        let fg = bdd.and(f, g);
+        let fh = bdd.and(f, h);
+        let rhs = bdd.or(fg, fh);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// sat_count equals the number of distinct seed patterns (γ = 0).
+    #[test]
+    fn sat_count_matches_set_size(pats in pattern_set()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build_set(&mut bdd, &pats);
+        let mut uniq = pats.clone();
+        uniq.sort();
+        uniq.dedup();
+        prop_assert_eq!(bdd.sat_count(f), uniq.len() as f64);
+    }
+
+    /// sat_iter enumerates exactly the satisfying assignments.
+    #[test]
+    fn sat_iter_is_complete_and_sound(pats in pattern_set(), gamma in 0u32..2) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build_set(&mut bdd, &pats);
+        let z = bdd.dilate(f, gamma);
+        let mut got: Vec<Vec<bool>> = bdd.sat_iter(z).collect();
+        got.sort();
+        got.dedup();
+        prop_assert_eq!(got.len() as f64, bdd.sat_count(z));
+        for a in &got {
+            prop_assert!(bdd.eval(z, a));
+        }
+    }
+
+    /// exists is a weakening and removes the variable from the support.
+    #[test]
+    fn exists_weakens_and_drops_support(pats in pattern_set(), v in 0u32..(VARS as u32)) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build_set(&mut bdd, &pats);
+        let e = bdd.exists(f, v);
+        prop_assert!(bdd.implies(f, e));
+        prop_assert!(!bdd.support(e).contains(&v));
+    }
+
+    /// Snapshot capture/restore is semantics-preserving into a fresh manager.
+    #[test]
+    fn snapshot_roundtrip(pats in pattern_set(), gamma in 0u32..2) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build_set(&mut bdd, &pats);
+        let z = bdd.dilate(f, gamma);
+        let snap = BddSnapshot::capture(&bdd, z);
+        let mut fresh = Bdd::new(VARS);
+        let r = snap.restore(&mut fresh).expect("restore");
+        for probe in all_assignments() {
+            prop_assert_eq!(bdd.eval(z, &probe), fresh.eval(r, &probe));
+        }
+    }
+
+    /// Dilation distributes over union:
+    /// dilate(f ∨ g) == dilate(f) ∨ dilate(g).
+    #[test]
+    fn dilation_distributes_over_union(a in pattern_set(), b in pattern_set()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build_set(&mut bdd, &a);
+        let g = build_set(&mut bdd, &b);
+        let u = bdd.or(f, g);
+        let lhs = bdd.dilate_once(u);
+        let df = bdd.dilate_once(f);
+        let dg = bdd.dilate_once(g);
+        let rhs = bdd.or(df, dg);
+        prop_assert_eq!(lhs, rhs);
+    }
+}
+
+/// A random permutation of `0..VARS`, built by ranking random keys.
+fn permutation() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(any::<u32>(), VARS).prop_map(|keys| {
+        let mut idx: Vec<usize> = (0..VARS).collect();
+        idx.sort_by_key(|&i| (keys[i], i));
+        let mut perm = vec![0u32; VARS];
+        for (pos, &i) in idx.iter().enumerate() {
+            perm[i] = pos as u32;
+        }
+        perm
+    })
+}
+
+fn apply_perm(assignment: &[bool], perm: &[u32]) -> Vec<bool> {
+    let mut out = vec![false; assignment.len()];
+    for (v, &b) in assignment.iter().enumerate() {
+        out[perm[v] as usize] = b;
+    }
+    out
+}
+
+fn all_assignments_again() -> impl Iterator<Item = Vec<bool>> {
+    (0..1usize << VARS).map(|m| (0..VARS).map(|b| (m >> b) & 1 == 1).collect())
+}
+
+proptest! {
+    /// Permutation preserves semantics up to variable renaming, including
+    /// through a dilation.
+    #[test]
+    fn permute_preserves_semantics(pats in pattern_set(), perm in permutation(), gamma in 0u32..2) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build_set(&mut bdd, &pats);
+        let z = bdd.dilate(f, gamma);
+        let (fresh, roots) = bdd.permute(&[f, z], &perm);
+        for a in all_assignments_again() {
+            let pa = apply_perm(&a, &perm);
+            prop_assert_eq!(bdd.eval(f, &a), fresh.eval(roots[0], &pa));
+            prop_assert_eq!(bdd.eval(z, &a), fresh.eval(roots[1], &pa));
+        }
+    }
+
+    /// Permuting twice with perm then its inverse restores the original
+    /// node count (canonicity under renaming round-trip).
+    #[test]
+    fn permute_inverse_roundtrips_size(pats in pattern_set(), perm in permutation()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build_set(&mut bdd, &pats);
+        let (once, r1) = bdd.permute(&[f], &perm);
+        let mut inverse = vec![0u32; VARS];
+        for (v, &p) in perm.iter().enumerate() {
+            inverse[p as usize] = v as u32;
+        }
+        let (back, r2) = once.permute(&r1, &inverse);
+        prop_assert_eq!(back.node_count(r2[0]), bdd.node_count(f));
+        for a in all_assignments_again() {
+            prop_assert_eq!(bdd.eval(f, &a), back.eval(r2[0], &a));
+        }
+    }
+
+    /// Sifting never grows the diagram and preserves semantics under the
+    /// reported permutation.
+    #[test]
+    fn sift_shrinks_or_keeps_and_preserves(pats in pattern_set(), gamma in 0u32..2) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build_set(&mut bdd, &pats);
+        let z = bdd.dilate(f, gamma);
+        let before = bdd.node_count(z);
+        let (sifted, roots, perm) = bdd.sift(&[z], 4);
+        prop_assert!(sifted.node_count(roots[0]) <= before);
+        for a in all_assignments_again() {
+            prop_assert_eq!(bdd.eval(z, &a), sifted.eval(roots[0], &apply_perm(&a, &perm)));
+        }
+    }
+
+    /// live_node_count of shared roots never exceeds the per-root sum and
+    /// never undercounts a single root.
+    #[test]
+    fn live_node_count_bounds(a in pattern_set(), b in pattern_set()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build_set(&mut bdd, &a);
+        let g = build_set(&mut bdd, &b);
+        let live = bdd.live_node_count(&[f, g]);
+        prop_assert!(live <= bdd.node_count(f) + bdd.node_count(g));
+        prop_assert!(live >= bdd.node_count(f));
+        prop_assert!(live >= bdd.node_count(g));
+    }
+}

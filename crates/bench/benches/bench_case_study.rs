@@ -1,0 +1,73 @@
+//! Case-study benchmark (Figure 3): end-to-end latency of one monitored
+//! pipeline step — scenario perception, feature assembly, selection
+//! network forward pass and monitor query — versus the unmonitored
+//! pipeline, under nominal and shifted conditions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use naps_frontcar::{Conditions, FrontCarPipeline, PipelineConfig, Scenario};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn pipeline_fixture() -> FrontCarPipeline {
+    let mut rng = StdRng::seed_from_u64(0);
+    FrontCarPipeline::train(
+        PipelineConfig {
+            hidden: [32, 16],
+            train_scenarios: 600,
+            epochs: 10,
+            gamma: 1,
+        },
+        &mut rng,
+    )
+}
+
+fn step_latency(c: &mut Criterion) {
+    let mut pipe = pipeline_fixture();
+    let mut rng = StdRng::seed_from_u64(1);
+    let nominal: Vec<Scenario> = (0..64)
+        .map(|_| Scenario::sample(Conditions::nominal(), &mut rng))
+        .collect();
+    let rain: Vec<Scenario> = (0..64)
+        .map(|_| Scenario::sample(Conditions::heavy_rain(), &mut rng))
+        .collect();
+
+    let mut group = c.benchmark_group("case_study_step");
+    group.bench_function("nominal", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % nominal.len();
+            black_box(pipe.step(&nominal[i], &mut rng))
+        });
+    });
+    group.bench_function("heavy_rain", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % rain.len();
+            black_box(pipe.step(&rain[i], &mut rng))
+        });
+    });
+    group.finish();
+}
+
+fn scenario_generation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("scenario_sample", |b| {
+        b.iter(|| black_box(Scenario::sample(Conditions::dense_cutins(), &mut rng)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = step_latency, scenario_generation
+}
+criterion_main!(benches);

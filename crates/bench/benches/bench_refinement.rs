@@ -1,0 +1,107 @@
+//! Query-cost ablation for the Section V item (2) numeric refinements:
+//! the binary BDD monitor answers membership in O(#neurons), the interval
+//! box in O(#neurons), and the DBM in O(#neurons²).  This bench makes the
+//! asymptotics concrete so the refinement experiment's cost claim is
+//! measured, not asserted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naps_bench::{clustered_patterns, zone_from_patterns, BddBackend};
+use naps_core::{DbmZone, IntervalZone, Zone};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+/// Deterministic pseudo-activation vectors of the given width.
+fn activations(n: usize, width: usize, phase: f32) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..width)
+                .map(|j| ((i * width + j) as f32 * 0.137 + phase).sin() * 2.0)
+                .collect()
+        })
+        .collect()
+}
+
+/// Membership query latency of each detector as the monitored width grows.
+fn query_vs_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refinement_query_vs_width");
+    for width in [16usize, 40, 84, 128] {
+        // Binary monitor.
+        let seeds = clustered_patterns(150, width, 1, 7);
+        let bdd: BddBackend = zone_from_patterns(&seeds, 1);
+        let probes = clustered_patterns(64, width, 2, 99);
+        group.bench_with_input(BenchmarkId::new("bdd", width), &width, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                black_box(bdd.contains(&probes[i]))
+            });
+        });
+
+        // Numeric envelopes over the same width.
+        let train = activations(150, width, 0.0);
+        let queries = activations(64, width, 1.0);
+        let mut boxz = IntervalZone::empty(width);
+        let mut dbm = DbmZone::empty(width);
+        for v in &train {
+            boxz.insert(v);
+            dbm.insert(v);
+        }
+        group.bench_with_input(BenchmarkId::new("box", width), &width, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                black_box(boxz.contains(&queries[i], 0.5))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dbm", width), &width, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                black_box(dbm.contains(&queries[i], 0.5))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Envelope construction cost (one insert) vs width — O(d) for the box,
+/// O(d²) for the DBM.
+fn insert_vs_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refinement_insert_vs_width");
+    for width in [16usize, 40, 84] {
+        let samples = activations(64, width, 0.3);
+        group.bench_with_input(BenchmarkId::new("box", width), &width, |b, _| {
+            let mut zone = IntervalZone::empty(width);
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % samples.len();
+                zone.insert(&samples[i]);
+                black_box(zone.sample_count())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dbm", width), &width, |b, _| {
+            let mut zone = DbmZone::empty(width);
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % samples.len();
+                zone.insert(&samples[i]);
+                black_box(zone.sample_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = query_vs_width, insert_vs_width
+}
+criterion_main!(benches);

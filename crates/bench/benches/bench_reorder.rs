@@ -1,0 +1,80 @@
+//! Variable-ordering ablation: how much do static ordering heuristics and
+//! greedy sifting shrink a comfort-zone BDD, and what do they cost?
+//!
+//! Reordering never changes monitor semantics or the O(#neurons) query
+//! walk; the payoff is the deployed diagram's node count (memory) and the
+//! offline cost of finding the order.  Three orders are compared on
+//! clustered per-class pattern sets:
+//!
+//! * `identity` — the neuron-index order the monitor is built with;
+//! * `bias` — [`naps_core::order_by_bias`], most biased neurons first;
+//! * `sifted` — [`naps_bdd::Bdd::sift`] greedy adjacent-swap search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naps_bench::{clustered_patterns, zone_from_patterns, BddBackend};
+use naps_core::order_by_bias;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+/// Cost of measuring a zone under the bias-heuristic permutation
+/// (one full rebuild), as the pattern width grows.
+fn permute_cost_vs_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorder_permute_cost_vs_width");
+    for width in [24usize, 40, 64] {
+        let seeds = clustered_patterns(150, width, 1, 11);
+        let zone: BddBackend = zone_from_patterns(&seeds, 1);
+        let perm = order_by_bias(&seeds);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| black_box(zone.node_count_under(&perm)));
+        });
+    }
+    group.finish();
+}
+
+/// Cost of one greedy sifting search (the offline monitor-preparation
+/// step), small widths only — each swap trial is a rebuild.
+fn sift_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorder_sift_cost");
+    for width in [16usize, 24] {
+        let seeds = clustered_patterns(80, width, 2, 23);
+        let zone: BddBackend = zone_from_patterns(&seeds, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| black_box(zone.sifted_node_count(1)));
+        });
+    }
+    group.finish();
+}
+
+/// Not a timing benchmark: prints the node counts the ablation is about,
+/// so `cargo bench` output records identity vs bias vs sifted sizes.
+fn report_node_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorder_node_counts");
+    for (label, class, gamma) in [("g0", 1u64, 0u32), ("g1", 1, 1), ("mixed", 3, 1)] {
+        let seeds = clustered_patterns(200, 40, class, 31);
+        let zone: BddBackend = zone_from_patterns(&seeds, gamma);
+        let identity = zone.node_count();
+        let bias = zone.node_count_under(&order_by_bias(&seeds));
+        let (sifted, _) = zone.sifted_node_count(1);
+        println!("[reorder_node_counts/{label}] identity={identity} bias={bias} sifted={sifted}");
+        // Keep Criterion happy with a trivial measurement so the printout
+        // lands in the bench log.
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(identity.min(bias).min(sifted)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = permute_cost_vs_width, sift_cost, report_node_counts
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Table II benchmark: cost of the monitoring machinery itself —
+//! building the monitor (Algorithm 1), enlarging it per γ, and the
+//! per-decision runtime overhead of consulting it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naps_bench::{clustered_patterns, small_monitor, small_trained_model, zone_from_patterns};
+use naps_core::{BddZone, ExactZone, MonitorBuilder, Zone};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+/// Algorithm 1 end-to-end (replay training set + build zones) per backend.
+fn monitor_build(c: &mut Criterion) {
+    let (mut net, xs, ys) = small_trained_model(4, 0);
+    let mut group = c.benchmark_group("monitor_build");
+    group.bench_function("bdd", |b| {
+        b.iter(|| black_box(MonitorBuilder::new(1, 1).build::<BddZone>(&mut net, &xs, &ys, 4)));
+    });
+    group.bench_function("exact", |b| {
+        b.iter(|| black_box(MonitorBuilder::new(1, 1).build::<ExactZone>(&mut net, &xs, &ys, 4)));
+    });
+    group.finish();
+}
+
+/// Zone enlargement cost per γ step at paper-like widths (40 = MNIST fc
+/// layer, 21 = the selected quarter of GTSRB's 84).
+fn enlarge_per_gamma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zone_enlarge_to_gamma");
+    for gamma in 1u32..=3 {
+        let seeds = clustered_patterns(500, 40, 2, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(gamma), &gamma, |b, &g| {
+            b.iter_batched(
+                || zone_from_patterns::<BddZone>(&seeds, 0),
+                |mut z| {
+                    z.enlarge_to(g);
+                    black_box(z.gamma())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Per-decision cost: bare network prediction vs monitored prediction.
+fn monitored_decision_overhead(c: &mut Criterion) {
+    let (monitor, mut net, xs) = small_monitor(4, 1, 9);
+    let mut group = c.benchmark_group("decision");
+    group.bench_function("predict_only", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % xs.len();
+            let batch = naps_tensor::Tensor::from_vec(vec![1, 2], xs[i].data().to_vec());
+            black_box(net.predict(&batch))
+        });
+    });
+    group.bench_function("predict_plus_monitor", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % xs.len();
+            black_box(monitor.check(&mut net, &xs[i]))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = monitor_build, enlarge_per_gamma, monitored_decision_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,425 @@
+//! Distribution-shift detection from out-of-pattern rates.
+//!
+//! The paper's introduction observes that "the frequent appearance of
+//! unseen patterns provides an indicator of data distribution shift to the
+//! development team".  This module turns that observation into an online
+//! detector: feed it every [`Verdict`] the monitor produces in operation,
+//! and it compares the recent out-of-pattern rate — estimated both over a
+//! sliding window and with an exponentially weighted moving average — to
+//! the baseline rate measured on the validation set when γ was chosen
+//! (the Table II out-of-pattern column).
+//!
+//! An alarm is raised only after the elevated rate persists for a
+//! configurable number of consecutive observations, so isolated hard
+//! inputs do not trigger fleet-wide warnings.
+
+use crate::monitor::Verdict;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration of a [`DriftDetector`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Out-of-pattern rate expected under no shift — the validation-set
+    /// rate of the deployed γ (e.g. 0.6 % for MNIST at γ = 2 in Table II).
+    pub baseline_rate: f64,
+    /// Rate above which the input stream is considered shifted.  Must be
+    /// greater than `baseline_rate`; a common choice is 3–10× baseline.
+    pub alarm_rate: f64,
+    /// Sliding-window length (number of recent verdicts) for the windowed
+    /// rate estimate.
+    pub window: usize,
+    /// EWMA smoothing factor in `(0, 1]`; the weight of the newest
+    /// observation.  Smaller is smoother/slower.
+    pub ewma_alpha: f64,
+    /// Number of consecutive observations with both estimates above
+    /// `alarm_rate` required before [`DriftStatus::Drifting`] is reported.
+    pub patience: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            baseline_rate: 0.01,
+            alarm_rate: 0.10,
+            window: 200,
+            ewma_alpha: 0.02,
+            patience: 20,
+        }
+    }
+}
+
+/// Detector state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftStatus {
+    /// Not enough observations yet to judge (fewer than the window length).
+    Warmup,
+    /// Out-of-pattern rate consistent with the validation baseline.
+    Stable,
+    /// Both rate estimates have exceeded the alarm rate for at least
+    /// `patience` consecutive observations: the deployed network is likely
+    /// operating outside the training distribution and "may need to be
+    /// updated" (paper, Section I).
+    Drifting,
+}
+
+/// Online out-of-pattern rate tracker with a persistence-filtered alarm.
+///
+/// [`Verdict::Unmonitored`] observations are ignored: a class without a
+/// comfort zone carries no evidence either way.
+///
+/// # Example
+///
+/// ```
+/// use naps_core::{DriftConfig, DriftDetector, DriftStatus, Verdict};
+///
+/// let mut det = DriftDetector::new(DriftConfig {
+///     baseline_rate: 0.01,
+///     alarm_rate: 0.30,
+///     window: 50,
+///     ewma_alpha: 0.1,
+///     patience: 10,
+/// });
+/// for _ in 0..100 {
+///     det.observe(Verdict::InPattern);
+/// }
+/// assert_eq!(det.status(), DriftStatus::Stable);
+/// for _ in 0..100 {
+///     det.observe(Verdict::OutOfPattern);
+/// }
+/// assert_eq!(det.status(), DriftStatus::Drifting);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    config: DriftConfig,
+    recent: VecDeque<bool>,
+    window_hits: usize,
+    ewma: f64,
+    streak: usize,
+    observed: usize,
+    out_of_pattern_total: usize,
+    alarms: usize,
+    alarmed: bool,
+}
+
+impl DriftDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `patience` is zero, `ewma_alpha` is outside
+    /// `(0, 1]`, rates are outside `[0, 1]`, or
+    /// `alarm_rate <= baseline_rate`.
+    pub fn new(config: DriftConfig) -> Self {
+        assert!(config.window > 0, "window must be positive");
+        assert!(config.patience > 0, "patience must be positive");
+        assert!(
+            config.ewma_alpha > 0.0 && config.ewma_alpha <= 1.0,
+            "ewma_alpha must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.baseline_rate) && (0.0..=1.0).contains(&config.alarm_rate),
+            "rates must be in [0, 1]"
+        );
+        assert!(
+            config.alarm_rate > config.baseline_rate,
+            "alarm rate must exceed the baseline rate"
+        );
+        let ewma = config.baseline_rate;
+        DriftDetector {
+            config,
+            recent: VecDeque::new(),
+            window_hits: 0,
+            ewma,
+            streak: 0,
+            observed: 0,
+            out_of_pattern_total: 0,
+            alarms: 0,
+            alarmed: false,
+        }
+    }
+
+    /// The configuration this detector was created with.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Feeds one monitor verdict; returns the status after the update.
+    pub fn observe(&mut self, verdict: Verdict) -> DriftStatus {
+        let hit = match verdict {
+            Verdict::OutOfPattern => true,
+            Verdict::InPattern => false,
+            Verdict::Unmonitored => return self.status(),
+        };
+        self.observed += 1;
+        if hit {
+            self.out_of_pattern_total += 1;
+        }
+        self.recent.push_back(hit);
+        if hit {
+            self.window_hits += 1;
+        }
+        if self.recent.len() > self.config.window && self.recent.pop_front() == Some(true) {
+            self.window_hits -= 1;
+        }
+        let x = if hit { 1.0 } else { 0.0 };
+        self.ewma += self.config.ewma_alpha * (x - self.ewma);
+
+        if self.recent.len() >= self.config.window
+            && self.windowed_rate() > self.config.alarm_rate
+            && self.ewma > self.config.alarm_rate
+        {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+            self.alarmed = false;
+        }
+        if self.streak >= self.config.patience && !self.alarmed {
+            self.alarmed = true;
+            self.alarms += 1;
+        }
+        self.status()
+    }
+
+    /// Convenience: feeds every verdict of a batch of reports.
+    pub fn observe_all<'a, I>(&mut self, verdicts: I) -> DriftStatus
+    where
+        I: IntoIterator<Item = &'a Verdict>,
+    {
+        for v in verdicts {
+            self.observe(*v);
+        }
+        self.status()
+    }
+
+    /// Current status (see [`DriftStatus`]).
+    pub fn status(&self) -> DriftStatus {
+        if self.recent.len() < self.config.window {
+            DriftStatus::Warmup
+        } else if self.streak >= self.config.patience {
+            DriftStatus::Drifting
+        } else {
+            DriftStatus::Stable
+        }
+    }
+
+    /// Out-of-pattern rate over the sliding window (0 before any
+    /// monitored observation).
+    pub fn windowed_rate(&self) -> f64 {
+        if self.recent.is_empty() {
+            0.0
+        } else {
+            self.window_hits as f64 / self.recent.len() as f64
+        }
+    }
+
+    /// Exponentially weighted out-of-pattern rate, initialised at the
+    /// baseline.
+    pub fn ewma_rate(&self) -> f64 {
+        self.ewma
+    }
+
+    /// Lifetime out-of-pattern rate over every monitored observation.
+    pub fn lifetime_rate(&self) -> f64 {
+        if self.observed == 0 {
+            0.0
+        } else {
+            self.out_of_pattern_total as f64 / self.observed as f64
+        }
+    }
+
+    /// Number of monitored (non-[`Verdict::Unmonitored`]) observations.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Number of distinct alarm episodes: transitions into
+    /// [`DriftStatus::Drifting`] since creation or the last [`reset`].
+    ///
+    /// [`reset`]: DriftDetector::reset
+    pub fn alarm_count(&self) -> usize {
+        self.alarms
+    }
+
+    /// Clears all streaming state (window, EWMA, streak, counters) while
+    /// keeping the configuration — e.g. after the development team ships
+    /// an updated network.
+    pub fn reset(&mut self) {
+        self.recent.clear();
+        self.window_hits = 0;
+        self.ewma = self.config.baseline_rate;
+        self.streak = 0;
+        self.observed = 0;
+        self.out_of_pattern_total = 0;
+        self.alarms = 0;
+        self.alarmed = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> DriftConfig {
+        DriftConfig {
+            baseline_rate: 0.02,
+            alarm_rate: 0.25,
+            window: 20,
+            ewma_alpha: 0.15,
+            patience: 5,
+        }
+    }
+
+    #[test]
+    fn warmup_until_window_filled() {
+        let mut det = DriftDetector::new(quick_config());
+        for _ in 0..19 {
+            assert_eq!(det.observe(Verdict::InPattern), DriftStatus::Warmup);
+        }
+        assert_eq!(det.observe(Verdict::InPattern), DriftStatus::Stable);
+    }
+
+    #[test]
+    fn stable_under_baseline_rate() {
+        let mut det = DriftDetector::new(quick_config());
+        for i in 0..500 {
+            // 2 % out-of-pattern, evenly spread.
+            let v = if i % 50 == 0 {
+                Verdict::OutOfPattern
+            } else {
+                Verdict::InPattern
+            };
+            det.observe(v);
+        }
+        assert_eq!(det.status(), DriftStatus::Stable);
+        assert_eq!(det.alarm_count(), 0);
+        assert!(det.lifetime_rate() < 0.05);
+    }
+
+    #[test]
+    fn sustained_shift_raises_alarm_once() {
+        let mut det = DriftDetector::new(quick_config());
+        for _ in 0..100 {
+            det.observe(Verdict::InPattern);
+        }
+        for _ in 0..100 {
+            det.observe(Verdict::OutOfPattern);
+        }
+        assert_eq!(det.status(), DriftStatus::Drifting);
+        assert_eq!(det.alarm_count(), 1, "persisting drift is one episode");
+        assert!(det.windowed_rate() > 0.9);
+        assert!(det.ewma_rate() > 0.5);
+    }
+
+    #[test]
+    fn isolated_spikes_are_filtered_by_patience() {
+        // Patience longer than the spike (plus the EWMA's decay tail)
+        // keeps a short burst from alarming.
+        let mut det = DriftDetector::new(DriftConfig {
+            patience: 15,
+            ..quick_config()
+        });
+        for _ in 0..40 {
+            det.observe(Verdict::InPattern);
+        }
+        let mut peak = 0.0f64;
+        for _ in 0..6 {
+            det.observe(Verdict::OutOfPattern);
+            peak = peak.max(det.windowed_rate());
+        }
+        assert!(
+            peak > det.config().alarm_rate,
+            "spike never crossed the alarm rate"
+        );
+        let mut drifted = false;
+        for _ in 0..60 {
+            drifted |= det.observe(Verdict::InPattern) == DriftStatus::Drifting;
+        }
+        assert!(!drifted, "short spike must not alarm");
+        assert_eq!(det.status(), DriftStatus::Stable);
+        assert_eq!(det.alarm_count(), 0);
+    }
+
+    #[test]
+    fn recovery_after_shift_clears_alarm_and_recounts() {
+        let mut det = DriftDetector::new(quick_config());
+        for _ in 0..60 {
+            det.observe(Verdict::OutOfPattern);
+        }
+        assert_eq!(det.status(), DriftStatus::Drifting);
+        for _ in 0..60 {
+            det.observe(Verdict::InPattern);
+        }
+        assert_eq!(det.status(), DriftStatus::Stable);
+        // A second shift is a second episode.
+        for _ in 0..60 {
+            det.observe(Verdict::OutOfPattern);
+        }
+        assert_eq!(det.alarm_count(), 2);
+    }
+
+    #[test]
+    fn unmonitored_verdicts_carry_no_evidence() {
+        let mut det = DriftDetector::new(quick_config());
+        for _ in 0..100 {
+            det.observe(Verdict::Unmonitored);
+        }
+        assert_eq!(det.status(), DriftStatus::Warmup);
+        assert_eq!(det.observed(), 0);
+        assert_eq!(det.windowed_rate(), 0.0);
+    }
+
+    #[test]
+    fn observe_all_matches_sequential_observes() {
+        let stream: Vec<Verdict> = (0..50)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Verdict::OutOfPattern
+                } else {
+                    Verdict::InPattern
+                }
+            })
+            .collect();
+        let mut a = DriftDetector::new(quick_config());
+        a.observe_all(&stream);
+        let mut b = DriftDetector::new(quick_config());
+        for v in &stream {
+            b.observe(*v);
+        }
+        assert_eq!(a.status(), b.status());
+        assert_eq!(a.windowed_rate(), b.windowed_rate());
+        assert_eq!(a.ewma_rate(), b.ewma_rate());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut det = DriftDetector::new(quick_config());
+        for _ in 0..80 {
+            det.observe(Verdict::OutOfPattern);
+        }
+        det.reset();
+        assert_eq!(det.status(), DriftStatus::Warmup);
+        assert_eq!(det.observed(), 0);
+        assert_eq!(det.alarm_count(), 0);
+        assert_eq!(det.ewma_rate(), det.config().baseline_rate);
+    }
+
+    #[test]
+    #[should_panic(expected = "alarm rate must exceed")]
+    fn alarm_below_baseline_is_rejected() {
+        let _ = DriftDetector::new(DriftConfig {
+            baseline_rate: 0.5,
+            alarm_rate: 0.4,
+            ..quick_config()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_is_rejected() {
+        let _ = DriftDetector::new(DriftConfig {
+            window: 0,
+            ..quick_config()
+        });
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for monitor construction and persistence.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by monitor construction and snapshot restoration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MonitorError {
+    /// A snapshot's pattern width differs from the receiving configuration.
+    WidthMismatch {
+        /// Width recorded in the snapshot.
+        expected: usize,
+        /// Width implied by the current configuration.
+        actual: usize,
+    },
+    /// A serialized BDD zone failed to restore.
+    Bdd(naps_bdd::BddError),
+    /// The monitor was built over zero correctly-classified samples for a
+    /// monitored class, so its comfort zone is empty and every query would
+    /// warn.
+    EmptyZone {
+        /// The class whose zone is empty.
+        class: usize,
+    },
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::WidthMismatch { expected, actual } => write!(
+                f,
+                "snapshot pattern width {expected} does not match configuration width {actual}"
+            ),
+            MonitorError::Bdd(e) => write!(f, "bdd snapshot error: {e}"),
+            MonitorError::EmptyZone { class } => {
+                write!(f, "comfort zone for class {class} is empty")
+            }
+        }
+    }
+}
+
+impl Error for MonitorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MonitorError::Bdd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<naps_bdd::BddError> for MonitorError {
+    fn from(e: naps_bdd::BddError) -> Self {
+        MonitorError::Bdd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MonitorError::EmptyZone { class: 14 };
+        assert!(e.to_string().contains("14"));
+    }
+
+    #[test]
+    fn bdd_errors_convert() {
+        let e: MonitorError = naps_bdd::BddError::VarCountMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
+        assert!(matches!(e, MonitorError::Bdd(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

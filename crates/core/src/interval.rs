@@ -1,0 +1,184 @@
+//! Numeric interval refinement — the paper's Section V item (2) sketches
+//! refining the binary abstraction with numeric abstract domains (they
+//! mention difference-bound matrices).  `IntervalZone` implements the box
+//! (per-neuron interval) fragment of that idea: alongside the binary
+//! pattern, record each monitored neuron's observed value range over the
+//! training set, and flag inputs whose activation magnitudes leave the
+//! observed envelope even when the on/off pattern is familiar.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-neuron min/max envelope of real-valued activations.
+///
+/// # Example
+///
+/// ```
+/// use naps_core::IntervalZone;
+///
+/// let mut zone = IntervalZone::empty(2);
+/// zone.insert(&[0.5, 1.0]);
+/// zone.insert(&[0.7, 0.2]);
+/// assert!(zone.contains(&[0.6, 0.5], 0.0));
+/// assert!(!zone.contains(&[2.0, 0.5], 0.0));   // neuron 0 out of range
+/// assert!(zone.contains(&[0.75, 0.5], 0.1));   // slack admits it
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalZone {
+    lo: Vec<f32>,
+    hi: Vec<f32>,
+    count: usize,
+}
+
+impl IntervalZone {
+    /// An empty envelope over `width` neurons.
+    pub fn empty(width: usize) -> Self {
+        IntervalZone {
+            lo: vec![f32::INFINITY; width],
+            hi: vec![f32::NEG_INFINITY; width],
+            count: 0,
+        }
+    }
+
+    /// Number of monitored neurons.
+    pub fn width(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Number of activation vectors recorded.
+    pub fn sample_count(&self) -> usize {
+        self.count
+    }
+
+    /// Extends the envelope with one activation vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != width` or any value is non-finite — a
+    /// NaN activation would silently pass every comparison and poison
+    /// the envelope.
+    pub fn insert(&mut self, values: &[f32]) {
+        assert_eq!(values.len(), self.width(), "activation width mismatch");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "activation values must be finite"
+        );
+        for ((lo, hi), &v) in self.lo.iter_mut().zip(self.hi.iter_mut()).zip(values) {
+            if v < *lo {
+                *lo = v;
+            }
+            if v > *hi {
+                *hi = v;
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Membership with symmetric slack: every neuron must satisfy
+    /// `lo - slack <= v <= hi + slack`.  An empty zone contains nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != width`.
+    pub fn contains(&self, values: &[f32], slack: f32) -> bool {
+        assert_eq!(values.len(), self.width(), "activation width mismatch");
+        if self.count == 0 {
+            return false;
+        }
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(values)
+            .all(|((&lo, &hi), &v)| v >= lo - slack && v <= hi + slack)
+    }
+
+    /// Largest per-neuron violation of the envelope (0 when inside) — a
+    /// numeric "distance" analogous to the Hamming distance of the binary
+    /// monitor.  `None` for an empty zone.
+    pub fn violation(&self, values: &[f32]) -> Option<f32> {
+        assert_eq!(values.len(), self.width(), "activation width mismatch");
+        if self.count == 0 {
+            return None;
+        }
+        let mut worst = 0.0f32;
+        for ((&lo, &hi), &v) in self.lo.iter().zip(&self.hi).zip(values) {
+            let d = if v < lo {
+                lo - v
+            } else if v > hi {
+                v - hi
+            } else {
+                0.0
+            };
+            if d > worst {
+                worst = d;
+            }
+        }
+        Some(worst)
+    }
+
+    /// The envelope of neuron `i` as `(lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width` or the zone is empty.
+    pub fn bounds(&self, i: usize) -> (f32, f32) {
+        assert!(self.count > 0, "empty interval zone has no bounds");
+        (self.lo[i], self.hi[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_zone_contains_nothing() {
+        let z = IntervalZone::empty(3);
+        assert!(!z.contains(&[0.0, 0.0, 0.0], 100.0));
+        assert_eq!(z.violation(&[0.0, 0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn envelope_grows_with_insertions() {
+        let mut z = IntervalZone::empty(2);
+        z.insert(&[1.0, -1.0]);
+        assert!(z.contains(&[1.0, -1.0], 0.0));
+        assert!(!z.contains(&[2.0, -1.0], 0.0));
+        z.insert(&[2.5, 0.0]);
+        assert!(z.contains(&[2.0, -0.5], 0.0));
+        assert_eq!(z.bounds(0), (1.0, 2.5));
+        assert_eq!(z.sample_count(), 2);
+    }
+
+    #[test]
+    fn violation_measures_worst_neuron() {
+        let mut z = IntervalZone::empty(2);
+        z.insert(&[0.0, 0.0]);
+        z.insert(&[1.0, 1.0]);
+        assert_eq!(z.violation(&[0.5, 0.5]), Some(0.0));
+        assert_eq!(z.violation(&[2.0, 0.5]), Some(1.0));
+        assert_eq!(z.violation(&[-0.5, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn slack_relaxes_membership_symmetrically() {
+        let mut z = IntervalZone::empty(1);
+        z.insert(&[1.0]);
+        assert!(!z.contains(&[1.2], 0.1));
+        assert!(z.contains(&[1.2], 0.2));
+        assert!(z.contains(&[0.8], 0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_is_checked() {
+        let mut z = IntervalZone::empty(2);
+        z.insert(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn nan_insert_is_rejected() {
+        let mut z = IntervalZone::empty(1);
+        z.insert(&[f32::NAN]);
+    }
+}

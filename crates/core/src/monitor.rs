@@ -1,0 +1,511 @@
+//! The runtime monitor (Definition 3 + the deployment query of Figure 1).
+
+use crate::error::MonitorError;
+use crate::pattern::Pattern;
+use crate::selection::NeuronSelection;
+use crate::zone::{BddZone, Zone};
+use naps_bdd::BddSnapshot;
+use naps_nn::Sequential;
+use naps_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one monitored classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The activation pattern lies inside the comfort zone of the predicted
+    /// class: the decision is supported by prior similarity in training.
+    InPattern,
+    /// The pattern is **not** in the comfort zone — the paper's warning
+    /// that the decision is not based on the training data.
+    OutOfPattern,
+    /// The predicted class has no monitor (single-class deployments, e.g.
+    /// the paper's GTSRB stop-sign monitor).
+    Unmonitored,
+}
+
+/// Full report of one monitored classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorReport {
+    /// The network's decision `dec(in)`.
+    pub predicted: usize,
+    /// Whether the decision is inside its class's comfort zone.
+    pub verdict: Verdict,
+    /// Minimum Hamming distance from the observed pattern to the visited
+    /// (γ = 0) patterns of the predicted class, when that class is
+    /// monitored and non-empty.  `Some(0)` means the exact pattern was
+    /// seen in training.
+    pub distance_to_seeds: Option<u32>,
+}
+
+/// A neuron activation pattern monitor `⟨Z^γ_1, …, Z^γ_C⟩`.
+///
+/// Built by [`crate::MonitorBuilder`] (Algorithm 1).  Queries run in time
+/// linear in the number of monitored neurons when `Z` is [`BddZone`].
+#[derive(Debug)]
+pub struct Monitor<Z: Zone = BddZone> {
+    zones: Vec<Option<Z>>,
+    layer: usize,
+    selection: NeuronSelection,
+    gamma: u32,
+}
+
+impl<Z: Zone> Monitor<Z> {
+    /// Assembles a monitor from per-class zones.  Intended for
+    /// [`crate::MonitorBuilder`]; exposed for custom pattern sources (e.g.
+    /// the YOLO-style grid monitoring sketched in the paper's Section V).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any zone's width differs from the selection width.
+    pub fn from_zones(
+        zones: Vec<Option<Z>>,
+        layer: usize,
+        selection: NeuronSelection,
+        gamma: u32,
+    ) -> Self {
+        for z in zones.iter().flatten() {
+            assert_eq!(
+                z.width(),
+                selection.len(),
+                "zone width does not match selection width"
+            );
+        }
+        Monitor {
+            zones,
+            layer,
+            selection,
+            gamma,
+        }
+    }
+
+    /// Index of the monitored layer in the [`Sequential`] model.
+    pub fn layer(&self) -> usize {
+        self.layer
+    }
+
+    /// The Hamming-distance budget γ.
+    pub fn gamma(&self) -> u32 {
+        self.gamma
+    }
+
+    /// The monitored neuron subset.
+    pub fn selection(&self) -> &NeuronSelection {
+        &self.selection
+    }
+
+    /// Number of classes (monitored or not).
+    pub fn num_classes(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Classes that have a comfort zone.
+    pub fn monitored_classes(&self) -> Vec<usize> {
+        self.zones
+            .iter()
+            .enumerate()
+            .filter_map(|(c, z)| z.as_ref().map(|_| c))
+            .collect()
+    }
+
+    /// The zone of `class`, if monitored.
+    pub fn zone(&self, class: usize) -> Option<&Z> {
+        self.zones.get(class).and_then(|z| z.as_ref())
+    }
+
+    /// Grows every zone to Hamming radius `gamma` (Section III's gradual
+    /// enlargement).  Monotone; see [`Zone::enlarge_to`].
+    pub fn enlarge_to(&mut self, gamma: u32) {
+        for z in self.zones.iter_mut().flatten() {
+            z.enlarge_to(gamma);
+        }
+        self.gamma = gamma;
+    }
+
+    /// Merges `other`'s per-class seed sets into this monitor (set union,
+    /// re-dilated to this monitor's γ).  Both monitors must have been
+    /// built for the same layer, selection and class count — this is how
+    /// monitors built on disjoint data shards (different vehicles,
+    /// different collection campaigns) are combined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if layer, selection or class counts differ, or if one side
+    /// monitors a class the other does not.
+    pub fn merge(&mut self, other: &Monitor<Z>) {
+        assert_eq!(self.layer, other.layer, "monitored layers differ");
+        assert_eq!(self.selection, other.selection, "selections differ");
+        assert_eq!(self.zones.len(), other.zones.len(), "class counts differ");
+        for (mine, theirs) in self.zones.iter_mut().zip(&other.zones) {
+            match (mine, theirs) {
+                (Some(a), Some(b)) => a.absorb(b),
+                (None, None) => {}
+                _ => panic!("monitored class sets differ"),
+            }
+        }
+    }
+
+    /// Per-class construction/coverage summary — seeds recorded, current
+    /// γ, and (for diagnostics) how much of the pattern space each zone
+    /// spans, via [`Zone::seed_count`].
+    pub fn seed_counts(&self) -> Vec<Option<usize>> {
+        self.zones
+            .iter()
+            .map(|z| z.as_ref().map(|z| z.seed_count()))
+            .collect()
+    }
+
+    /// Checks a pattern directly against the zone of `class`.
+    pub fn check_pattern(&self, class: usize, pattern: &Pattern) -> Verdict {
+        match self.zone(class) {
+            None => Verdict::Unmonitored,
+            Some(z) => {
+                if z.contains(pattern) {
+                    Verdict::InPattern
+                } else {
+                    Verdict::OutOfPattern
+                }
+            }
+        }
+    }
+
+    /// Runs the network on one flat input, extracts the monitored pattern
+    /// and returns the network decision plus the monitor verdict — the
+    /// deployment-time flow of Figure 1(b).
+    pub fn check(&self, model: &mut Sequential, input: &Tensor) -> MonitorReport {
+        self.check_batch(model, std::slice::from_ref(input))
+            .pop()
+            .expect("one report per input")
+    }
+
+    /// Batched version of [`Monitor::check`].
+    pub fn check_batch(&self, model: &mut Sequential, inputs: &[Tensor]) -> Vec<MonitorReport> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let feat = inputs[0].len();
+        let mut data = Vec::with_capacity(inputs.len() * feat);
+        for t in inputs {
+            assert_eq!(t.len(), feat, "inconsistent input widths");
+            data.extend_from_slice(t.data());
+        }
+        let batch = Tensor::from_vec(vec![inputs.len(), feat], data);
+        let acts = model.forward_all(&batch, false);
+        let monitored = &acts[self.layer + 1];
+        let logits = acts.last().expect("nonempty activations");
+        (0..inputs.len())
+            .map(|r| {
+                let row = logits.row(r);
+                let mut predicted = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[predicted] {
+                        predicted = i;
+                    }
+                }
+                let pattern = self.selection.pattern_from(monitored.row(r));
+                let verdict = self.check_pattern(predicted, &pattern);
+                let distance_to_seeds = self
+                    .zone(predicted)
+                    .and_then(|z| z.distance_to_seeds(&pattern));
+                MonitorReport {
+                    predicted,
+                    verdict,
+                    distance_to_seeds,
+                }
+            })
+            .collect()
+    }
+
+    /// Extracts the (predicted class, monitored pattern) pair for one input
+    /// without judging it — the [`crate::MonitorBuilder`] and diagnostics
+    /// path.
+    pub fn observe(&self, model: &mut Sequential, input: &Tensor) -> (usize, Pattern) {
+        self.observe_batch(model, std::slice::from_ref(input))
+            .pop()
+            .expect("one observation per input")
+    }
+
+    /// Batched version of [`Monitor::observe`].
+    pub fn observe_batch(
+        &self,
+        model: &mut Sequential,
+        inputs: &[Tensor],
+    ) -> Vec<(usize, Pattern)> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let feat = inputs[0].len();
+        let mut data = Vec::with_capacity(inputs.len() * feat);
+        for t in inputs {
+            assert_eq!(t.len(), feat, "inconsistent input widths");
+            data.extend_from_slice(t.data());
+        }
+        let batch = Tensor::from_vec(vec![inputs.len(), feat], data);
+        let acts = model.forward_all(&batch, false);
+        let monitored = &acts[self.layer + 1];
+        let logits = acts.last().expect("nonempty activations");
+        (0..inputs.len())
+            .map(|r| {
+                let row = logits.row(r);
+                let mut predicted = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[predicted] {
+                        predicted = i;
+                    }
+                }
+                (predicted, self.selection.pattern_from(monitored.row(r)))
+            })
+            .collect()
+    }
+}
+
+/// Serializable form of a BDD-backed monitor: per-class seed-set snapshots
+/// plus the configuration needed to re-dilate and re-attach to a model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonitorSnapshot {
+    /// Monitored layer index.
+    pub layer: usize,
+    /// Hamming budget γ.
+    pub gamma: u32,
+    /// The neuron subset.
+    pub selection: NeuronSelection,
+    /// Per-class seed snapshots (`None` = class unmonitored).
+    pub zones: Vec<Option<BddSnapshot>>,
+}
+
+impl Monitor<BddZone> {
+    /// Garbage-collects every zone's BDD manager (see
+    /// [`BddZone::compact`]); call once after the final
+    /// [`Monitor::enlarge_to`] to minimise the deployed footprint.
+    pub fn compact(&mut self) {
+        for z in self.zones.iter_mut().flatten() {
+            z.compact();
+        }
+    }
+
+    /// Captures a deployable snapshot (seed sets + γ + selection).
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        MonitorSnapshot {
+            layer: self.layer,
+            gamma: self.gamma,
+            selection: self.selection.clone(),
+            zones: self
+                .zones
+                .iter()
+                .map(|z| z.as_ref().map(|z| z.snapshot().0))
+                .collect(),
+        }
+    }
+
+    /// Restores a monitor from a snapshot, re-dilating each zone to the
+    /// recorded γ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError`] if a zone snapshot is corrupt or its width
+    /// differs from the selection width.
+    pub fn from_snapshot(snapshot: &MonitorSnapshot) -> Result<Self, MonitorError> {
+        let width = snapshot.selection.len();
+        let mut zones = Vec::with_capacity(snapshot.zones.len());
+        for s in &snapshot.zones {
+            match s {
+                None => zones.push(None),
+                Some(snap) => {
+                    if snap.num_vars() != width {
+                        return Err(MonitorError::WidthMismatch {
+                            expected: snap.num_vars(),
+                            actual: width,
+                        });
+                    }
+                    zones.push(Some(BddZone::from_snapshot(snap, snapshot.gamma)?));
+                }
+            }
+        }
+        Ok(Monitor::from_zones(
+            zones,
+            snapshot.layer,
+            snapshot.selection.clone(),
+            snapshot.gamma,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::ExactZone;
+    use naps_nn::{mlp, Adam, TrainConfig, Trainer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blob_problem() -> (Sequential, Vec<Tensor>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = mlp(&[2, 8, 2], &mut rng);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40 {
+            let s = if i % 2 == 0 { 1.0f32 } else { -1.0 };
+            let wiggle = (i as f32 * 0.13).sin() * 0.2;
+            xs.push(Tensor::from_vec(vec![2], vec![s + wiggle, s - wiggle]));
+            ys.push(i % 2);
+        }
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 60,
+            batch_size: 8,
+            verbose: false,
+        });
+        trainer.fit(&mut net, &xs, &ys, &mut Adam::new(0.05), &mut rng);
+        (net, xs, ys)
+    }
+
+    fn build_manual<Z: Zone>(
+        net: &mut Sequential,
+        xs: &[Tensor],
+        ys: &[usize],
+        gamma: u32,
+    ) -> Monitor<Z> {
+        let selection = NeuronSelection::all(8);
+        let mut zones: Vec<Option<Z>> = (0..2).map(|_| Some(Z::empty(8))).collect();
+        let probe = Monitor::<Z>::from_zones(
+            (0..2).map(|_| Some(Z::empty(8))).collect(),
+            1,
+            selection.clone(),
+            0,
+        );
+        for (x, &y) in xs.iter().zip(ys) {
+            let (pred, pat) = probe.observe(net, x);
+            if pred == y {
+                zones[y].as_mut().expect("zone").insert(&pat);
+            }
+        }
+        for z in zones.iter_mut().flatten() {
+            z.enlarge_to(gamma);
+        }
+        Monitor::from_zones(zones, 1, selection, gamma)
+    }
+
+    #[test]
+    fn training_inputs_are_in_pattern() {
+        let (mut net, xs, ys) = two_blob_problem();
+        let monitor: Monitor<BddZone> = build_manual(&mut net, &xs, &ys, 0);
+        // Soundness: every correctly classified training input must be
+        // inside its own comfort zone.
+        for (x, &y) in xs.iter().zip(&ys) {
+            let rep = monitor.check(&mut net, x);
+            if rep.predicted == y {
+                assert_eq!(rep.verdict, Verdict::InPattern);
+                assert_eq!(rep.distance_to_seeds, Some(0));
+            }
+        }
+    }
+
+    #[test]
+    fn far_out_input_is_out_of_pattern_or_unfamiliar() {
+        let (mut net, xs, ys) = two_blob_problem();
+        let monitor: Monitor<BddZone> = build_manual(&mut net, &xs, &ys, 0);
+        // A wild input far outside both blobs.
+        let novelty = Tensor::from_vec(vec![2], vec![30.0, -42.0]);
+        let rep = monitor.check(&mut net, &novelty);
+        // The verdict depends on the learned geometry, but the report must
+        // be well-formed and the distance populated for monitored classes.
+        assert!(rep.predicted < 2);
+        assert!(rep.distance_to_seeds.is_some());
+    }
+
+    #[test]
+    fn unmonitored_class_reports_unmonitored() {
+        let (mut net, xs, ys) = two_blob_problem();
+        let selection = NeuronSelection::all(8);
+        // Only class 0 gets a zone.
+        let mut zones: Vec<Option<ExactZone>> = vec![Some(ExactZone::empty(8)), None];
+        let probe = Monitor::<ExactZone>::from_zones(
+            vec![Some(ExactZone::empty(8)), None],
+            1,
+            selection.clone(),
+            0,
+        );
+        for (x, &y) in xs.iter().zip(&ys) {
+            let (pred, pat) = probe.observe(&mut net, x);
+            if pred == y && y == 0 {
+                zones[0].as_mut().expect("zone").insert(&pat);
+            }
+        }
+        let monitor = Monitor::from_zones(zones, 1, selection, 0);
+        assert_eq!(monitor.monitored_classes(), vec![0]);
+        let mut saw_unmonitored = false;
+        for x in &xs {
+            let rep = monitor.check(&mut net, x);
+            if rep.predicted == 1 {
+                assert_eq!(rep.verdict, Verdict::Unmonitored);
+                saw_unmonitored = true;
+            }
+        }
+        assert!(saw_unmonitored, "class 1 never predicted");
+    }
+
+    #[test]
+    fn enlarge_makes_membership_monotone() {
+        let (mut net, xs, ys) = two_blob_problem();
+        let mut monitor: Monitor<BddZone> = build_manual(&mut net, &xs, &ys, 0);
+        let probe = Tensor::from_vec(vec![2], vec![1.4, 0.4]);
+        let before = monitor.check(&mut net, &probe);
+        monitor.enlarge_to(3);
+        let after = monitor.check(&mut net, &probe);
+        if before.verdict == Verdict::InPattern {
+            assert_eq!(
+                after.verdict,
+                Verdict::InPattern,
+                "enlarging must not evict"
+            );
+        }
+        assert_eq!(monitor.gamma(), 3);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_verdicts() {
+        let (mut net, xs, ys) = two_blob_problem();
+        let monitor: Monitor<BddZone> = build_manual(&mut net, &xs, &ys, 1);
+        let snap = monitor.snapshot();
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: MonitorSnapshot = serde_json::from_str(&json).expect("deserialize");
+        let restored = Monitor::from_snapshot(&back).expect("restore");
+        assert_eq!(restored.gamma(), 1);
+        for x in xs.iter().take(10) {
+            let a = monitor.check(&mut net, x);
+            let b = restored.check(&mut net, x);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn merge_combines_shard_monitors() {
+        let (mut net, xs, ys) = two_blob_problem();
+        // Build one monitor per data shard, then merge.
+        let half = xs.len() / 2;
+        let mut shard_a: Monitor<BddZone> = build_manual(&mut net, &xs[..half], &ys[..half], 1);
+        let shard_b: Monitor<BddZone> = build_manual(&mut net, &xs[half..], &ys[half..], 1);
+        let whole: Monitor<BddZone> = build_manual(&mut net, &xs, &ys, 1);
+        shard_a.merge(&shard_b);
+        // The merged monitor agrees with the monitor built on all data.
+        for x in &xs {
+            let a = shard_a.check(&mut net, x);
+            let w = whole.check(&mut net, x);
+            assert_eq!(a.verdict, w.verdict);
+            assert_eq!(a.distance_to_seeds, w.distance_to_seeds);
+        }
+        let merged_seeds: usize = shard_a.seed_counts().iter().flatten().sum();
+        let whole_seeds: usize = whole.seed_counts().iter().flatten().sum();
+        assert_eq!(merged_seeds, whole_seeds);
+    }
+
+    #[test]
+    fn check_batch_matches_single_checks() {
+        let (mut net, xs, ys) = two_blob_problem();
+        let monitor: Monitor<BddZone> = build_manual(&mut net, &xs, &ys, 1);
+        let batch_reports = monitor.check_batch(&mut net, &xs[..8]);
+        for (x, want) in xs[..8].iter().zip(&batch_reports) {
+            let got = monitor.check(&mut net, x);
+            assert_eq!(&got, want);
+        }
+        assert!(monitor.check_batch(&mut net, &[]).is_empty());
+    }
+}

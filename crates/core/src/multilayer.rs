@@ -1,0 +1,362 @@
+//! Joint monitoring of several layers.
+//!
+//! The paper monitors a single close-to-output layer, and notes (Section
+//! II) that any ReLU layer qualifies.  A natural hardening is to monitor
+//! **several** layers at once and combine the per-layer verdicts: deeper
+//! layers encode higher-level features, earlier layers coarser ones, and
+//! an input can be familiar to one abstraction level yet alien to another.
+//! [`LayeredMonitor`] wraps any number of [`Monitor`]s over the same
+//! network and evaluates them with a **single forward pass** per query.
+
+use crate::monitor::{Monitor, Verdict};
+use crate::zone::{BddZone, Zone};
+use naps_nn::Sequential;
+use naps_tensor::Tensor;
+
+/// How per-layer verdicts are combined into one.
+///
+/// [`Verdict::Unmonitored`] layers (the predicted class has no zone
+/// there) abstain; the policy is applied to the remaining verdicts.  If
+/// every layer abstains the combined verdict is `Unmonitored`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombinePolicy {
+    /// Warn when **any** monitored layer is out of pattern — maximal
+    /// sensitivity (union of warnings), at the cost of a higher false
+    /// positive rate.
+    Any,
+    /// Warn only when **every** monitored layer is out of pattern —
+    /// maximal precision.
+    All,
+    /// Warn when a strict majority of monitored layers are out of
+    /// pattern.
+    Majority,
+}
+
+impl CombinePolicy {
+    /// Folds per-layer verdicts into one.
+    pub fn combine(self, verdicts: &[Verdict]) -> Verdict {
+        let (mut out, mut judged) = (0usize, 0usize);
+        for v in verdicts {
+            match v {
+                Verdict::OutOfPattern => {
+                    out += 1;
+                    judged += 1;
+                }
+                Verdict::InPattern => judged += 1,
+                Verdict::Unmonitored => {}
+            }
+        }
+        if judged == 0 {
+            return Verdict::Unmonitored;
+        }
+        let warn = match self {
+            CombinePolicy::Any => out > 0,
+            CombinePolicy::All => out == judged,
+            CombinePolicy::Majority => 2 * out > judged,
+        };
+        if warn {
+            Verdict::OutOfPattern
+        } else {
+            Verdict::InPattern
+        }
+    }
+}
+
+/// Report of one jointly monitored classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayeredReport {
+    /// The network's decision.
+    pub predicted: usize,
+    /// One verdict per wrapped monitor, in construction order.
+    pub per_layer: Vec<Verdict>,
+    /// The policy-combined verdict.
+    pub combined: Verdict,
+}
+
+/// Several [`Monitor`]s over one network, queried with a single forward
+/// pass and combined by a [`CombinePolicy`].
+///
+/// # Example
+///
+/// ```
+/// use naps_core::{CombinePolicy, ExactZone, LayeredMonitor, MonitorBuilder};
+/// use naps_nn::mlp;
+/// use naps_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut net = mlp(&[2, 6, 6, 2], &mut rng);
+/// let xs = vec![Tensor::from_vec(vec![2], vec![1.0, 1.0])];
+/// let ys = vec![0];
+/// let shallow = MonitorBuilder::new(1, 0).build::<ExactZone>(&mut net, &xs, &ys, 2);
+/// let deep = MonitorBuilder::new(3, 0).build::<ExactZone>(&mut net, &xs, &ys, 2);
+/// let joint = LayeredMonitor::new(vec![shallow, deep], CombinePolicy::Any);
+/// let report = joint.check(&mut net, &xs[0]);
+/// assert_eq!(report.per_layer.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct LayeredMonitor<Z: Zone = BddZone> {
+    monitors: Vec<Monitor<Z>>,
+    policy: CombinePolicy,
+}
+
+impl<Z: Zone> LayeredMonitor<Z> {
+    /// Wraps the given monitors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `monitors` is empty or the monitors disagree on the
+    /// number of classes.
+    pub fn new(monitors: Vec<Monitor<Z>>, policy: CombinePolicy) -> Self {
+        assert!(!monitors.is_empty(), "need at least one monitor");
+        let classes = monitors[0].num_classes();
+        assert!(
+            monitors.iter().all(|m| m.num_classes() == classes),
+            "monitors disagree on the number of classes"
+        );
+        LayeredMonitor { monitors, policy }
+    }
+
+    /// The wrapped monitors, in construction order.
+    pub fn monitors(&self) -> &[Monitor<Z>] {
+        &self.monitors
+    }
+
+    /// The combination policy.
+    pub fn policy(&self) -> CombinePolicy {
+        self.policy
+    }
+
+    /// Number of classes of the underlying classifier.
+    pub fn num_classes(&self) -> usize {
+        self.monitors[0].num_classes()
+    }
+
+    /// Jointly checks one input.
+    pub fn check(&self, model: &mut Sequential, input: &Tensor) -> LayeredReport {
+        self.check_batch(model, std::slice::from_ref(input))
+            .pop()
+            .expect("one report per input")
+    }
+
+    /// Batched joint check: one forward pass for the whole batch,
+    /// regardless of how many layers are monitored.
+    pub fn check_batch(&self, model: &mut Sequential, inputs: &[Tensor]) -> Vec<LayeredReport> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let feat = inputs[0].len();
+        let mut data = Vec::with_capacity(inputs.len() * feat);
+        for t in inputs {
+            assert_eq!(t.len(), feat, "inconsistent input widths");
+            data.extend_from_slice(t.data());
+        }
+        let batch = Tensor::from_vec(vec![inputs.len(), feat], data);
+        let acts = model.forward_all(&batch, false);
+        let logits = acts.last().expect("nonempty activations");
+        (0..inputs.len())
+            .map(|r| {
+                let row = logits.row(r);
+                let mut predicted = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[predicted] {
+                        predicted = i;
+                    }
+                }
+                let per_layer: Vec<Verdict> = self
+                    .monitors
+                    .iter()
+                    .map(|m| {
+                        let monitored = &acts[m.layer() + 1];
+                        let pattern = m.selection().pattern_from(monitored.row(r));
+                        m.check_pattern(predicted, &pattern)
+                    })
+                    .collect();
+                let combined = self.policy.combine(&per_layer);
+                LayeredReport {
+                    predicted,
+                    per_layer,
+                    combined,
+                }
+            })
+            .collect()
+    }
+
+    /// Grows every wrapped monitor to radius `gamma` (see
+    /// [`Monitor::enlarge_to`]).
+    pub fn enlarge_to(&mut self, gamma: u32) {
+        for m in &mut self.monitors {
+            m.enlarge_to(gamma);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MonitorBuilder;
+    use crate::zone::ExactZone;
+    use naps_nn::{mlp, Adam, TrainConfig, Trainer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_two_layer_net() -> (Sequential, Vec<Tensor>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = mlp(&[2, 10, 8, 2], &mut rng);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..60 {
+            let s = if i % 2 == 0 { 1.5f32 } else { -1.5 };
+            let wiggle = (i as f32 * 0.31).sin() * 0.3;
+            xs.push(Tensor::from_vec(vec![2], vec![s + wiggle, s - wiggle]));
+            ys.push(i % 2);
+        }
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 80,
+            batch_size: 10,
+            verbose: false,
+        });
+        trainer.fit(&mut net, &xs, &ys, &mut Adam::new(0.04), &mut rng);
+        (net, xs, ys)
+    }
+
+    fn joint(
+        net: &mut Sequential,
+        xs: &[Tensor],
+        ys: &[usize],
+        gamma: u32,
+        policy: CombinePolicy,
+    ) -> LayeredMonitor<ExactZone> {
+        let shallow = MonitorBuilder::new(1, gamma).build::<ExactZone>(net, xs, ys, 2);
+        let deep = MonitorBuilder::new(3, gamma).build::<ExactZone>(net, xs, ys, 2);
+        LayeredMonitor::new(vec![shallow, deep], policy)
+    }
+
+    #[test]
+    fn policies_fold_verdicts() {
+        use Verdict::*;
+        let mixed = [OutOfPattern, InPattern, InPattern];
+        assert_eq!(CombinePolicy::Any.combine(&mixed), OutOfPattern);
+        assert_eq!(CombinePolicy::All.combine(&mixed), InPattern);
+        assert_eq!(CombinePolicy::Majority.combine(&mixed), InPattern);
+        let heavy = [OutOfPattern, OutOfPattern, InPattern];
+        assert_eq!(CombinePolicy::Majority.combine(&heavy), OutOfPattern);
+        assert_eq!(CombinePolicy::All.combine(&heavy), InPattern);
+        let unanimous = [OutOfPattern, OutOfPattern];
+        assert_eq!(CombinePolicy::All.combine(&unanimous), OutOfPattern);
+        // Abstentions are dropped before the fold.
+        let with_abstain = [Unmonitored, OutOfPattern];
+        assert_eq!(CombinePolicy::All.combine(&with_abstain), OutOfPattern);
+        assert_eq!(CombinePolicy::Majority.combine(&with_abstain), OutOfPattern);
+        // All abstain.
+        assert_eq!(
+            CombinePolicy::Any.combine(&[Unmonitored, Unmonitored]),
+            Unmonitored
+        );
+        assert_eq!(CombinePolicy::Any.combine(&[]), Unmonitored);
+    }
+
+    #[test]
+    fn training_inputs_pass_all_layers() {
+        let (mut net, xs, ys) = trained_two_layer_net();
+        let jm = joint(&mut net, &xs, &ys, 0, CombinePolicy::Any);
+        for (x, &y) in xs.iter().zip(&ys) {
+            let rep = jm.check(&mut net, x);
+            if rep.predicted == y {
+                // Soundness extends layer-wise: a correctly classified
+                // training input is in-pattern at every monitored layer.
+                assert_eq!(
+                    rep.combined,
+                    Verdict::InPattern,
+                    "layers: {:?}",
+                    rep.per_layer
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn any_warns_at_least_as_often_as_majority_and_all() {
+        let (mut net, xs, ys) = trained_two_layer_net();
+        let any = joint(&mut net, &xs, &ys, 0, CombinePolicy::Any);
+        let all = joint(&mut net, &xs, &ys, 0, CombinePolicy::All);
+        let maj = joint(&mut net, &xs, &ys, 0, CombinePolicy::Majority);
+        let probes: Vec<Tensor> = (0..50)
+            .map(|i| {
+                let t = i as f32 * 0.37;
+                Tensor::from_vec(vec![2], vec![3.0 * t.sin(), 3.0 * t.cos()])
+            })
+            .collect();
+        let warn = |jm: &LayeredMonitor<ExactZone>, net: &mut Sequential| -> usize {
+            probes
+                .iter()
+                .filter(|p| jm.check(net, p).combined == Verdict::OutOfPattern)
+                .count()
+        };
+        let (w_any, w_all, w_maj) = (
+            warn(&any, &mut net),
+            warn(&all, &mut net),
+            warn(&maj, &mut net),
+        );
+        assert!(w_any >= w_maj, "any({w_any}) < majority({w_maj})");
+        assert!(w_maj >= w_all, "majority({w_maj}) < all({w_all})");
+    }
+
+    #[test]
+    fn single_layer_joint_agrees_with_plain_monitor() {
+        let (mut net, xs, ys) = trained_two_layer_net();
+        let plain = MonitorBuilder::new(1, 1).build::<ExactZone>(&mut net, &xs, &ys, 2);
+        let reference = MonitorBuilder::new(1, 1).build::<ExactZone>(&mut net, &xs, &ys, 2);
+        let jm = LayeredMonitor::new(vec![plain], CombinePolicy::Any);
+        for x in xs.iter().take(20) {
+            let a = jm.check(&mut net, x);
+            let b = reference.check(&mut net, x);
+            assert_eq!(a.predicted, b.predicted);
+            assert_eq!(a.combined, b.verdict);
+        }
+    }
+
+    #[test]
+    fn check_batch_matches_single_checks() {
+        let (mut net, xs, ys) = trained_two_layer_net();
+        let jm = joint(&mut net, &xs, &ys, 1, CombinePolicy::Majority);
+        let batch = jm.check_batch(&mut net, &xs[..10]);
+        for (x, want) in xs[..10].iter().zip(&batch) {
+            assert_eq!(&jm.check(&mut net, x), want);
+        }
+        assert!(jm.check_batch(&mut net, &[]).is_empty());
+    }
+
+    #[test]
+    fn enlarge_to_propagates_to_all_layers() {
+        let (mut net, xs, ys) = trained_two_layer_net();
+        let mut jm = joint(&mut net, &xs, &ys, 0, CombinePolicy::Any);
+        jm.enlarge_to(2);
+        assert!(jm.monitors().iter().all(|m| m.gamma() == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one monitor")]
+    fn empty_monitor_list_is_rejected() {
+        let _ = LayeredMonitor::<ExactZone>::new(Vec::new(), CombinePolicy::Any);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the number of classes")]
+    fn class_count_mismatch_is_rejected() {
+        use crate::selection::NeuronSelection;
+        let a = Monitor::<ExactZone>::from_zones(
+            vec![Some(ExactZone::empty(4)), None],
+            1,
+            NeuronSelection::all(4),
+            0,
+        );
+        let b = Monitor::<ExactZone>::from_zones(
+            vec![Some(ExactZone::empty(4))],
+            1,
+            NeuronSelection::all(4),
+            0,
+        );
+        let _ = LayeredMonitor::new(vec![a, b], CombinePolicy::Any);
+    }
+}

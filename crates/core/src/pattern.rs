@@ -1,0 +1,239 @@
+//! Neuron activation patterns (Definition 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A binary neuron activation pattern `pat(f^(l)(in)) ∈ {0,1}^d`.
+///
+/// Bit `i` is `1` iff neuron `i`'s ReLU output is strictly positive
+/// (`prelu(x) = 1 ⇔ x > 0`, Definition 1).  Stored as packed 64-bit words.
+///
+/// # Example
+///
+/// ```
+/// use naps_core::Pattern;
+///
+/// let p = Pattern::from_activations(&[0.3, -1.0, 0.0, 2.5]);
+/// assert_eq!(p.to_string(), "1001");
+/// assert_eq!(p.count_ones(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pattern {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Pattern {
+    /// An all-zero pattern of `len` neurons.
+    pub fn zeros(len: usize) -> Self {
+        Pattern {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Builds a pattern from explicit bits.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut p = Pattern::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                p.set(i, true);
+            }
+        }
+        p
+    }
+
+    /// Applies `prelu` to raw neuron outputs: bit `i` is set iff
+    /// `values[i] > 0`.
+    pub fn from_activations(values: &[f32]) -> Self {
+        let mut p = Pattern::zeros(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            if v > 0.0 {
+                p.set(i, true);
+            }
+        }
+        p
+    }
+
+    /// Like [`Pattern::from_activations`] but over a neuron subset: bit `j`
+    /// reflects `values[indices[j]]`.  This is how gradient-selected
+    /// neurons are monitored (Section II).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn from_selected_activations(values: &[f32], indices: &[usize]) -> Self {
+        let mut p = Pattern::zeros(indices.len());
+        for (j, &i) in indices.iter().enumerate() {
+            assert!(i < values.len(), "neuron index {i} out of range");
+            if values[i] > 0.0 {
+                p.set(j, true);
+            }
+        }
+        p
+    }
+
+    /// Number of monitored neurons.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for the width-0 pattern.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range");
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit {i} out of range");
+        if value {
+            self.words[i / 64] |= 1 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Number of active (1) neurons.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Hamming distance `H(p, p')` between two equal-width patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn hamming(&self, other: &Pattern) -> u32 {
+        assert_eq!(self.len, other.len, "pattern widths differ");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// The pattern as a boolean vector (for BDD encoding).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+impl fmt::Display for Pattern {
+    /// Renders as a `0`/`1` string, most significant neuron first bit 0
+    /// leftmost (e.g. `"1001"`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for Pattern {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        Pattern::from_bools(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_threshold_is_strictly_positive() {
+        // Definition 1: prelu(0) = 0.
+        let p = Pattern::from_activations(&[0.0, -0.0, 1e-9, -3.0]);
+        assert!(!p.get(0));
+        assert!(!p.get(1));
+        assert!(p.get(2));
+        assert!(!p.get(3));
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundary() {
+        let mut p = Pattern::zeros(130);
+        p.set(0, true);
+        p.set(63, true);
+        p.set(64, true);
+        p.set(129, true);
+        assert!(p.get(0) && p.get(63) && p.get(64) && p.get(129));
+        assert_eq!(p.count_ones(), 4);
+        p.set(64, false);
+        assert!(!p.get(64));
+        assert_eq!(p.count_ones(), 3);
+    }
+
+    #[test]
+    fn hamming_counts_differing_bits() {
+        let a = Pattern::from_bools(&[true, false, true, false]);
+        let b = Pattern::from_bools(&[false, false, true, true]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn hamming_rejects_width_mismatch() {
+        let a = Pattern::zeros(3);
+        let b = Pattern::zeros(4);
+        let _ = a.hamming(&b);
+    }
+
+    #[test]
+    fn selection_projects_and_reindexes() {
+        let vals = [1.0, -1.0, 2.0, -2.0, 3.0];
+        let p = Pattern::from_selected_activations(&vals, &[1, 4]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.get(0)); // neuron 1 inactive
+        assert!(p.get(1)); // neuron 4 active
+    }
+
+    #[test]
+    fn display_and_to_bools_agree() {
+        let p = Pattern::from_bools(&[true, false, false, true]);
+        assert_eq!(p.to_string(), "1001");
+        assert_eq!(p.to_bools(), vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn collect_from_bool_iterator() {
+        let p: Pattern = [true, true, false].into_iter().collect();
+        assert_eq!(p.to_string(), "110");
+    }
+
+    #[test]
+    fn patterns_hash_as_values() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Pattern::from_bools(&[true, false]));
+        assert!(s.contains(&Pattern::from_bools(&[true, false])));
+        assert!(!s.contains(&Pattern::from_bools(&[false, true])));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Pattern::from_bools(&[true, false, true]);
+        let json = serde_json::to_string(&p).expect("serialize");
+        let q: Pattern = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(p, q);
+    }
+}

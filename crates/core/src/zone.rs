@@ -1,0 +1,512 @@
+//! Comfort-zone storage backends (Definition 2, `Z^γ_c`).
+//!
+//! [`BddZone`] is the paper's representation: patterns live in a BDD, the
+//! γ-enlargement is existential quantification, and the membership query is
+//! linear in the number of monitored neurons.  [`ExactZone`] is the obvious
+//! explicit alternative — a hash set of seed patterns with per-seed
+//! Hamming checks — kept as a semantic reference and as the baseline the
+//! benchmarks compare against.
+
+use crate::pattern::Pattern;
+use naps_bdd::{Bdd, BddSnapshot, NodeId};
+use std::collections::HashSet;
+
+/// Storage for one class's γ-comfort zone.
+///
+/// Lifecycle: create with [`Zone::empty`], [`Zone::insert`] every visited
+/// pattern (Algorithm 1 lines 4–8), then [`Zone::enlarge_to`] the target
+/// `γ` (lines 9–14).  `enlarge_to` may be called repeatedly with growing
+/// `γ` — e.g. by the abstraction sweep of Section III — and is monotone:
+/// the stored set only grows.
+pub trait Zone: std::fmt::Debug + Send + Sync {
+    /// An empty zone over `width`-neuron patterns.
+    fn empty(width: usize) -> Self
+    where
+        Self: Sized;
+
+    /// Pattern width (number of monitored neurons).
+    fn width(&self) -> usize;
+
+    /// Adds a visited pattern to the seed set `Z^0_c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width differs from the zone width.
+    fn insert(&mut self, pattern: &Pattern);
+
+    /// Enlarges the zone to Hamming radius `gamma` around the seeds.
+    ///
+    /// # Panics
+    ///
+    /// May panic if called with a `gamma` smaller than a previously
+    /// requested one (zones only grow).
+    fn enlarge_to(&mut self, gamma: u32);
+
+    /// Current radius γ.
+    fn gamma(&self) -> u32;
+
+    /// Membership query: is `pattern` inside `Z^γ_c`?
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width differs from the zone width.
+    fn contains(&self, pattern: &Pattern) -> bool;
+
+    /// Minimum Hamming distance from `pattern` to the **seed** set
+    /// `Z^0_c`, or `None` if no pattern was inserted.  `Some(0)` means the
+    /// exact pattern was visited in training.
+    fn distance_to_seeds(&self, pattern: &Pattern) -> Option<u32>;
+
+    /// Number of distinct seed patterns inserted.
+    fn seed_count(&self) -> usize;
+
+    /// Merges another zone's **seed set** into this one (set union), then
+    /// restores this zone's γ-enlargement.  Supports building monitors
+    /// over data shards and combining them (e.g. fleet-wide pattern
+    /// collection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    fn absorb(&mut self, other: &Self)
+    where
+        Self: Sized;
+}
+
+/// BDD-backed comfort zone (the paper's representation).
+#[derive(Debug)]
+pub struct BddZone {
+    bdd: Bdd,
+    seeds: NodeId,
+    zone: NodeId,
+    gamma: u32,
+}
+
+impl BddZone {
+    /// Decision-diagram node count of the enlarged zone (a size metric for
+    /// the benchmarks).
+    pub fn node_count(&self) -> usize {
+        self.bdd.node_count(self.zone)
+    }
+
+    /// Number of patterns contained in the enlarged zone.
+    pub fn pattern_count(&self) -> f64 {
+        self.bdd.sat_count(self.zone)
+    }
+
+    /// Serializable snapshot of the **seed** set plus γ; restoring
+    /// re-dilates, which is cheaper than storing the enlarged diagram.
+    pub fn snapshot(&self) -> (BddSnapshot, u32) {
+        (BddSnapshot::capture(&self.bdd, self.seeds), self.gamma)
+    }
+
+    /// Restores a zone from a snapshot produced by [`BddZone::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`naps_bdd::BddError`] if the snapshot is
+    /// corrupt or has a different width.
+    pub fn from_snapshot(snapshot: &BddSnapshot, gamma: u32) -> Result<Self, naps_bdd::BddError> {
+        let mut bdd = Bdd::new(snapshot.num_vars());
+        let seeds = snapshot.restore(&mut bdd)?;
+        let zone = bdd.dilate(seeds, gamma);
+        Ok(BddZone {
+            bdd,
+            seeds,
+            zone,
+            gamma,
+        })
+    }
+}
+
+impl Zone for BddZone {
+    fn empty(width: usize) -> Self {
+        let bdd = Bdd::new(width);
+        let zero = bdd.zero();
+        BddZone {
+            bdd,
+            seeds: zero,
+            zone: zero,
+            gamma: 0,
+        }
+    }
+
+    fn width(&self) -> usize {
+        self.bdd.num_vars()
+    }
+
+    fn insert(&mut self, pattern: &Pattern) {
+        assert_eq!(pattern.len(), self.width(), "pattern width mismatch");
+        let cube = self.bdd.cube_from_bools(&pattern.to_bools());
+        self.seeds = self.bdd.or(self.seeds, cube);
+        // Keep the enlarged zone consistent with the current gamma: new
+        // seeds are dilated on insertion (cheap for gamma established
+        // later; builders insert first and enlarge once).
+        if self.gamma == 0 {
+            self.zone = self.seeds;
+        } else {
+            let ball = self.bdd.dilate(cube, self.gamma);
+            self.zone = self.bdd.or(self.zone, ball);
+        }
+    }
+
+    fn enlarge_to(&mut self, gamma: u32) {
+        assert!(
+            gamma >= self.gamma,
+            "zones only grow: current gamma {} > requested {gamma}",
+            self.gamma
+        );
+        let extra = gamma - self.gamma;
+        if extra > 0 {
+            self.zone = self.bdd.dilate(self.zone, extra);
+            self.gamma = gamma;
+        }
+    }
+
+    fn gamma(&self) -> u32 {
+        self.gamma
+    }
+
+    fn contains(&self, pattern: &Pattern) -> bool {
+        assert_eq!(pattern.len(), self.width(), "pattern width mismatch");
+        self.bdd.eval(self.zone, &pattern.to_bools())
+    }
+
+    fn distance_to_seeds(&self, pattern: &Pattern) -> Option<u32> {
+        self.bdd
+            .min_hamming_distance(self.seeds, &pattern.to_bools())
+    }
+
+    fn seed_count(&self) -> usize {
+        self.bdd.sat_count(self.seeds) as usize
+    }
+
+    fn absorb(&mut self, other: &Self) {
+        assert_eq!(self.width(), other.width(), "pattern width mismatch");
+        // Transplant the other zone's seed diagram into this manager, then
+        // re-establish the gamma-ball around the union.
+        let (snap, _) = other.snapshot();
+        let other_seeds = snap
+            .restore(&mut self.bdd)
+            .expect("snapshot from a live zone is well-formed");
+        self.seeds = self.bdd.or(self.seeds, other_seeds);
+        let ball = self.bdd.dilate(other_seeds, self.gamma);
+        self.zone = self.bdd.or(self.zone, ball);
+    }
+}
+
+impl BddZone {
+    /// Fraction of the full pattern space `{0,1}^d` covered by the
+    /// enlarged zone — the quantitative "coarseness of abstraction" of
+    /// Figure 2 (α1 ≈ 0, α3 ≈ 1).
+    pub fn volume_fraction(&self) -> f64 {
+        if self.width() == 0 {
+            return 0.0;
+        }
+        self.pattern_count() / (2f64).powi(self.width() as i32)
+    }
+
+    /// Garbage-collects the underlying manager: only the seed set and the
+    /// enlarged zone survive.  Construction and γ sweeps leave many dead
+    /// intermediate diagrams behind; compacting a finished zone typically
+    /// shrinks its arena by an order of magnitude before deployment.
+    pub fn compact(&mut self) {
+        let (fresh, roots) = self.bdd.compact(&[self.seeds, self.zone]);
+        self.bdd = fresh;
+        self.seeds = roots[0];
+        self.zone = roots[1];
+    }
+
+    /// Total nodes allocated in the manager (live + garbage); compare
+    /// before/after [`BddZone::compact`].
+    pub fn allocated_nodes(&self) -> usize {
+        self.bdd.stats().allocated_nodes
+    }
+
+    /// Size of the enlarged zone when the monitored neurons are reordered
+    /// by `perm` (`perm[neuron] = position`, see
+    /// [`naps_bdd::Bdd::permute`]) — a what-if measurement for the
+    /// ordering heuristics of [`crate::order_by_bias`] and
+    /// [`crate::order_by_saliency`].  The zone itself is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..width`.
+    pub fn node_count_under(&self, perm: &[u32]) -> usize {
+        let (fresh, roots) = self.bdd.permute(&[self.zone], perm);
+        fresh.node_count(roots[0])
+    }
+
+    /// Like [`BddZone::node_count_under`], but lets greedy sifting
+    /// (see [`naps_bdd::Bdd::sift`]) search for the order; returns the
+    /// best size found and the corresponding permutation.
+    pub fn sifted_node_count(&self, max_passes: usize) -> (usize, Vec<u32>) {
+        let (fresh, roots, perm) = self.bdd.sift(&[self.zone], max_passes);
+        (fresh.node_count(roots[0]), perm)
+    }
+}
+
+/// Explicit-set comfort zone: seeds in a hash set, membership by scanning
+/// seed distances.  Exact but O(#seeds) per query — the baseline that
+/// motivates the BDD.
+#[derive(Debug, Clone)]
+pub struct ExactZone {
+    width: usize,
+    seeds: HashSet<Pattern>,
+    gamma: u32,
+}
+
+impl Zone for ExactZone {
+    fn empty(width: usize) -> Self {
+        ExactZone {
+            width,
+            seeds: HashSet::new(),
+            gamma: 0,
+        }
+    }
+
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn insert(&mut self, pattern: &Pattern) {
+        assert_eq!(pattern.len(), self.width, "pattern width mismatch");
+        self.seeds.insert(pattern.clone());
+    }
+
+    fn enlarge_to(&mut self, gamma: u32) {
+        assert!(
+            gamma >= self.gamma,
+            "zones only grow: current gamma {} > requested {gamma}",
+            self.gamma
+        );
+        self.gamma = gamma;
+    }
+
+    fn gamma(&self) -> u32 {
+        self.gamma
+    }
+
+    fn contains(&self, pattern: &Pattern) -> bool {
+        assert_eq!(pattern.len(), self.width, "pattern width mismatch");
+        // Fast path: exact membership.
+        if self.seeds.contains(pattern) {
+            return true;
+        }
+        self.seeds.iter().any(|s| s.hamming(pattern) <= self.gamma)
+    }
+
+    fn distance_to_seeds(&self, pattern: &Pattern) -> Option<u32> {
+        self.seeds.iter().map(|s| s.hamming(pattern)).min()
+    }
+
+    fn seed_count(&self) -> usize {
+        self.seeds.len()
+    }
+
+    fn absorb(&mut self, other: &Self) {
+        assert_eq!(self.width, other.width, "pattern width mismatch");
+        self.seeds.extend(other.seeds.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(bits: &[u8]) -> Pattern {
+        Pattern::from_bools(&bits.iter().map(|&b| b == 1).collect::<Vec<_>>())
+    }
+
+    fn backend_contract<Z: Zone>() {
+        let mut z = Z::empty(5);
+        assert_eq!(z.width(), 5);
+        assert_eq!(z.seed_count(), 0);
+        assert!(!z.contains(&p(&[0, 0, 0, 0, 0])));
+        assert_eq!(z.distance_to_seeds(&p(&[0, 0, 0, 0, 0])), None);
+
+        z.insert(&p(&[1, 0, 1, 0, 1]));
+        z.insert(&p(&[0, 0, 0, 0, 0]));
+        z.insert(&p(&[1, 0, 1, 0, 1])); // duplicate
+        assert_eq!(z.seed_count(), 2);
+
+        // γ = 0: exact membership only.
+        assert!(z.contains(&p(&[1, 0, 1, 0, 1])));
+        assert!(!z.contains(&p(&[1, 1, 1, 0, 1])));
+        assert_eq!(z.distance_to_seeds(&p(&[1, 1, 1, 0, 1])), Some(1));
+
+        // γ = 1: radius-one ball.
+        z.enlarge_to(1);
+        assert_eq!(z.gamma(), 1);
+        assert!(z.contains(&p(&[1, 1, 1, 0, 1])));
+        assert!(!z.contains(&p(&[1, 1, 1, 1, 1])));
+
+        // γ = 2 reached incrementally.
+        z.enlarge_to(2);
+        assert!(z.contains(&p(&[1, 1, 1, 1, 1])));
+        // Distance to seeds is unaffected by enlargement.
+        assert_eq!(z.distance_to_seeds(&p(&[1, 1, 1, 0, 1])), Some(1));
+    }
+
+    #[test]
+    fn bdd_zone_satisfies_contract() {
+        backend_contract::<BddZone>();
+    }
+
+    #[test]
+    fn exact_zone_satisfies_contract() {
+        backend_contract::<ExactZone>();
+    }
+
+    #[test]
+    fn backends_agree_on_random_sets() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        for gamma in 0..3u32 {
+            let mut b = BddZone::empty(8);
+            let mut e = ExactZone::empty(8);
+            for _ in 0..12 {
+                let bits: Vec<bool> = (0..8).map(|_| rng.gen()).collect();
+                let pat = Pattern::from_bools(&bits);
+                b.insert(&pat);
+                e.insert(&pat);
+            }
+            b.enlarge_to(gamma);
+            e.enlarge_to(gamma);
+            for _ in 0..100 {
+                let bits: Vec<bool> = (0..8).map(|_| rng.gen()).collect();
+                let probe = Pattern::from_bools(&bits);
+                assert_eq!(
+                    b.contains(&probe),
+                    e.contains(&probe),
+                    "gamma={gamma} probe={probe}"
+                );
+                assert_eq!(b.distance_to_seeds(&probe), e.distance_to_seeds(&probe));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_after_enlarge_keeps_zone_consistent() {
+        let mut z = BddZone::empty(4);
+        z.insert(&p(&[0, 0, 0, 0]));
+        z.enlarge_to(1);
+        z.insert(&p(&[1, 1, 1, 1]));
+        // The late seed must also be dilated.
+        assert!(z.contains(&p(&[1, 1, 1, 0])));
+        assert!(z.contains(&p(&[0, 1, 0, 0])));
+        assert!(!z.contains(&p(&[1, 1, 0, 0])));
+    }
+
+    #[test]
+    fn bdd_zone_counts() {
+        let mut z = BddZone::empty(6);
+        z.insert(&p(&[1, 0, 0, 0, 0, 0]));
+        z.enlarge_to(1);
+        assert_eq!(z.pattern_count(), 7.0); // 1 + 6 flips
+        assert!(z.node_count() > 0);
+    }
+
+    #[test]
+    fn bdd_zone_snapshot_roundtrip() {
+        let mut z = BddZone::empty(5);
+        z.insert(&p(&[1, 0, 1, 0, 1]));
+        z.insert(&p(&[0, 1, 0, 1, 0]));
+        z.enlarge_to(1);
+        let (snap, gamma) = z.snapshot();
+        let restored = BddZone::from_snapshot(&snap, gamma).expect("restore");
+        assert_eq!(restored.gamma(), 1);
+        assert_eq!(restored.seed_count(), 2);
+        // Membership identical on all 32 patterns.
+        for m in 0..32u32 {
+            let bits: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            let probe = Pattern::from_bools(&bits);
+            assert_eq!(z.contains(&probe), restored.contains(&probe));
+        }
+    }
+
+    fn absorb_contract<Z: Zone>() {
+        let mut a = Z::empty(5);
+        a.insert(&p(&[1, 0, 0, 0, 0]));
+        a.enlarge_to(1);
+        let mut b = Z::empty(5);
+        b.insert(&p(&[0, 0, 0, 0, 1]));
+        a.absorb(&b);
+        assert_eq!(a.seed_count(), 2);
+        // Both seeds present, both gamma-dilated in the merged zone.
+        assert!(a.contains(&p(&[1, 0, 0, 0, 0])));
+        assert!(a.contains(&p(&[0, 0, 0, 0, 1])));
+        assert!(
+            a.contains(&p(&[0, 1, 0, 0, 1])),
+            "absorbed seed not dilated"
+        );
+        assert!(!a.contains(&p(&[1, 1, 0, 0, 1])));
+        // Distances reflect the union of seeds.
+        assert_eq!(a.distance_to_seeds(&p(&[0, 0, 0, 0, 1])), Some(0));
+    }
+
+    #[test]
+    fn bdd_zone_absorb_merges_seed_sets() {
+        absorb_contract::<BddZone>();
+    }
+
+    #[test]
+    fn exact_zone_absorb_merges_seed_sets() {
+        absorb_contract::<ExactZone>();
+    }
+
+    #[test]
+    fn compact_preserves_zone_and_frees_nodes() {
+        let mut z = BddZone::empty(10);
+        // Generate construction garbage: incremental dilation.
+        for i in 0..30u64 {
+            let bits: Vec<u8> = (0..10).map(|b| ((i >> (b % 6)) & 1) as u8).collect();
+            z.insert(&p(&bits));
+        }
+        z.enlarge_to(1);
+        z.enlarge_to(2);
+        let before = z.allocated_nodes();
+        let probes: Vec<Pattern> = (0..40u64)
+            .map(|i| {
+                let bits: Vec<u8> = (0..10).map(|b| ((i >> (b % 7)) & 1) as u8).collect();
+                p(&bits)
+            })
+            .collect();
+        let verdicts: Vec<bool> = probes.iter().map(|q| z.contains(q)).collect();
+        let distances: Vec<Option<u32>> = probes.iter().map(|q| z.distance_to_seeds(q)).collect();
+        z.compact();
+        assert!(z.allocated_nodes() < before, "no shrinkage");
+        for ((q, &v), d) in probes.iter().zip(&verdicts).zip(&distances) {
+            assert_eq!(z.contains(q), v);
+            assert_eq!(&z.distance_to_seeds(q), d);
+        }
+        assert_eq!(z.gamma(), 2);
+    }
+
+    #[test]
+    fn volume_fraction_tracks_dilation() {
+        let mut z = BddZone::empty(6);
+        z.insert(&p(&[0, 0, 0, 0, 0, 0]));
+        assert!((z.volume_fraction() - 1.0 / 64.0).abs() < 1e-12);
+        z.enlarge_to(1);
+        assert!((z.volume_fraction() - 7.0 / 64.0).abs() < 1e-12);
+        z.enlarge_to(6);
+        assert!((z.volume_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zones only grow")]
+    fn shrinking_gamma_panics() {
+        let mut z = ExactZone::empty(3);
+        z.enlarge_to(2);
+        z.enlarge_to(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut z = BddZone::empty(3);
+        z.insert(&p(&[1, 0]));
+    }
+}

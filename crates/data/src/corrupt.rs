@@ -1,0 +1,210 @@
+//! Distribution-shift transforms.
+//!
+//! The paper motivates the monitor as a *data distribution shift* detector:
+//! frequent out-of-pattern warnings tell the development team the deployed
+//! network faces inputs unlike its training data.  These corruptions create
+//! such shifted deployment distributions from clean datasets.
+
+use crate::dataset::Dataset;
+use naps_tensor::{Randn, Tensor};
+use rand::Rng;
+
+/// A deployment-time corruption applied to individual images.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Corruption {
+    /// Additive Gaussian noise with the given standard deviation.
+    GaussianNoise(f32),
+    /// A zeroed square patch of the given side length (pixels), placed
+    /// uniformly at random.  Models occlusion (dirt, stickers).
+    Occlusion(usize),
+    /// Multiplies all intensities by the factor.  Models exposure change.
+    Brightness(f32),
+    /// Blends all intensities toward 1.0 by the given amount in `[0,1]`.
+    /// Models fog / glare.
+    Fog(f32),
+    /// 3×3 box blur applied per channel (requires the image geometry).
+    Blur,
+}
+
+/// Applies a corruption to a flat image of `channels` × `side` × `side`.
+///
+/// # Panics
+///
+/// Panics if `image.len() != channels * side * side`.
+pub fn apply(
+    image: &Tensor,
+    channels: usize,
+    side: usize,
+    corruption: Corruption,
+    rng: &mut impl Rng,
+) -> Tensor {
+    assert_eq!(
+        image.len(),
+        channels * side * side,
+        "image does not match geometry {channels}x{side}x{side}"
+    );
+    match corruption {
+        Corruption::GaussianNoise(sigma) => {
+            image.map_with_rng(|v, r| (v + sigma * r.randn()).clamp(0.0, 1.0), rng)
+        }
+        Corruption::Occlusion(patch) => {
+            let patch = patch.min(side);
+            let max0 = side - patch;
+            let oy = if max0 == 0 {
+                0
+            } else {
+                rng.gen_range(0..=max0)
+            };
+            let ox = if max0 == 0 {
+                0
+            } else {
+                rng.gen_range(0..=max0)
+            };
+            let mut out = image.clone();
+            for ch in 0..channels {
+                for y in oy..oy + patch {
+                    for x in ox..ox + patch {
+                        out.data_mut()[ch * side * side + y * side + x] = 0.0;
+                    }
+                }
+            }
+            out
+        }
+        Corruption::Brightness(factor) => image.map(|v| (v * factor).clamp(0.0, 1.0)),
+        Corruption::Fog(amount) => {
+            let a = amount.clamp(0.0, 1.0);
+            image.map(|v| v * (1.0 - a) + a)
+        }
+        Corruption::Blur => {
+            let mut out = image.clone();
+            for ch in 0..channels {
+                let base = ch * side * side;
+                for y in 0..side {
+                    for x in 0..side {
+                        let mut acc = 0.0f32;
+                        let mut n = 0.0f32;
+                        for dy in -1i32..=1 {
+                            for dx in -1i32..=1 {
+                                let yy = y as i32 + dy;
+                                let xx = x as i32 + dx;
+                                if (0..side as i32).contains(&yy) && (0..side as i32).contains(&xx)
+                                {
+                                    acc += image.data()[base + yy as usize * side + xx as usize];
+                                    n += 1.0;
+                                }
+                            }
+                        }
+                        out.data_mut()[base + y * side + x] = acc / n;
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Applies one corruption to every sample of a dataset, returning the
+/// shifted dataset (labels preserved).
+pub fn shift_dataset(
+    dataset: &Dataset,
+    channels: usize,
+    side: usize,
+    corruption: Corruption,
+    rng: &mut impl Rng,
+) -> Dataset {
+    let mut out = Dataset::new(dataset.num_classes);
+    for (s, &l) in dataset.samples.iter().zip(&dataset.labels) {
+        out.push(apply(s, channels, side, corruption, rng), l);
+    }
+    out
+}
+
+/// Helper on [`Tensor`] threading an RNG through a map.
+trait MapWithRng {
+    fn map_with_rng<R: Rng>(&self, f: impl Fn(f32, &mut R) -> f32, rng: &mut R) -> Tensor;
+}
+
+impl MapWithRng for Tensor {
+    fn map_with_rng<R: Rng>(&self, f: impl Fn(f32, &mut R) -> f32, rng: &mut R) -> Tensor {
+        let data = self.data().iter().map(|&v| f(v, rng)).collect();
+        Tensor::from_vec(self.shape().to_vec(), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gray_image() -> Tensor {
+        Tensor::full(vec![16], 0.5)
+    }
+
+    #[test]
+    fn noise_stays_in_range_and_changes_pixels() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let img = gray_image();
+        let out = apply(&img, 1, 4, Corruption::GaussianNoise(0.2), &mut rng);
+        assert!(out.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_ne!(out, img);
+    }
+
+    #[test]
+    fn occlusion_zeroes_a_patch() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let img = Tensor::full(vec![16], 1.0);
+        let out = apply(&img, 1, 4, Corruption::Occlusion(2), &mut rng);
+        let zeros = out.data().iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 4);
+    }
+
+    #[test]
+    fn occlusion_patch_larger_than_image_blanks_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let img = Tensor::full(vec![16], 1.0);
+        let out = apply(&img, 1, 4, Corruption::Occlusion(99), &mut rng);
+        assert_eq!(out.sum(), 0.0);
+    }
+
+    #[test]
+    fn brightness_scales_and_clamps() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let img = gray_image();
+        let dim = apply(&img, 1, 4, Corruption::Brightness(0.5), &mut rng);
+        assert!((dim.data()[0] - 0.25).abs() < 1e-6);
+        let sat = apply(&img, 1, 4, Corruption::Brightness(4.0), &mut rng);
+        assert_eq!(sat.data()[0], 1.0);
+    }
+
+    #[test]
+    fn fog_blends_toward_white() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let img = Tensor::full(vec![4], 0.0);
+        let out = apply(&img, 1, 2, Corruption::Fog(0.7), &mut rng);
+        assert!((out.data()[0] - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blur_averages_neighbours() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut img = Tensor::zeros(vec![9]);
+        img.data_mut()[4] = 9.0; // centre of a 3x3 image (will clamp upstream only)
+        let out = apply(&img, 1, 3, Corruption::Blur, &mut rng);
+        // Every pixel sees the centre: centre value spread over window.
+        assert!((out.data()[4] - 1.0).abs() < 1e-6);
+        assert!(out.data()[0] > 0.0);
+    }
+
+    #[test]
+    fn shift_dataset_preserves_labels() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ds = Dataset::new(2);
+        ds.push(gray_image(), 0);
+        ds.push(gray_image(), 1);
+        let shifted = shift_dataset(&ds, 1, 4, Corruption::Fog(0.5), &mut rng);
+        assert_eq!(shifted.labels, ds.labels);
+        assert_eq!(shifted.len(), 2);
+        assert_ne!(shifted.samples[0], ds.samples[0]);
+    }
+}

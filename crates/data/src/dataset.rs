@@ -1,0 +1,168 @@
+//! The labelled dataset container.
+
+use naps_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labelled set of flat image tensors.
+///
+/// Samples are 1-D feature vectors (`[h*w]` grayscale or `[3*h*w]`
+/// channel-major RGB); the consuming network knows its own geometry.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Flat image tensors.
+    pub samples: Vec<Tensor>,
+    /// Ground-truth class per sample.
+    pub labels: Vec<usize>,
+    /// Number of classes in the label space.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// An empty dataset over `num_classes` classes.
+    pub fn new(num_classes: usize) -> Self {
+        Dataset {
+            samples: Vec::new(),
+            labels: Vec::new(),
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Appends one labelled sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= num_classes`.
+    pub fn push(&mut self, sample: Tensor, label: usize) {
+        assert!(
+            label < self.num_classes,
+            "label {label} out of range for {} classes",
+            self.num_classes
+        );
+        self.samples.push(sample);
+        self.labels.push(label);
+    }
+
+    /// Shuffles samples and labels in lockstep.
+    pub fn shuffle(&mut self, rng: &mut impl Rng) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        self.samples = order.iter().map(|&i| self.samples[i].clone()).collect();
+        self.labels = order.iter().map(|&i| self.labels[i]).collect();
+    }
+
+    /// Splits off the last `fraction` of samples into a second dataset
+    /// (call [`Dataset::shuffle`] first for a random split).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn split(mut self, fraction: f64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        let keep = ((self.len() as f64) * (1.0 - fraction)).round() as usize;
+        let tail_samples = self.samples.split_off(keep);
+        let tail_labels = self.labels.split_off(keep);
+        let tail = Dataset {
+            samples: tail_samples,
+            labels: tail_labels,
+            num_classes: self.num_classes,
+        };
+        (self, tail)
+    }
+
+    /// Indices of all samples labelled `class`.
+    pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == class).then_some(i))
+            .collect()
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            h[l] += 1;
+        }
+        h
+    }
+}
+
+impl Extend<(Tensor, usize)> for Dataset {
+    fn extend<I: IntoIterator<Item = (Tensor, usize)>>(&mut self, iter: I) {
+        for (s, l) in iter {
+            self.push(s, l);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(v: f32) -> Tensor {
+        Tensor::from_vec(vec![2], vec![v, v])
+    }
+
+    #[test]
+    fn push_and_histogram() {
+        let mut d = Dataset::new(3);
+        d.push(sample(0.0), 0);
+        d.push(sample(1.0), 2);
+        d.push(sample(2.0), 2);
+        assert_eq!(d.class_histogram(), vec![1, 0, 2]);
+        assert_eq!(d.indices_of_class(2), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_bad_label_panics() {
+        let mut d = Dataset::new(2);
+        d.push(sample(0.0), 5);
+    }
+
+    #[test]
+    fn split_keeps_sizes() {
+        let mut d = Dataset::new(1);
+        for i in 0..10 {
+            d.push(sample(i as f32), 0);
+        }
+        let (a, b) = d.split(0.3);
+        assert_eq!(a.len(), 7);
+        assert_eq!(b.len(), 3);
+        assert_eq!(a.num_classes, 1);
+    }
+
+    #[test]
+    fn shuffle_preserves_pairing() {
+        let mut d = Dataset::new(10);
+        for i in 0..10 {
+            d.push(sample(i as f32), i);
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        d.shuffle(&mut rng);
+        for (s, &l) in d.samples.iter().zip(&d.labels) {
+            assert_eq!(s.data()[0] as usize, l, "pairing broken");
+        }
+    }
+
+    #[test]
+    fn extend_appends_pairs() {
+        let mut d = Dataset::new(2);
+        d.extend(vec![(sample(1.0), 0), (sample(2.0), 1)]);
+        assert_eq!(d.len(), 2);
+    }
+}

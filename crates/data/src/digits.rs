@@ -1,0 +1,206 @@
+//! Procedural MNIST-like digit images.
+//!
+//! Each digit class is a fixed skeleton of line segments on a
+//! seven-segment-style layout; samples vary by affine pose, per-endpoint
+//! jitter, stroke width and additive pixel noise.  The result is a
+//! 10-class, 28×28 grayscale distribution with clear inter-class structure
+//! and tunable intra-class spread — the statistical role MNIST plays in the
+//! paper's Table I/II experiments.
+
+use crate::dataset::Dataset;
+use crate::raster::{affine_params, coverage, segment_distance};
+use naps_tensor::{Randn, Tensor};
+use rand::Rng;
+
+/// Image side length (matching MNIST).
+pub const SIDE: usize = 28;
+
+/// Segment endpoints in unit glyph coordinates.
+type Seg = (f32, f32, f32, f32);
+
+// Seven-segment layout + two diagonals used by some glyph variants.
+const A: Seg = (0.28, 0.18, 0.72, 0.18); // top
+const B: Seg = (0.72, 0.18, 0.72, 0.50); // top right
+const C: Seg = (0.72, 0.50, 0.72, 0.82); // bottom right
+const D: Seg = (0.28, 0.82, 0.72, 0.82); // bottom
+const E: Seg = (0.28, 0.50, 0.28, 0.82); // bottom left
+const F: Seg = (0.28, 0.18, 0.28, 0.50); // top left
+const G: Seg = (0.28, 0.50, 0.72, 0.50); // middle
+const DIAG1: Seg = (0.40, 0.18, 0.50, 0.82); // used by "1" serif style
+const DIAG7: Seg = (0.72, 0.18, 0.40, 0.82); // slanted stroke of "7"
+
+/// Skeleton segments of each digit class.
+pub fn glyph(digit: usize) -> Vec<Seg> {
+    match digit {
+        0 => vec![A, B, C, D, E, F],
+        1 => vec![B, C, DIAG1],
+        2 => vec![A, B, G, E, D],
+        3 => vec![A, B, G, C, D],
+        4 => vec![F, G, B, C],
+        5 => vec![A, F, G, C, D],
+        6 => vec![A, F, G, E, C, D],
+        7 => vec![A, DIAG7],
+        8 => vec![A, B, C, D, E, F, G],
+        9 => vec![A, B, C, D, F, G],
+        _ => panic!("digit {digit} out of range"),
+    }
+}
+
+/// Rendering style controlling how hard the distribution is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DigitStyle {
+    /// Pose jitter amplitude (see [`affine_params`]).
+    pub jitter: f32,
+    /// Per-endpoint positional jitter.
+    pub endpoint_jitter: f32,
+    /// Stroke radius range.
+    pub stroke_min: f32,
+    /// Stroke radius range.
+    pub stroke_max: f32,
+    /// Additive Gaussian pixel noise standard deviation.
+    pub noise: f32,
+}
+
+impl DigitStyle {
+    /// The easy, training-like distribution.
+    pub fn clean() -> Self {
+        DigitStyle {
+            jitter: 0.5,
+            endpoint_jitter: 0.015,
+            stroke_min: 0.045,
+            stroke_max: 0.075,
+            noise: 0.04,
+        }
+    }
+
+    /// A harder distribution for validation: more pose variation and
+    /// noise, producing the small-but-nonzero misclassification rate the
+    /// paper reports (1.19 % for network 1).
+    pub fn hard() -> Self {
+        DigitStyle {
+            jitter: 0.85,
+            endpoint_jitter: 0.025,
+            stroke_min: 0.038,
+            stroke_max: 0.082,
+            noise: 0.07,
+        }
+    }
+}
+
+/// Renders one digit image.
+pub fn render(digit: usize, style: DigitStyle, rng: &mut impl Rng) -> Tensor {
+    let pose = affine_params(style.jitter, rng);
+    let stroke = rng.gen_range(style.stroke_min..style.stroke_max);
+    let segs: Vec<Seg> = glyph(digit)
+        .into_iter()
+        .map(|(x1, y1, x2, y2)| {
+            let j = style.endpoint_jitter;
+            (
+                x1 + rng.gen_range(-j..=j),
+                y1 + rng.gen_range(-j..=j),
+                x2 + rng.gen_range(-j..=j),
+                y2 + rng.gen_range(-j..=j),
+            )
+        })
+        .collect();
+    let mut data = vec![0.0f32; SIDE * SIDE];
+    for py in 0..SIDE {
+        for px in 0..SIDE {
+            let ux = (px as f32 + 0.5) / SIDE as f32;
+            let uy = (py as f32 + 0.5) / SIDE as f32;
+            let (gx, gy) = pose.inverse_apply(ux, uy);
+            let mut best = f32::INFINITY;
+            for &(x1, y1, x2, y2) in &segs {
+                let d = segment_distance(gx, gy, x1, y1, x2, y2);
+                if d < best {
+                    best = d;
+                }
+            }
+            let mut v = coverage(best, stroke, 0.03);
+            if style.noise > 0.0 {
+                v += style.noise * rng.randn();
+            }
+            data[py * SIDE + px] = v.clamp(0.0, 1.0);
+        }
+    }
+    Tensor::from_vec(vec![SIDE * SIDE], data)
+}
+
+/// Generates `n_per_class` images of every digit 0–9.
+pub fn generate(n_per_class: usize, style: DigitStyle, rng: &mut impl Rng) -> Dataset {
+    let mut ds = Dataset::new(10);
+    for digit in 0..10 {
+        for _ in 0..n_per_class {
+            ds.push(render(digit, style, rng), digit);
+        }
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn render_produces_valid_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let img = render(3, DigitStyle::clean(), &mut rng);
+        assert_eq!(img.len(), 784);
+        assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Strokes present: a reasonable number of bright pixels.
+        let bright = img.data().iter().filter(|&&v| v > 0.5).count();
+        assert!(bright > 30, "only {bright} bright pixels");
+    }
+
+    #[test]
+    fn different_digits_render_differently() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let style = DigitStyle {
+            jitter: 0.0,
+            endpoint_jitter: 0.0,
+            stroke_min: 0.05,
+            stroke_max: 0.0500001,
+            noise: 0.0,
+        };
+        let a = render(0, style, &mut rng);
+        let b = render(1, style, &mut rng);
+        let diff: f32 = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(diff > 10.0, "digits 0 and 1 are nearly identical: {diff}");
+    }
+
+    #[test]
+    fn same_class_varies_between_samples() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = render(5, DigitStyle::clean(), &mut rng);
+        let b = render(5, DigitStyle::clean(), &mut rng);
+        assert_ne!(a, b, "no intra-class variation");
+    }
+
+    #[test]
+    fn generate_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = generate(5, DigitStyle::clean(), &mut rng);
+        assert_eq!(ds.len(), 50);
+        assert_eq!(ds.class_histogram(), vec![5; 10]);
+    }
+
+    #[test]
+    fn every_digit_has_a_glyph() {
+        for d in 0..10 {
+            assert!(!glyph(d).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn glyph_rejects_non_digits() {
+        let _ = glyph(10);
+    }
+}

@@ -1,0 +1,45 @@
+//! Procedural image datasets standing in for MNIST and GTSRB.
+//!
+//! The paper evaluates on MNIST (10 handwritten digits) and the German
+//! Traffic Sign Recognition Benchmark (43 sign classes).  Neither dataset
+//! ships with this repository, so this crate generates **synthetic
+//! equivalents with the same interface and statistical role**:
+//!
+//! * [`digits`] renders 28×28 grayscale digit glyphs from seven-segment
+//!   skeletons with random affine pose, stroke width and pixel noise;
+//! * [`signs`] renders 32×32 RGB traffic-sign-like images for 43 classes
+//!   built from shape × colour × ideogram combinations (class 14 is an
+//!   octagonal red "stop"-style sign, matching the paper's monitored
+//!   class);
+//! * [`corrupt`] applies distribution-shift transforms (noise, occlusion,
+//!   brightness, fog, blur) to model deployment-time drift;
+//! * [`novelty`] renders images from classes that exist in **no** training
+//!   label — the "scooter classified as car" of the paper's Figure 1.
+//!
+//! What the monitor consumes is only the binary ReLU activation pattern of
+//! a network trained on these images; any distribution with intra-class
+//! structure and inter-class separation exercises the identical code path
+//! (see DESIGN.md §4 for the substitution argument).
+//!
+//! # Example
+//!
+//! ```
+//! use naps_data::{digits, Dataset};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let train: Dataset = digits::generate(20, digits::DigitStyle::clean(), &mut rng);
+//! assert_eq!(train.num_classes, 10);
+//! assert_eq!(train.len(), 200);
+//! assert_eq!(train.samples[0].len(), 28 * 28);
+//! ```
+
+pub mod corrupt;
+mod dataset;
+pub mod digits;
+pub mod novelty;
+mod raster;
+pub mod signs;
+
+pub use dataset::Dataset;
+pub use raster::{affine_params, Affine};

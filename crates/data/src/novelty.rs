@@ -1,0 +1,167 @@
+//! Novelty inputs: images from classes the network was **never** trained
+//! on — the paper's Figure 1 scenario where a scooter is (wrongly)
+//! classified as a car and the monitor flags the decision as unsupported
+//! by training data.
+
+use crate::raster::{affine_params, coverage, sdf_circle, segment_distance};
+use naps_tensor::{Randn, Tensor};
+use rand::Rng;
+
+/// Kinds of out-of-label-space objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Novelty {
+    /// A scooter-like silhouette: two wheels, deck and steering column
+    /// (the paper's running example).
+    Scooter,
+    /// A five-pointed-star-like asterisk of strokes — unlike any digit or
+    /// sign glyph.
+    Asterisk,
+    /// A spiral of segments.
+    Spiral,
+    /// Uniform random pixels (pure noise input).
+    Static,
+}
+
+/// Renders a grayscale novelty image of `side`×`side` pixels as a flat
+/// tensor (compatible with the digit networks when `side == 28`).
+pub fn render_gray(kind: Novelty, side: usize, rng: &mut impl Rng) -> Tensor {
+    let pose = affine_params(0.5, rng);
+    let segs = strokes(kind, rng);
+    let mut data = vec![0.0f32; side * side];
+    for py in 0..side {
+        for px in 0..side {
+            let ux = (px as f32 + 0.5) / side as f32;
+            let uy = (py as f32 + 0.5) / side as f32;
+            let (gx, gy) = pose.inverse_apply(ux, uy);
+            let v = match kind {
+                Novelty::Static => rng.gen_range(0.0..1.0),
+                _ => {
+                    let mut best = f32::INFINITY;
+                    for &(x1, y1, x2, y2) in &segs {
+                        best = best.min(segment_distance(gx, gy, x1, y1, x2, y2));
+                    }
+                    // Wheels for the scooter.
+                    let mut v = coverage(best, 0.05, 0.03);
+                    if kind == Novelty::Scooter {
+                        let w1 = sdf_circle(gx, gy, 0.3, 0.78, 0.07).abs();
+                        let w2 = sdf_circle(gx, gy, 0.72, 0.78, 0.07).abs();
+                        v = v.max(coverage(w1.min(w2), 0.03, 0.02));
+                    }
+                    (v + 0.04 * rng.randn()).clamp(0.0, 1.0)
+                }
+            };
+            data[py * side + px] = v;
+        }
+    }
+    Tensor::from_vec(vec![side * side], data)
+}
+
+/// Renders an RGB novelty image as a flat `[3*side*side]` tensor
+/// (compatible with the sign networks when `side == 32`): the grayscale
+/// silhouette tinted with a random colour over a random background.
+pub fn render_rgb(kind: Novelty, side: usize, rng: &mut impl Rng) -> Tensor {
+    let gray = render_gray(kind, side, rng);
+    let tint = [
+        rng.gen_range(0.4..1.0),
+        rng.gen_range(0.4..1.0),
+        rng.gen_range(0.4..1.0),
+    ];
+    let bg = [
+        rng.gen_range(0.2..0.5),
+        rng.gen_range(0.2..0.5),
+        rng.gen_range(0.2..0.5),
+    ];
+    let mut data = vec![0.0f32; 3 * side * side];
+    for (i, &g) in gray.data().iter().enumerate() {
+        for ch in 0..3 {
+            data[ch * side * side + i] = (g * tint[ch] + (1.0 - g) * bg[ch]).clamp(0.0, 1.0);
+        }
+    }
+    Tensor::from_vec(vec![3 * side * side], data)
+}
+
+type Seg = (f32, f32, f32, f32);
+
+fn strokes(kind: Novelty, rng: &mut impl Rng) -> Vec<Seg> {
+    match kind {
+        Novelty::Scooter => vec![
+            (0.30, 0.78, 0.72, 0.78), // deck
+            (0.72, 0.78, 0.72, 0.30), // steering column
+            (0.64, 0.30, 0.80, 0.30), // handlebar
+        ],
+        Novelty::Asterisk => {
+            let c = 0.5f32;
+            (0..5)
+                .map(|i| {
+                    let a = i as f32 * std::f32::consts::TAU / 5.0;
+                    (c, c, c + 0.3 * a.cos(), c + 0.3 * a.sin())
+                })
+                .collect()
+        }
+        Novelty::Spiral => {
+            let mut segs = Vec::new();
+            let mut prev = (0.5f32, 0.5f32);
+            for i in 1..14 {
+                let a = i as f32 * 0.9;
+                let r = 0.03 * i as f32;
+                let next = (0.5 + r * a.cos(), 0.5 + r * a.sin());
+                segs.push((prev.0, prev.1, next.0, next.1));
+                prev = next;
+            }
+            segs
+        }
+        Novelty::Static => {
+            let _ = rng;
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gray_novelties_have_structure() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for kind in [Novelty::Scooter, Novelty::Asterisk, Novelty::Spiral] {
+            let img = render_gray(kind, 28, &mut rng);
+            assert_eq!(img.len(), 784);
+            let bright = img.data().iter().filter(|&&v| v > 0.5).count();
+            assert!(bright > 10, "{kind:?}: only {bright} bright pixels");
+            assert!(bright < 600, "{kind:?}: almost everything bright");
+        }
+    }
+
+    #[test]
+    fn static_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let img = render_gray(Novelty::Static, 16, &mut rng);
+        let mean = img.mean();
+        assert!((mean - 0.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn rgb_rendering_has_three_channels() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let img = render_rgb(Novelty::Scooter, 32, &mut rng);
+        assert_eq!(img.len(), 3 * 32 * 32);
+        assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn novelties_differ_from_each_other() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = render_gray(Novelty::Scooter, 28, &mut rng);
+        let b = render_gray(Novelty::Spiral, 28, &mut rng);
+        let diff: f32 = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(diff > 5.0);
+    }
+}

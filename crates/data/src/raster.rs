@@ -1,0 +1,222 @@
+//! Shared rasterisation helpers: affine pose sampling, line-segment and
+//! signed-distance-function drawing on unit-square canvases.
+
+use rand::Rng;
+
+/// A 2-D affine pose: rotation, isotropic scale and translation applied
+/// around the canvas centre `(0.5, 0.5)`.
+///
+/// Rendering uses the inverse map (pixel → glyph coordinates), so the
+/// struct stores the parameters and exposes [`Affine::inverse_apply`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine {
+    /// Rotation angle in radians.
+    pub theta: f32,
+    /// Isotropic scale factor.
+    pub scale: f32,
+    /// Horizontal translation in unit coordinates.
+    pub dx: f32,
+    /// Vertical translation in unit coordinates.
+    pub dy: f32,
+}
+
+impl Affine {
+    /// The identity pose.
+    pub fn identity() -> Self {
+        Affine {
+            theta: 0.0,
+            scale: 1.0,
+            dx: 0.0,
+            dy: 0.0,
+        }
+    }
+
+    /// Maps a canvas point back into glyph coordinates (inverse transform).
+    pub fn inverse_apply(&self, x: f32, y: f32) -> (f32, f32) {
+        // Undo translation, then rotation/scale about the centre.
+        let cx = x - 0.5 - self.dx;
+        let cy = y - 0.5 - self.dy;
+        let (s, c) = (-self.theta).sin_cos();
+        let rx = (c * cx - s * cy) / self.scale;
+        let ry = (s * cx + c * cy) / self.scale;
+        (rx + 0.5, ry + 0.5)
+    }
+}
+
+/// Samples a random pose with the given jitter amplitude:
+/// rotation ±`0.2·jitter` rad, scale `1 ± 0.15·jitter`, translation
+/// ±`0.08·jitter` in both axes.
+///
+/// `jitter = 0` returns the identity pose; larger values model harder
+/// validation/deployment distributions.
+pub fn affine_params(jitter: f32, rng: &mut impl Rng) -> Affine {
+    if jitter <= 0.0 {
+        return Affine::identity();
+    }
+    Affine {
+        theta: rng.gen_range(-0.2..0.2) * jitter,
+        scale: 1.0 + rng.gen_range(-0.15..0.15) * jitter,
+        dx: rng.gen_range(-0.08..0.08) * jitter,
+        dy: rng.gen_range(-0.08..0.08) * jitter,
+    }
+}
+
+/// Distance from point `(px, py)` to the segment `(x1, y1)-(x2, y2)`.
+pub fn segment_distance(px: f32, py: f32, x1: f32, y1: f32, x2: f32, y2: f32) -> f32 {
+    let (vx, vy) = (x2 - x1, y2 - y1);
+    let (wx, wy) = (px - x1, py - y1);
+    let len2 = vx * vx + vy * vy;
+    let t = if len2 <= f32::EPSILON {
+        0.0
+    } else {
+        ((wx * vx + wy * vy) / len2).clamp(0.0, 1.0)
+    };
+    let (dx, dy) = (wx - t * vx, wy - t * vy);
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Smooth step from 1 (inside) to 0 (outside) across a soft edge of width
+/// `soft` around `radius`.
+pub fn coverage(dist: f32, radius: f32, soft: f32) -> f32 {
+    if dist <= radius {
+        1.0
+    } else if dist >= radius + soft {
+        0.0
+    } else {
+        1.0 - (dist - radius) / soft
+    }
+}
+
+/// Signed distance to a circle of radius `r` centred at `(cx, cy)`
+/// (negative inside).
+pub fn sdf_circle(px: f32, py: f32, cx: f32, cy: f32, r: f32) -> f32 {
+    ((px - cx).powi(2) + (py - cy).powi(2)).sqrt() - r
+}
+
+/// Signed distance to a regular `n`-gon of circumradius `r` centred at
+/// `(cx, cy)`, with one vertex pointing up (negative inside).
+pub fn sdf_regular_polygon(px: f32, py: f32, cx: f32, cy: f32, r: f32, n: u32) -> f32 {
+    let (dx, dy) = (px - cx, py - cy);
+    let angle = dy.atan2(dx) + std::f32::consts::FRAC_PI_2;
+    let seg = std::f32::consts::TAU / n as f32;
+    let a = angle.rem_euclid(seg) - seg / 2.0;
+    let dist = (dx * dx + dy * dy).sqrt();
+    dist * a.cos() - r * (seg / 2.0).cos()
+}
+
+/// Signed distance to a diamond (square rotated 45°) with "radius" `r`
+/// (centre-to-vertex) at `(cx, cy)`.
+pub fn sdf_diamond(px: f32, py: f32, cx: f32, cy: f32, r: f32) -> f32 {
+    ((px - cx).abs() + (py - cy).abs() - r) * std::f32::consts::FRAC_1_SQRT_2
+}
+
+/// Signed distance to an upward-pointing equilateral triangle of
+/// circumradius `r` at `(cx, cy)`.
+pub fn sdf_triangle_up(px: f32, py: f32, cx: f32, cy: f32, r: f32) -> f32 {
+    sdf_regular_polygon(px, py, cx, cy, r, 3)
+}
+
+/// Signed distance to a downward-pointing equilateral triangle.
+pub fn sdf_triangle_down(px: f32, py: f32, cx: f32, cy: f32, r: f32) -> f32 {
+    // Mirror vertically around the centre.
+    sdf_regular_polygon(px, 2.0 * cy - py, cx, cy, r, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_affine_is_noop() {
+        let a = Affine::identity();
+        let (x, y) = a.inverse_apply(0.3, 0.7);
+        assert!((x - 0.3).abs() < 1e-6 && (y - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn translation_shifts_back() {
+        let a = Affine {
+            theta: 0.0,
+            scale: 1.0,
+            dx: 0.1,
+            dy: -0.2,
+        };
+        let (x, y) = a.inverse_apply(0.6, 0.3);
+        assert!((x - 0.5).abs() < 1e-6 && (y - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rotation_preserves_center() {
+        let a = Affine {
+            theta: 1.0,
+            scale: 1.0,
+            dx: 0.0,
+            dy: 0.0,
+        };
+        let (x, y) = a.inverse_apply(0.5, 0.5);
+        assert!((x - 0.5).abs() < 1e-6 && (y - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_jitter_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(affine_params(0.0, &mut rng), Affine::identity());
+    }
+
+    #[test]
+    fn segment_distance_basics() {
+        // Point on the segment.
+        assert!(segment_distance(0.5, 0.0, 0.0, 0.0, 1.0, 0.0) < 1e-6);
+        // Perpendicular offset.
+        assert!((segment_distance(0.5, 0.3, 0.0, 0.0, 1.0, 0.0) - 0.3).abs() < 1e-6);
+        // Beyond an endpoint.
+        assert!((segment_distance(2.0, 0.0, 0.0, 0.0, 1.0, 0.0) - 1.0).abs() < 1e-6);
+        // Degenerate segment = point distance.
+        assert!((segment_distance(3.0, 4.0, 0.0, 0.0, 0.0, 0.0) - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn coverage_is_monotone() {
+        assert_eq!(coverage(0.0, 0.1, 0.05), 1.0);
+        assert_eq!(coverage(0.2, 0.1, 0.05), 0.0);
+        let mid = coverage(0.125, 0.1, 0.05);
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn circle_sdf_signs() {
+        assert!(sdf_circle(0.5, 0.5, 0.5, 0.5, 0.2) < 0.0);
+        assert!(sdf_circle(0.9, 0.5, 0.5, 0.5, 0.2) > 0.0);
+    }
+
+    #[test]
+    fn polygon_sdf_contains_center() {
+        for n in [3u32, 6, 8] {
+            assert!(
+                sdf_regular_polygon(0.5, 0.5, 0.5, 0.5, 0.3, n) < 0.0,
+                "n={n}"
+            );
+            assert!(
+                sdf_regular_polygon(0.95, 0.95, 0.5, 0.5, 0.3, n) > 0.0,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn diamond_sdf_signs() {
+        assert!(sdf_diamond(0.5, 0.5, 0.5, 0.5, 0.3) < 0.0);
+        assert!(sdf_diamond(0.8, 0.8, 0.5, 0.5, 0.3) > 0.0);
+    }
+
+    #[test]
+    fn triangles_are_mirrored() {
+        // A point above centre is deeper inside the down triangle than the
+        // up triangle's equivalent below centre.
+        let up = sdf_triangle_up(0.5, 0.6, 0.5, 0.5, 0.3);
+        let down = sdf_triangle_down(0.5, 0.4, 0.5, 0.5, 0.3);
+        assert!((up - down).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,328 @@
+//! Procedural GTSRB-like traffic-sign images: 43 classes over 32×32 RGB.
+//!
+//! Classes are built from (shape, palette, ideogram) combinations.  Class
+//! 14 is fixed to an octagonal red sign with a horizontal bar — the
+//! "stop sign" the paper monitors in its GTSRB experiment.
+
+use crate::dataset::Dataset;
+use crate::raster::{
+    affine_params, sdf_circle, sdf_diamond, sdf_regular_polygon, sdf_triangle_down,
+    sdf_triangle_up, segment_distance,
+};
+use naps_tensor::{Randn, Tensor};
+use rand::Rng;
+
+/// Image side length.
+pub const SIDE: usize = 32;
+/// Number of sign classes (as in GTSRB).
+pub const NUM_CLASSES: usize = 43;
+/// The stop-sign class monitored by the paper's GTSRB experiment.
+pub const STOP_SIGN_CLASS: usize = 14;
+
+/// Outline shape of a sign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Circular sign (prohibitions, speed limits).
+    Circle,
+    /// Upward triangle (warnings).
+    TriangleUp,
+    /// Downward triangle (yield).
+    TriangleDown,
+    /// Octagon (stop).
+    Octagon,
+    /// Diamond (priority road).
+    Diamond,
+}
+
+/// Inner ideogram drawn on the sign face.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ideogram {
+    /// Horizontal bar.
+    Bar,
+    /// Vertical bar.
+    VBar,
+    /// Filled dot.
+    Dot,
+    /// Diagonal cross.
+    Cross,
+    /// Chevron (two slanted strokes).
+    Chevron,
+    /// Empty face.
+    Blank,
+}
+
+/// Border/face palette, RGB in `[0,1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Palette {
+    /// Border colour.
+    pub border: [f32; 3],
+    /// Face colour.
+    pub face: [f32; 3],
+    /// Ideogram colour.
+    pub glyph: [f32; 3],
+}
+
+const RED: [f32; 3] = [0.85, 0.10, 0.12];
+const BLUE: [f32; 3] = [0.10, 0.25, 0.80];
+const YELLOW: [f32; 3] = [0.95, 0.85, 0.15];
+const WHITE: [f32; 3] = [0.95, 0.95, 0.95];
+const DARK: [f32; 3] = [0.08, 0.08, 0.10];
+
+/// Specification of one sign class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassSpec {
+    /// Outline shape.
+    pub shape: Shape,
+    /// Colour scheme.
+    pub palette: Palette,
+    /// Inner ideogram.
+    pub ideogram: Ideogram,
+}
+
+/// The 43 class specifications.  Deterministic; index 14 is the red
+/// octagon "stop" sign.
+pub fn class_spec(class: usize) -> ClassSpec {
+    assert!(class < NUM_CLASSES, "class {class} out of range");
+    if class == STOP_SIGN_CLASS {
+        return ClassSpec {
+            shape: Shape::Octagon,
+            palette: Palette {
+                border: WHITE,
+                face: RED,
+                glyph: WHITE,
+            },
+            ideogram: Ideogram::Bar,
+        };
+    }
+    const SHAPES: [Shape; 5] = [
+        Shape::Circle,
+        Shape::TriangleUp,
+        Shape::Diamond,
+        Shape::TriangleDown,
+        Shape::Octagon,
+    ];
+    const IDEOGRAMS: [Ideogram; 6] = [
+        Ideogram::Bar,
+        Ideogram::VBar,
+        Ideogram::Dot,
+        Ideogram::Cross,
+        Ideogram::Chevron,
+        Ideogram::Blank,
+    ];
+    const FACES: [[f32; 3]; 3] = [WHITE, YELLOW, BLUE];
+    const BORDERS: [[f32; 3]; 3] = [RED, DARK, BLUE];
+    // Mixed-radix enumeration over shape × ideogram × face (5·6·3 = 90
+    // combinations) so all 43 classes receive distinct specifications.
+    let shape = SHAPES[class % SHAPES.len()];
+    let ideogram = IDEOGRAMS[(class / SHAPES.len()) % IDEOGRAMS.len()];
+    let face = FACES[(class / (SHAPES.len() * IDEOGRAMS.len())) % FACES.len()];
+    let border = BORDERS[(class + 1) % BORDERS.len()];
+    ClassSpec {
+        shape,
+        palette: Palette {
+            border,
+            face,
+            glyph: DARK,
+        },
+        ideogram,
+    }
+}
+
+/// Rendering style controlling distribution hardness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignStyle {
+    /// Pose jitter amplitude.
+    pub jitter: f32,
+    /// Additive Gaussian pixel noise.
+    pub noise: f32,
+    /// Random brightness multiplier range (± around 1).
+    pub brightness_jitter: f32,
+}
+
+impl SignStyle {
+    /// Easy (training-like) rendering.
+    pub fn clean() -> Self {
+        SignStyle {
+            jitter: 0.4,
+            noise: 0.03,
+            brightness_jitter: 0.15,
+        }
+    }
+
+    /// Harder validation rendering (more pose, noise and illumination
+    /// variation) — produces the ~3 % misclassification the paper reports
+    /// for network 2.
+    pub fn hard() -> Self {
+        SignStyle {
+            jitter: 0.8,
+            noise: 0.06,
+            brightness_jitter: 0.3,
+        }
+    }
+}
+
+fn shape_sdf(shape: Shape, x: f32, y: f32, r: f32) -> f32 {
+    match shape {
+        Shape::Circle => sdf_circle(x, y, 0.5, 0.5, r),
+        Shape::TriangleUp => sdf_triangle_up(x, y, 0.5, 0.55, r * 1.15),
+        Shape::TriangleDown => sdf_triangle_down(x, y, 0.5, 0.45, r * 1.15),
+        Shape::Octagon => sdf_regular_polygon(x, y, 0.5, 0.5, r * 1.05, 8),
+        Shape::Diamond => sdf_diamond(x, y, 0.5, 0.5, r * 1.2),
+    }
+}
+
+fn ideogram_hit(ideogram: Ideogram, x: f32, y: f32) -> bool {
+    let w = 0.05; // stroke half-width
+    match ideogram {
+        Ideogram::Bar => segment_distance(x, y, 0.33, 0.5, 0.67, 0.5) < w,
+        Ideogram::VBar => segment_distance(x, y, 0.5, 0.33, 0.5, 0.67) < w,
+        Ideogram::Dot => sdf_circle(x, y, 0.5, 0.5, 0.10) < 0.0,
+        Ideogram::Cross => {
+            segment_distance(x, y, 0.36, 0.36, 0.64, 0.64) < w
+                || segment_distance(x, y, 0.36, 0.64, 0.64, 0.36) < w
+        }
+        Ideogram::Chevron => {
+            segment_distance(x, y, 0.35, 0.60, 0.5, 0.40) < w
+                || segment_distance(x, y, 0.5, 0.40, 0.65, 0.60) < w
+        }
+        Ideogram::Blank => false,
+    }
+}
+
+/// Renders one sign image as a flat `[3*32*32]` channel-major tensor.
+pub fn render(class: usize, style: SignStyle, rng: &mut impl Rng) -> Tensor {
+    let spec = class_spec(class);
+    let pose = affine_params(style.jitter, rng);
+    let brightness = 1.0 + rng.gen_range(-style.brightness_jitter..=style.brightness_jitter);
+    // Random muted background.
+    let bg = [
+        rng.gen_range(0.25..0.55),
+        rng.gen_range(0.3..0.6),
+        rng.gen_range(0.25..0.5),
+    ];
+    let r_outer = 0.38;
+    let border_w = 0.07;
+    let mut data = vec![0.0f32; 3 * SIDE * SIDE];
+    for py in 0..SIDE {
+        for px in 0..SIDE {
+            let ux = (px as f32 + 0.5) / SIDE as f32;
+            let uy = (py as f32 + 0.5) / SIDE as f32;
+            let (gx, gy) = pose.inverse_apply(ux, uy);
+            let d = shape_sdf(spec.shape, gx, gy, r_outer);
+            let colour = if d > 0.0 {
+                bg
+            } else if d > -border_w {
+                spec.palette.border
+            } else if ideogram_hit(spec.ideogram, gx, gy) {
+                spec.palette.glyph
+            } else {
+                spec.palette.face
+            };
+            for (ch, &base) in colour.iter().enumerate() {
+                let mut v = base * brightness;
+                if style.noise > 0.0 {
+                    v += style.noise * rng.randn();
+                }
+                data[ch * SIDE * SIDE + py * SIDE + px] = v.clamp(0.0, 1.0);
+            }
+        }
+    }
+    Tensor::from_vec(vec![3 * SIDE * SIDE], data)
+}
+
+/// Generates `n_per_class` images of every class.
+pub fn generate(n_per_class: usize, style: SignStyle, rng: &mut impl Rng) -> Dataset {
+    let mut ds = Dataset::new(NUM_CLASSES);
+    for class in 0..NUM_CLASSES {
+        for _ in 0..n_per_class {
+            ds.push(render(class, style, rng), class);
+        }
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stop_sign_is_red_octagon() {
+        let spec = class_spec(STOP_SIGN_CLASS);
+        assert_eq!(spec.shape, Shape::Octagon);
+        assert_eq!(spec.palette.face, RED);
+    }
+
+    #[test]
+    fn all_specs_are_defined_and_not_all_equal() {
+        let specs: Vec<ClassSpec> = (0..NUM_CLASSES).map(class_spec).collect();
+        assert_eq!(specs.len(), 43);
+        let first = specs[0];
+        assert!(specs.iter().any(|s| *s != first), "all classes identical");
+    }
+
+    #[test]
+    fn all_classes_are_pairwise_distinct() {
+        // The mixed-radix enumeration has period 90 > 43, so every pair of
+        // classes must differ in shape, ideogram or face colour.
+        for a in 0..NUM_CLASSES {
+            for b in (a + 1)..NUM_CLASSES {
+                let (sa, sb) = (class_spec(a), class_spec(b));
+                assert!(
+                    sa.shape != sb.shape
+                        || sa.ideogram != sb.ideogram
+                        || sa.palette.face != sb.palette.face,
+                    "classes {a} and {b} are visually identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_shape_and_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let img = render(14, SignStyle::clean(), &mut rng);
+        assert_eq!(img.len(), 3 * 32 * 32);
+        assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn stop_sign_face_is_reddish() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let style = SignStyle {
+            jitter: 0.0,
+            noise: 0.0,
+            brightness_jitter: 0.0,
+        };
+        let img = render(STOP_SIGN_CLASS, style, &mut rng);
+        // Centre pixel is slightly off the bar; sample at (0.5, 0.40).
+        let px = (0.40 * SIDE as f32) as usize * SIDE + SIDE / 2;
+        let r = img.data()[px];
+        let g = img.data()[SIDE * SIDE + px];
+        let b = img.data()[2 * SIDE * SIDE + px];
+        assert!(r > 0.5 && g < 0.4 && b < 0.4, "rgb=({r},{g},{b})");
+    }
+
+    #[test]
+    fn generate_covers_all_classes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = generate(2, SignStyle::clean(), &mut rng);
+        assert_eq!(ds.len(), 86);
+        assert!(ds.class_histogram().iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn intra_class_variation_exists() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = render(7, SignStyle::clean(), &mut rng);
+        let b = render(7, SignStyle::clean(), &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn class_spec_bounds() {
+        let _ = class_spec(43);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the procedural datasets: value ranges,
+//! determinism under seeding, label integrity and corruption contracts.
+
+use naps_data::corrupt::{apply, Corruption};
+use naps_data::{digits, novelty, signs};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Digit rendering stays in [0,1] and is deterministic per seed.
+    #[test]
+    fn digit_rendering_contract(digit in 0usize..10, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = digits::render(digit, digits::DigitStyle::clean(), &mut rng);
+        prop_assert_eq!(img.len(), 28 * 28);
+        prop_assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let img2 = digits::render(digit, digits::DigitStyle::clean(), &mut rng2);
+        prop_assert_eq!(img, img2);
+    }
+
+    /// Sign rendering stays in [0,1] for every class, both styles.
+    #[test]
+    fn sign_rendering_contract(class in 0usize..43, seed in 0u64..10_000, hard in any::<bool>()) {
+        let style = if hard { signs::SignStyle::hard() } else { signs::SignStyle::clean() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = signs::render(class, style, &mut rng);
+        prop_assert_eq!(img.len(), 3 * 32 * 32);
+        prop_assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Corruptions preserve geometry, range and labels-by-construction.
+    #[test]
+    fn corruption_contract(seed in 0u64..10_000, which in 0usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = digits::render(3, digits::DigitStyle::clean(), &mut rng);
+        let corruption = match which {
+            0 => Corruption::GaussianNoise(0.2),
+            1 => Corruption::Occlusion(6),
+            2 => Corruption::Brightness(1.4),
+            3 => Corruption::Fog(0.3),
+            _ => Corruption::Blur,
+        };
+        let out = apply(&img, 1, 28, corruption, &mut rng);
+        prop_assert_eq!(out.len(), img.len());
+        prop_assert!(out.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Fog strictly brightens dark pixels; brightness(1.0) is identity.
+    #[test]
+    fn photometric_corruption_semantics(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = digits::render(8, digits::DigitStyle::clean(), &mut rng);
+        let fogged = apply(&img, 1, 28, Corruption::Fog(0.4), &mut rng);
+        for (f, o) in fogged.data().iter().zip(img.data()) {
+            prop_assert!(f >= o, "fog darkened a pixel: {} < {}", f, o);
+        }
+        let same = apply(&img, 1, 28, Corruption::Brightness(1.0), &mut rng);
+        prop_assert_eq!(same, img);
+    }
+
+    /// Novelty images fit the digit-network geometry and stay in range.
+    #[test]
+    fn novelty_rendering_contract(seed in 0u64..10_000, which in 0usize..4) {
+        let kind = match which {
+            0 => novelty::Novelty::Scooter,
+            1 => novelty::Novelty::Asterisk,
+            2 => novelty::Novelty::Spiral,
+            _ => novelty::Novelty::Static,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gray = novelty::render_gray(kind, 28, &mut rng);
+        prop_assert_eq!(gray.len(), 784);
+        prop_assert!(gray.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let rgb = novelty::render_rgb(kind, 32, &mut rng);
+        prop_assert_eq!(rgb.len(), 3 * 32 * 32);
+    }
+
+    /// Generated datasets are balanced and labelled within range.
+    #[test]
+    fn dataset_generation_contract(n in 1usize..4, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = digits::generate(n, digits::DigitStyle::clean(), &mut rng);
+        prop_assert_eq!(ds.len(), 10 * n);
+        prop_assert!(ds.labels.iter().all(|&l| l < 10));
+        prop_assert!(ds.class_histogram().iter().all(|&c| c == n));
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Section III front-car case study. Usage: `cargo run --release -p naps-eval --bin case_study [--full]`.
+fn main() {
+    let cfg = naps_eval::RunConfig::from_env();
+    let _ = naps_eval::case_study::run(&cfg);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the drift-detection experiment (paper Section I claim).
+//! Usage: `cargo run --release -p naps-eval --bin drift [--full] [--seed N]`.
+fn main() {
+    let cfg = naps_eval::RunConfig::from_env();
+    let _ = naps_eval::drift::run(&cfg);
+}

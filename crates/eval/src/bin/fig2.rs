@@ -1,0 +1,5 @@
+//! Regenerates the Figure 2 abstraction spectrum. Usage: `cargo run --release -p naps-eval --bin fig2 [--full]`.
+fn main() {
+    let cfg = naps_eval::RunConfig::from_env();
+    let _ = naps_eval::fig2::run(&cfg);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the refinement ablation (paper Section V item 2).
+//! Usage: `cargo run --release -p naps-eval --bin refinement [--full] [--seed N]`.
+fn main() {
+    let cfg = naps_eval::RunConfig::from_env();
+    let _ = naps_eval::refinement::run(&cfg);
+}

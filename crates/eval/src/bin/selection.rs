@@ -1,0 +1,6 @@
+//! Regenerates the neuron-selection ablation (paper Section II).
+//! Usage: `cargo run --release -p naps-eval --bin selection [--full] [--seed N]`.
+fn main() {
+    let cfg = naps_eval::RunConfig::from_env();
+    let _ = naps_eval::selection::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table I. Usage: `cargo run --release -p naps-eval --bin table1 [--full] [--seed N]`.
+fn main() {
+    let cfg = naps_eval::RunConfig::from_env();
+    let _ = naps_eval::table1::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table II. Usage: `cargo run --release -p naps-eval --bin table2 [--full] [--seed N]`.
+fn main() {
+    let cfg = naps_eval::RunConfig::from_env();
+    let _ = naps_eval::table2::run(&cfg);
+}

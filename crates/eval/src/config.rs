@@ -1,0 +1,157 @@
+//! Run configuration shared by all experiment binaries.
+
+use std::path::PathBuf;
+
+/// Workload sizing and output control, parsed from the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunConfig {
+    /// `true` = paper-scale workloads (`--full`), `false` = fast profile.
+    pub full: bool,
+    /// RNG seed (`--seed N`).
+    pub seed: u64,
+    /// Directory for JSON results (`--out DIR`), default `results/`.
+    pub out_dir: PathBuf,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            full: false,
+            seed: 7,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl RunConfig {
+    /// Parses `--full`, `--seed N` and `--out DIR` from an argument list
+    /// (unknown arguments are ignored so binaries can add their own).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cfg = RunConfig::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => cfg.full = true,
+                "--seed" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        cfg.seed = v;
+                    }
+                }
+                "--out" => {
+                    if let Some(v) = it.next() {
+                        cfg.out_dir = PathBuf::from(v);
+                    }
+                }
+                _ => {}
+            }
+        }
+        cfg
+    }
+
+    /// Parses the process's own arguments.
+    pub fn from_env() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// MNIST-like training images per class.
+    pub fn mnist_train_per_class(&self) -> usize {
+        if self.full {
+            400
+        } else {
+            120
+        }
+    }
+
+    /// MNIST-like validation images per class.
+    pub fn mnist_val_per_class(&self) -> usize {
+        if self.full {
+            100
+        } else {
+            50
+        }
+    }
+
+    /// MNIST training epochs.
+    pub fn mnist_epochs(&self) -> usize {
+        if self.full {
+            5
+        } else {
+            3
+        }
+    }
+
+    /// GTSRB-like training images per class.
+    pub fn gtsrb_train_per_class(&self) -> usize {
+        if self.full {
+            120
+        } else {
+            50
+        }
+    }
+
+    /// GTSRB-like validation images per class.
+    pub fn gtsrb_val_per_class(&self) -> usize {
+        if self.full {
+            30
+        } else {
+            14
+        }
+    }
+
+    /// GTSRB training epochs.
+    pub fn gtsrb_epochs(&self) -> usize {
+        if self.full {
+            10
+        } else {
+            8
+        }
+    }
+
+    /// Front-car case-study training scenarios.
+    pub fn frontcar_scenarios(&self) -> usize {
+        if self.full {
+            4000
+        } else {
+            1500
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> RunConfig {
+        RunConfig::from_args(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_fast() {
+        let cfg = args(&[]);
+        assert!(!cfg.full);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn flags_parse() {
+        let cfg = args(&["--full", "--seed", "42", "--out", "/tmp/x"]);
+        assert!(cfg.full);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn unknown_args_are_ignored() {
+        let cfg = args(&["--quiet", "--seed", "3"]);
+        assert_eq!(cfg.seed, 3);
+    }
+
+    #[test]
+    fn full_profile_is_larger() {
+        let fast = args(&[]);
+        let full = args(&["--full"]);
+        assert!(full.mnist_train_per_class() > fast.mnist_train_per_class());
+        assert!(full.gtsrb_epochs() >= fast.gtsrb_epochs());
+    }
+}

@@ -1,0 +1,35 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table1` | Table I — architectures and train/validation accuracies |
+//! | `table2` | Table II — out-of-pattern rates and warning precision per γ |
+//! | `fig2` | Figure 2 — the abstraction-coarseness spectrum (γ sweep to saturation) |
+//! | `case_study` | Section III case study / Figure 3 — monitored front-car selection |
+//! | `refinement` | Section V item (2) ablation — binary monitor vs box/DBM numeric refinements |
+//! | `drift` | Section I claim — distribution shift surfacing as out-of-pattern warnings, with detection latency |
+//! | `selection` | Section II ablation — gradient saliency vs variance vs random neuron selection |
+//!
+//! Each binary prints the paper-format rows and writes machine-readable
+//! JSON under `results/`.  Run with `--full` for paper-scale workloads
+//! (slower); the default "fast" profile keeps the same shape with smaller
+//! sample counts.  All runs are seeded and deterministic.
+//!
+//! The networks are trained on the procedural datasets of [`naps_data`]
+//! (see DESIGN.md §4 for the MNIST/GTSRB substitution argument), so
+//! absolute numbers differ from the paper while the qualitative shape —
+//! out-of-pattern rate falling and warning precision rising with γ —
+//! is the reproduction target recorded in EXPERIMENTS.md.
+
+pub mod case_study;
+pub mod config;
+pub mod drift;
+pub mod fig2;
+pub mod refinement;
+pub mod report;
+pub mod selection;
+pub mod table1;
+pub mod table2;
+pub mod trained;
+
+pub use config::RunConfig;

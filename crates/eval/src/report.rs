@@ -1,0 +1,57 @@
+//! Result persistence and pretty-printing helpers.
+
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// Serialises `value` as pretty JSON into `dir/name.json`, creating the
+/// directory if needed.  Errors are reported to stderr but do not abort
+/// the experiment (results are also printed to stdout).
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Formats a ratio as a percentage with two decimals, paper style.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Prints a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_two_decimals() {
+        assert_eq!(pct(0.0766), "7.66%");
+        assert_eq!(pct(1.0), "100.00%");
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let dir = std::env::temp_dir().join("naps_eval_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_json(&dir, "probe", &vec![1, 2, 3]);
+        let content = std::fs::read_to_string(dir.join("probe.json")).expect("file");
+        assert!(content.contains('1'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

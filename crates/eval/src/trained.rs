@@ -1,0 +1,101 @@
+//! Shared training pipelines: the two Table I networks on their synthetic
+//! datasets.
+
+use crate::config::RunConfig;
+use naps_data::{digits, signs, Dataset};
+use naps_nn::{gtsrb_net, mnist_net, Adam, Sequential, TrainConfig, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A trained classifier with its datasets and headline accuracies.
+#[derive(Debug)]
+pub struct TrainedClassifier {
+    /// The trained network.
+    pub model: Sequential,
+    /// Training split.
+    pub train: Dataset,
+    /// Validation split (drawn from a harder rendering style).
+    pub val: Dataset,
+    /// Accuracy on the training split.
+    pub train_accuracy: f64,
+    /// Accuracy on the validation split.
+    pub val_accuracy: f64,
+    /// Index of the monitored layer.
+    pub monitor_layer: usize,
+}
+
+/// Trains network 1 (the MNIST-like classifier of Table I).
+pub fn train_mnist(cfg: &RunConfig) -> TrainedClassifier {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let train = digits::generate(
+        cfg.mnist_train_per_class(),
+        digits::DigitStyle::clean(),
+        &mut rng,
+    );
+    let val = digits::generate(
+        cfg.mnist_val_per_class(),
+        digits::DigitStyle::hard(),
+        &mut rng,
+    );
+    let mut model = mnist_net(&mut rng);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: cfg.mnist_epochs(),
+        batch_size: 32,
+        verbose: false,
+    });
+    trainer.fit(
+        &mut model,
+        &train.samples,
+        &train.labels,
+        &mut Adam::new(1.5e-3),
+        &mut rng,
+    );
+    let train_accuracy = trainer.evaluate(&mut model, &train.samples, &train.labels);
+    let val_accuracy = trainer.evaluate(&mut model, &val.samples, &val.labels);
+    TrainedClassifier {
+        model,
+        train,
+        val,
+        train_accuracy,
+        val_accuracy,
+        monitor_layer: naps_nn::MNIST_MONITOR_LAYER,
+    }
+}
+
+/// Trains network 2 (the GTSRB-like classifier of Table I).
+pub fn train_gtsrb(cfg: &RunConfig) -> TrainedClassifier {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1));
+    let train = signs::generate(
+        cfg.gtsrb_train_per_class(),
+        signs::SignStyle::clean(),
+        &mut rng,
+    );
+    let val = signs::generate(
+        cfg.gtsrb_val_per_class(),
+        signs::SignStyle::hard(),
+        &mut rng,
+    );
+    let mut model = gtsrb_net(&mut rng);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: cfg.gtsrb_epochs(),
+        batch_size: 32,
+        verbose: false,
+    });
+    trainer.fit(
+        &mut model,
+        &train.samples,
+        &train.labels,
+        &mut Adam::new(1.5e-3),
+        &mut rng,
+    );
+    let train_accuracy = trainer.evaluate(&mut model, &train.samples, &train.labels);
+    let val_accuracy = trainer.evaluate(&mut model, &val.samples, &val.labels);
+    TrainedClassifier {
+        model,
+        train,
+        val,
+        train_accuracy,
+        val_accuracy,
+        monitor_layer: naps_nn::GTSRB_MONITOR_LAYER,
+    }
+}

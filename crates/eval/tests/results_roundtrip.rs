@@ -1,0 +1,96 @@
+//! The experiment harness's result records must survive JSON round-trips:
+//! EXPERIMENTS.md is reconciled against `results/*.json`, so the schema is
+//! a contract.
+
+use naps_eval::case_study::{CaseStudy, ConditionResult};
+use naps_eval::fig2::{Fig2, SpectrumPoint};
+use naps_eval::table1::{Table1, Table1Row};
+use naps_eval::table2::{Table2, Table2Block, Table2Row};
+
+#[test]
+fn table1_roundtrips() {
+    let t = Table1 {
+        rows: vec![Table1Row {
+            id: 1,
+            classifier: "MNIST".into(),
+            architecture: "conv(40), relu".into(),
+            train_accuracy: 0.9983,
+            val_accuracy: 0.924,
+            train_size: 1200,
+            val_size: 500,
+        }],
+    };
+    let json = serde_json::to_string(&t).expect("serialize");
+    let back: Table1 = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.rows.len(), 1);
+    assert_eq!(back.rows[0].classifier, "MNIST");
+    assert!((back.rows[0].train_accuracy - 0.9983).abs() < 1e-12);
+}
+
+#[test]
+fn table2_roundtrips() {
+    let t = Table2 {
+        blocks: vec![Table2Block {
+            id: 2,
+            misclassification_rate: 0.1028,
+            rows: vec![Table2Row {
+                gamma: 3,
+                out_of_pattern_rate: 0.1168,
+                warning_precision: 0.88,
+                total: 214,
+                out_of_pattern: 25,
+            }],
+        }],
+    };
+    let json = serde_json::to_string(&t).expect("serialize");
+    let back: Table2 = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.blocks[0].rows[0].gamma, 3);
+    assert_eq!(back.blocks[0].rows[0].total, 214);
+}
+
+#[test]
+fn fig2_roundtrips() {
+    let f = Fig2 {
+        spectrum: vec![SpectrumPoint {
+            gamma: 4,
+            out_of_pattern_rate: 0.016,
+            warning_precision: 0.875,
+            false_positive_rate: 0.0022,
+            class0_zone_patterns: 1.5e6,
+        }],
+        gamma_for_silence: Some(4),
+        gamma_for_precision: Some(1),
+    };
+    let json = serde_json::to_string(&f).expect("serialize");
+    let back: Fig2 = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.gamma_for_silence, Some(4));
+    assert_eq!(back.spectrum.len(), 1);
+}
+
+#[test]
+fn case_study_roundtrips() {
+    let c = CaseStudy {
+        conditions: vec![ConditionResult {
+            condition: "heavy rain".into(),
+            accuracy: 0.815,
+            warning_rate: 0.025,
+        }],
+    };
+    let json = serde_json::to_string(&c).expect("serialize");
+    let back: CaseStudy = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.conditions[0].condition, "heavy rain");
+}
+
+#[test]
+fn config_profiles_scale_consistently() {
+    use naps_eval::RunConfig;
+    let fast = RunConfig::default();
+    let full = RunConfig {
+        full: true,
+        ..RunConfig::default()
+    };
+    assert!(full.mnist_train_per_class() >= fast.mnist_train_per_class());
+    assert!(full.mnist_val_per_class() >= fast.mnist_val_per_class());
+    assert!(full.gtsrb_train_per_class() >= fast.gtsrb_train_per_class());
+    assert!(full.frontcar_scenarios() >= fast.frontcar_scenarios());
+}

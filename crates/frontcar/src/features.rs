@@ -1,0 +1,168 @@
+//! Input assembly for the front-car selection network.
+//!
+//! The paper: "the front-car selection unit … takes the lane information
+//! and the bounding box of vehicles, and produces either an index of the
+//! bounding vehicle or a special class ⊥ for which no forward vehicle is
+//! considered to be a front car."
+
+use crate::perception::{BoundingBox, LaneEstimate};
+use crate::scenario::MAX_VEHICLES;
+use naps_tensor::Tensor;
+
+/// The "no front car" class ⊥: class index [`MAX_VEHICLES`].
+pub const NO_FRONT_CAR: usize = MAX_VEHICLES;
+
+/// Number of classes of the selection network: one per candidate slot plus
+/// ⊥.
+pub const NUM_CLASSES: usize = MAX_VEHICLES + 1;
+
+/// Features per candidate slot: presence flag, cx, cy, w, h, and a
+/// distance-compensated lane-offset estimate (the classical ego-lane
+/// association cue a production stack would feed the selector).
+pub const SLOT_FEATURES: usize = 6;
+
+/// Total input width: `MAX_VEHICLES` slots plus the two lane boundaries.
+pub const INPUT_WIDTH: usize = MAX_VEHICLES * SLOT_FEATURES + 2;
+
+/// The assembled network input plus bookkeeping that maps the selected
+/// slot back to a detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureVector {
+    /// Flat input for the selection network.
+    pub input: Tensor,
+    /// Which detection occupies each slot (`None` = empty slot), after
+    /// sorting by apparent size (closest-looking first).
+    pub slot_sources: Vec<Option<BoundingBox>>,
+}
+
+impl FeatureVector {
+    /// Builds the feature vector from perception outputs.
+    ///
+    /// Detections are sorted by descending box height (a proxy for
+    /// proximity) and the first [`MAX_VEHICLES`] fill the slots.
+    pub fn assemble(boxes: &[BoundingBox], lane: LaneEstimate) -> Self {
+        let mut sorted: Vec<BoundingBox> = boxes.to_vec();
+        sorted.sort_by(|a, b| b.h.partial_cmp(&a.h).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.truncate(MAX_VEHICLES);
+
+        let mut data = Vec::with_capacity(INPUT_WIDTH);
+        let mut slot_sources = Vec::with_capacity(MAX_VEHICLES);
+        for slot in 0..MAX_VEHICLES {
+            match sorted.get(slot) {
+                Some(b) => {
+                    // Undo the perspective convergence: apparent height is
+                    // ∝ 1/distance, so (cx - 0.5)/h approximates the
+                    // physical lateral offset regardless of range.
+                    let lane_offset = (b.cx - 0.5) / (b.h + 0.05);
+                    data.extend_from_slice(&[1.0, b.cx, b.cy, b.w, b.h, lane_offset]);
+                    slot_sources.push(Some(*b));
+                }
+                None => {
+                    data.extend_from_slice(&[0.0; SLOT_FEATURES]);
+                    slot_sources.push(None);
+                }
+            }
+        }
+        data.push(lane.left);
+        data.push(lane.right);
+        FeatureVector {
+            input: Tensor::from_vec(vec![INPUT_WIDTH], data),
+            slot_sources,
+        }
+    }
+
+    /// Ground-truth class for this feature vector: the slot holding the
+    /// detection of vehicle `front_car_vehicle`, or [`NO_FRONT_CAR`] when
+    /// the true front car is absent (no front car exists, or the detector
+    /// missed it).
+    pub fn label_for(&self, front_car_vehicle: Option<usize>) -> usize {
+        match front_car_vehicle {
+            None => NO_FRONT_CAR,
+            Some(v) => self
+                .slot_sources
+                .iter()
+                .position(|s| s.is_some_and(|b| b.source == Some(v)))
+                .unwrap_or(NO_FRONT_CAR),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(cx: f32, h: f32, source: Option<usize>) -> BoundingBox {
+        BoundingBox {
+            cx,
+            cy: 0.6,
+            w: h,
+            h,
+            source,
+        }
+    }
+
+    fn lane() -> LaneEstimate {
+        LaneEstimate {
+            left: 0.33,
+            right: 0.67,
+        }
+    }
+
+    #[test]
+    fn input_width_is_constant() {
+        let fv = FeatureVector::assemble(&[], lane());
+        assert_eq!(fv.input.len(), INPUT_WIDTH);
+        // All slots empty.
+        assert!(fv.slot_sources.iter().all(Option::is_none));
+        assert_eq!(fv.input.data()[0], 0.0);
+    }
+
+    #[test]
+    fn slots_sorted_by_apparent_size() {
+        let boxes = vec![
+            boxed(0.5, 0.1, Some(0)),
+            boxed(0.4, 0.3, Some(1)), // biggest -> slot 0
+            boxed(0.6, 0.2, Some(2)),
+        ];
+        let fv = FeatureVector::assemble(&boxes, lane());
+        assert_eq!(fv.slot_sources[0].unwrap().source, Some(1));
+        assert_eq!(fv.slot_sources[1].unwrap().source, Some(2));
+        assert_eq!(fv.slot_sources[2].unwrap().source, Some(0));
+    }
+
+    #[test]
+    fn overflow_detections_are_dropped() {
+        let boxes: Vec<BoundingBox> = (0..6)
+            .map(|i| boxed(0.5, 0.1 + i as f32 * 0.05, Some(i)))
+            .collect();
+        let fv = FeatureVector::assemble(&boxes, lane());
+        assert_eq!(fv.slot_sources.len(), MAX_VEHICLES);
+        assert!(fv.slot_sources.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn label_maps_vehicle_to_slot() {
+        let boxes = vec![boxed(0.5, 0.1, Some(7)), boxed(0.4, 0.3, Some(3))];
+        let fv = FeatureVector::assemble(&boxes, lane());
+        // Vehicle 7 has the smaller box -> slot 1.
+        assert_eq!(fv.label_for(Some(7)), 1);
+        assert_eq!(fv.label_for(Some(3)), 0);
+    }
+
+    #[test]
+    fn missing_front_car_labels_bottom() {
+        let boxes = vec![boxed(0.5, 0.2, Some(0))];
+        let fv = FeatureVector::assemble(&boxes, lane());
+        assert_eq!(fv.label_for(None), NO_FRONT_CAR);
+        // Vehicle 9 was never detected.
+        assert_eq!(fv.label_for(Some(9)), NO_FRONT_CAR);
+    }
+
+    #[test]
+    fn lane_occupies_last_two_features() {
+        let fv = FeatureVector::assemble(&[], lane());
+        let d = fv.input.data();
+        assert_eq!(d[INPUT_WIDTH - 2], 0.33);
+        assert_eq!(d[INPUT_WIDTH - 1], 0.67);
+    }
+}

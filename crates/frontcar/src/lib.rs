@@ -1,0 +1,36 @@
+//! Simulated vision-based front-car detection for highway piloting — the
+//! case study of the paper's Section III and Figure 3.
+//!
+//! The original system is proprietary (a production highway-pilot stack);
+//! this crate reproduces its *architecture* with a scenario simulator:
+//!
+//! ```text
+//! camera ──► vehicle detection ─┐
+//!                               ├─► front-car selection (neural network,
+//! camera ──► lane detection  ───┘    monitored at runtime)
+//! ```
+//!
+//! * [`scenario`] generates highway situations (ego lane, surrounding
+//!   vehicles with distances and lateral offsets) with ground-truth front
+//!   cars;
+//! * [`perception`] simulates the classical detection components, including
+//!   measurement noise, missed detections and phantom boxes;
+//! * [`features`] assembles the selection network's input vector (lane
+//!   information + candidate bounding boxes, as described in the paper);
+//! * [`pipeline`] trains the neural front-car selector, wraps it with a
+//!   [`naps_core::Monitor`], and steps through scenarios the way the
+//!   highway pilot would, reporting both the selection and the monitor
+//!   verdict.
+//!
+//! Distribution shift (the situation the monitor is meant to expose) is
+//! modelled by [`scenario::Conditions`] presets such as heavy rain or dense
+//! cut-in traffic that the training distribution never contained.
+
+pub mod features;
+pub mod perception;
+pub mod pipeline;
+pub mod scenario;
+
+pub use features::{FeatureVector, NO_FRONT_CAR};
+pub use pipeline::{FrontCarPipeline, PipelineConfig, StepOutcome};
+pub use scenario::{Conditions, Scenario, Vehicle};

@@ -1,0 +1,202 @@
+//! Simulated classical perception: vehicle detection and lane detection.
+//!
+//! These play the role of the "implemented using classical approaches"
+//! blocks of Figure 3 — they are deliberately imperfect (noise, missed and
+//! phantom detections) so the downstream neural selector faces realistic
+//! inputs.
+
+use crate::scenario::{Scenario, NUM_LANES};
+use naps_tensor::Randn;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A detected bounding box in normalised image coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Horizontal centre in `[0, 1]` (0.5 = straight ahead).
+    pub cx: f32,
+    /// Vertical centre in `[0, 1]` (larger = closer on the image plane).
+    pub cy: f32,
+    /// Box width in normalised units.
+    pub w: f32,
+    /// Box height in normalised units.
+    pub h: f32,
+    /// Index of the originating vehicle in the scenario, or `None` for a
+    /// phantom detection.
+    pub source: Option<usize>,
+}
+
+/// Output of the lane-detection component: the ego lane's normalised
+/// horizontal span on the image plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaneEstimate {
+    /// Left boundary of the ego lane in `[0, 1]`.
+    pub left: f32,
+    /// Right boundary of the ego lane in `[0, 1]`.
+    pub right: f32,
+}
+
+/// Lane width on the image plane (normalised units).
+const LANE_SPAN: f32 = 1.0 / NUM_LANES as f32;
+
+/// Projects a vehicle into image coordinates with a simple pinhole-like
+/// model: horizontal position from lane + lateral offset (relative to the
+/// ego lane), apparent size shrinking with distance.
+pub fn project(
+    ego_lane: usize,
+    lane: usize,
+    lateral: f32,
+    distance: f32,
+    width: f32,
+) -> BoundingBox {
+    let lane_offset = lane as f32 - ego_lane as f32;
+    let cx = 0.5 + lane_offset * LANE_SPAN * (30.0 / (distance + 10.0)) + lateral * 0.02;
+    let apparent = (width * 6.0 / (distance + 5.0)).clamp(0.02, 0.6);
+    let cy = 0.5 + (20.0 / (distance + 10.0)) * 0.4;
+    BoundingBox {
+        cx: cx.clamp(0.0, 1.0),
+        cy: cy.clamp(0.0, 1.0),
+        w: apparent,
+        h: apparent * 0.8,
+        source: None,
+    }
+}
+
+/// Simulated vehicle detector: projects every vehicle, adds measurement
+/// noise, drops detections with the scenario's `dropout` probability and
+/// inserts phantom boxes with `phantom_rate`.
+pub fn detect_vehicles(scenario: &Scenario, rng: &mut impl Rng) -> Vec<BoundingBox> {
+    let c = scenario.conditions;
+    let mut boxes = Vec::new();
+    for (i, v) in scenario.vehicles.iter().enumerate() {
+        if rng.gen::<f32>() < c.dropout {
+            continue; // missed detection
+        }
+        let mut b = project(scenario.ego_lane, v.lane, v.lateral, v.distance, v.width);
+        b.cx = (b.cx + c.detection_noise * rng.randn()).clamp(0.0, 1.0);
+        b.cy = (b.cy + c.detection_noise * rng.randn()).clamp(0.0, 1.0);
+        b.w = (b.w * (1.0 + c.detection_noise * rng.randn())).clamp(0.01, 0.8);
+        b.h = (b.h * (1.0 + c.detection_noise * rng.randn())).clamp(0.01, 0.8);
+        b.source = Some(i);
+        boxes.push(b);
+    }
+    if rng.gen::<f32>() < c.phantom_rate {
+        boxes.push(BoundingBox {
+            cx: rng.gen_range(0.0..1.0),
+            cy: rng.gen_range(0.4..0.9),
+            w: rng.gen_range(0.02..0.3),
+            h: rng.gen_range(0.02..0.25),
+            source: None,
+        });
+    }
+    boxes
+}
+
+/// Simulated lane detector: the ego lane's span, with mild noise.
+pub fn detect_lane(scenario: &Scenario, rng: &mut impl Rng) -> LaneEstimate {
+    let noise = scenario.conditions.detection_noise;
+    let left = 0.5 - LANE_SPAN / 2.0 + noise * rng.randn();
+    let right = 0.5 + LANE_SPAN / 2.0 + noise * rng.randn();
+    LaneEstimate {
+        left: left.clamp(0.0, 1.0),
+        right: right.clamp(0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Conditions, Vehicle};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scenario_with(vehicles: Vec<Vehicle>, conditions: Conditions) -> Scenario {
+        Scenario {
+            ego_lane: 1,
+            vehicles,
+            conditions,
+        }
+    }
+
+    #[test]
+    fn projection_shrinks_with_distance() {
+        let near = project(1, 1, 0.0, 20.0, 2.0);
+        let far = project(1, 1, 0.0, 100.0, 2.0);
+        assert!(near.w > far.w);
+        assert!(near.cy > far.cy);
+    }
+
+    #[test]
+    fn same_lane_centres_ahead() {
+        let b = project(1, 1, 0.0, 50.0, 2.0);
+        assert!((b.cx - 0.5).abs() < 0.05, "cx = {}", b.cx);
+        let left = project(1, 0, 0.0, 50.0, 2.0);
+        assert!(left.cx < b.cx);
+    }
+
+    #[test]
+    fn noiseless_detection_covers_all_vehicles() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conditions::nominal();
+        c.dropout = 0.0;
+        c.phantom_rate = 0.0;
+        let s = scenario_with(
+            vec![
+                Vehicle {
+                    lane: 0,
+                    distance: 40.0,
+                    lateral: 0.0,
+                    width: 2.0,
+                },
+                Vehicle {
+                    lane: 1,
+                    distance: 60.0,
+                    lateral: 0.2,
+                    width: 2.0,
+                },
+            ],
+            c,
+        );
+        let boxes = detect_vehicles(&s, &mut rng);
+        assert_eq!(boxes.len(), 2);
+        assert_eq!(boxes[0].source, Some(0));
+        assert_eq!(boxes[1].source, Some(1));
+    }
+
+    #[test]
+    fn full_dropout_detects_nothing_real() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Conditions::nominal();
+        c.dropout = 1.0;
+        c.phantom_rate = 0.0;
+        let s = scenario_with(
+            vec![Vehicle {
+                lane: 1,
+                distance: 30.0,
+                lateral: 0.0,
+                width: 2.0,
+            }],
+            c,
+        );
+        assert!(detect_vehicles(&s, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn phantoms_have_no_source() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = Conditions::nominal();
+        c.phantom_rate = 1.0;
+        let s = scenario_with(vec![], c);
+        let boxes = detect_vehicles(&s, &mut rng);
+        assert_eq!(boxes.len(), 1);
+        assert_eq!(boxes[0].source, None);
+    }
+
+    #[test]
+    fn lane_estimate_brackets_center() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = scenario_with(vec![], Conditions::nominal());
+        let lane = detect_lane(&s, &mut rng);
+        assert!(lane.left < 0.5 && lane.right > 0.5);
+    }
+}

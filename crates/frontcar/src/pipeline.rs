@@ -1,0 +1,276 @@
+//! The monitored front-car selection pipeline (Figure 3).
+
+use crate::features::{FeatureVector, NUM_CLASSES};
+use crate::perception::{detect_lane, detect_vehicles};
+use crate::scenario::{Conditions, Scenario};
+use naps_core::{BddZone, Monitor, MonitorBuilder, Verdict};
+use naps_nn::{mlp, Adam, Sequential, TrainConfig, Trainer};
+use naps_tensor::Tensor;
+use rand::Rng;
+
+/// Configuration of the pipeline's selection network and monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Hidden widths of the selection MLP (two ReLU layers).
+    pub hidden: [usize; 2],
+    /// Number of training scenarios.
+    pub train_scenarios: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Hamming budget of the monitor.
+    pub gamma: u32,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            hidden: [48, 24],
+            train_scenarios: 2000,
+            epochs: 20,
+            gamma: 1,
+        }
+    }
+}
+
+/// One pipeline step's outcome: the selection plus the monitor's judgement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// The class the network chose (slot index or ⊥).
+    pub selected: usize,
+    /// Ground-truth class for the same feature vector.
+    pub ground_truth: usize,
+    /// The monitor verdict for this decision.
+    pub verdict: Verdict,
+    /// Hamming distance from the observed pattern to the visited patterns
+    /// of the selected class.
+    pub distance_to_seeds: Option<u32>,
+}
+
+/// A trained, monitored front-car selection unit.
+///
+/// Build with [`FrontCarPipeline::train`]; drive with
+/// [`FrontCarPipeline::step`].
+#[derive(Debug)]
+pub struct FrontCarPipeline {
+    model: Sequential,
+    monitor: Monitor<BddZone>,
+    /// Monitored layer index within the MLP (the second ReLU).
+    monitored_layer: usize,
+}
+
+impl FrontCarPipeline {
+    /// Generates nominal-condition scenarios, trains the selection network
+    /// and builds its activation-pattern monitor (Algorithm 1).
+    pub fn train(config: PipelineConfig, rng: &mut impl Rng) -> Self {
+        let (samples, labels) = Self::dataset(config.train_scenarios, Conditions::nominal(), rng);
+        let dims = [
+            crate::features::INPUT_WIDTH,
+            config.hidden[0],
+            config.hidden[1],
+            NUM_CLASSES,
+        ];
+        let mut model = mlp(&dims, rng);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: config.epochs,
+            batch_size: 32,
+            verbose: false,
+        });
+        trainer.fit(&mut model, &samples, &labels, &mut Adam::new(0.005), rng);
+        // Layers: fc, relu, fc, relu(idx 3, monitored), fc.
+        let monitored_layer = 3;
+        let monitor = MonitorBuilder::new(monitored_layer, config.gamma).build::<BddZone>(
+            &mut model,
+            &samples,
+            &labels,
+            NUM_CLASSES,
+        );
+        FrontCarPipeline {
+            model,
+            monitor,
+            monitored_layer,
+        }
+    }
+
+    /// Generates a labelled dataset of perception feature vectors under
+    /// `conditions`.
+    pub fn dataset(
+        n: usize,
+        conditions: Conditions,
+        rng: &mut impl Rng,
+    ) -> (Vec<Tensor>, Vec<usize>) {
+        let mut samples = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let scenario = Scenario::sample(conditions, rng);
+            let boxes = detect_vehicles(&scenario, rng);
+            let lane = detect_lane(&scenario, rng);
+            let fv = FeatureVector::assemble(&boxes, lane);
+            labels.push(fv.label_for(scenario.ground_truth_front_car()));
+            samples.push(fv.input);
+        }
+        (samples, labels)
+    }
+
+    /// Runs perception + selection + monitoring on one scenario.
+    pub fn step(&mut self, scenario: &Scenario, rng: &mut impl Rng) -> StepOutcome {
+        let boxes = detect_vehicles(scenario, rng);
+        let lane = detect_lane(scenario, rng);
+        let fv = FeatureVector::assemble(&boxes, lane);
+        let ground_truth = fv.label_for(scenario.ground_truth_front_car());
+        let report = self.monitor.check(&mut self.model, &fv.input);
+        StepOutcome {
+            selected: report.predicted,
+            ground_truth,
+            verdict: report.verdict,
+            distance_to_seeds: report.distance_to_seeds,
+        }
+    }
+
+    /// Selection accuracy over freshly sampled scenarios under
+    /// `conditions`.
+    pub fn accuracy(&mut self, n: usize, conditions: Conditions, rng: &mut impl Rng) -> f64 {
+        let mut correct = 0usize;
+        for _ in 0..n {
+            let s = Scenario::sample(conditions, rng);
+            let out = self.step(&s, rng);
+            if out.selected == out.ground_truth {
+                correct += 1;
+            }
+        }
+        correct as f64 / n as f64
+    }
+
+    /// Fraction of steps that raise an out-of-pattern warning under
+    /// `conditions` — the distribution-shift indicator of the paper's
+    /// introduction.
+    pub fn warning_rate(&mut self, n: usize, conditions: Conditions, rng: &mut impl Rng) -> f64 {
+        let mut warned = 0usize;
+        for _ in 0..n {
+            let s = Scenario::sample(conditions, rng);
+            if self.step(&s, rng).verdict == Verdict::OutOfPattern {
+                warned += 1;
+            }
+        }
+        warned as f64 / n as f64
+    }
+
+    /// Simulates a rolling drive: starting from `scenario`, advance the
+    /// kinematics for `steps` ticks of `dt` seconds (random relative
+    /// speeds), monitoring every tick.  Returns the per-tick outcomes —
+    /// the sequence-level view a highway pilot's supervisor would consume.
+    pub fn run_sequence(
+        &mut self,
+        mut scenario: Scenario,
+        steps: usize,
+        dt: f32,
+        rng: &mut impl Rng,
+    ) -> Vec<StepOutcome> {
+        let mut outcomes = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            outcomes.push(self.step(&scenario, rng));
+            let speeds: Vec<f32> = scenario
+                .vehicles
+                .iter()
+                .map(|_| rng.gen_range(-6.0..6.0))
+                .collect();
+            scenario.advance(dt, &speeds, rng);
+            // Occasionally a new vehicle enters sensor range.
+            if scenario.vehicles.len() < crate::scenario::MAX_VEHICLES && rng.gen::<f32>() < 0.1 {
+                let mut fresh = Scenario::sample(scenario.conditions, rng);
+                if let Some(v) = fresh.vehicles.pop() {
+                    scenario.vehicles.push(v);
+                }
+            }
+        }
+        outcomes
+    }
+
+    /// The underlying selection network.
+    pub fn model_mut(&mut self) -> &mut Sequential {
+        &mut self.model
+    }
+
+    /// The monitor.
+    pub fn monitor(&self) -> &Monitor<BddZone> {
+        &self.monitor
+    }
+
+    /// Index of the monitored layer.
+    pub fn monitored_layer(&self) -> usize {
+        self.monitored_layer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> PipelineConfig {
+        PipelineConfig {
+            hidden: [24, 12],
+            train_scenarios: 800,
+            epochs: 20,
+            gamma: 1,
+        }
+    }
+
+    #[test]
+    fn pipeline_learns_the_selection_task() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut pipe = FrontCarPipeline::train(small_config(), &mut rng);
+        let acc = pipe.accuracy(300, Conditions::nominal(), &mut rng);
+        assert!(acc > 0.7, "nominal accuracy {acc}");
+    }
+
+    #[test]
+    fn shifted_conditions_raise_more_warnings() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pipe = FrontCarPipeline::train(small_config(), &mut rng);
+        let nominal = pipe.warning_rate(300, Conditions::nominal(), &mut rng);
+        let rain = pipe.warning_rate(300, Conditions::heavy_rain(), &mut rng);
+        assert!(
+            rain >= nominal,
+            "rain warnings {rain} below nominal {nominal}"
+        );
+    }
+
+    #[test]
+    fn step_reports_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pipe = FrontCarPipeline::train(small_config(), &mut rng);
+        let s = Scenario::sample(Conditions::nominal(), &mut rng);
+        let out = pipe.step(&s, &mut rng);
+        assert!(out.selected < NUM_CLASSES);
+        assert!(out.ground_truth < NUM_CLASSES);
+        if out.verdict == Verdict::InPattern {
+            // In-pattern implies the pattern is inside the zone; distance
+            // may still be positive (gamma ball) but must exist.
+            assert!(out.distance_to_seeds.is_some());
+        }
+    }
+
+    #[test]
+    fn sequences_monitor_every_tick() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut pipe = FrontCarPipeline::train(small_config(), &mut rng);
+        let start = Scenario::sample(Conditions::nominal(), &mut rng);
+        let outcomes = pipe.run_sequence(start, 30, 0.5, &mut rng);
+        assert_eq!(outcomes.len(), 30);
+        for o in &outcomes {
+            assert!(o.selected < NUM_CLASSES);
+        }
+    }
+
+    #[test]
+    fn dataset_labels_are_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (xs, ys) = FrontCarPipeline::dataset(200, Conditions::nominal(), &mut rng);
+        assert_eq!(xs.len(), 200);
+        assert!(ys.iter().all(|&y| y < NUM_CLASSES));
+        // Both "front car" and "no front car" cases occur.
+        assert!(ys.contains(&crate::features::NO_FRONT_CAR));
+        assert!(ys.iter().any(|&y| y != crate::features::NO_FRONT_CAR));
+    }
+}

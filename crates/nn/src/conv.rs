@@ -1,0 +1,265 @@
+//! 2-D convolution lowered to matrix products via `im2col`.
+
+use crate::layer::{Layer, ParamGrad};
+use naps_tensor::{col2im, im2col, xavier_uniform, ConvDims, Tensor};
+use rand::Rng;
+
+/// A 2-D convolution with square kernel, stride as configured, no padding —
+/// the `Conv(·)` of the paper's Table I (kernel 5×5, stride 1 there).
+///
+/// Batches flow as flat `[batch, in_c*in_h*in_w]` tensors in channel-major
+/// (CHW) order; the layer re-interprets rows using its [`ConvDims`].
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    dims: ConvDims,
+    out_c: usize,
+    /// Kernel `[out_c, in_c*k*k]`.
+    w: Tensor,
+    b: Tensor,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    /// Cached im2col patch matrices, one per sample of the last batch.
+    cached_patches: Vec<Tensor>,
+}
+
+impl Conv2d {
+    /// A convolution layer with Xavier-initialised kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the configured input geometry.
+    pub fn new(dims: ConvDims, out_c: usize, rng: &mut impl Rng) -> Self {
+        dims.validate();
+        let fan_in = dims.cols();
+        let fan_out = out_c * dims.k * dims.k;
+        Conv2d {
+            dims,
+            out_c,
+            w: xavier_uniform(vec![out_c, dims.cols()], fan_in, fan_out, rng),
+            b: Tensor::zeros(vec![out_c]),
+            grad_w: Tensor::zeros(vec![out_c, dims.cols()]),
+            grad_b: Tensor::zeros(vec![out_c]),
+            cached_patches: Vec::new(),
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn dims(&self) -> ConvDims {
+        self.dims
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// Flat output length per sample: `out_c * out_h * out_w`.
+    pub fn out_len(&self) -> usize {
+        self.out_c * self.dims.rows()
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let batch = x.shape()[0];
+        let in_len = self.dims.in_c * self.dims.in_h * self.dims.in_w;
+        assert_eq!(
+            x.shape()[1],
+            in_len,
+            "conv expected {in_len} input features, got {:?}",
+            x.shape()
+        );
+        let rows = self.dims.rows();
+        let mut out = Tensor::zeros(vec![batch, self.out_len()]);
+        self.cached_patches.clear();
+        for s in 0..batch {
+            let sample = Tensor::from_vec(
+                vec![self.dims.in_c, self.dims.in_h, self.dims.in_w],
+                x.row(s).to_vec(),
+            );
+            let patches = im2col(&sample, self.dims);
+            // [rows, cols] @ [out_c, cols]^T -> [rows, out_c]
+            let y = patches.matmul_bt(&self.w);
+            let dst = out.data_mut();
+            let base = s * self.out_c * rows;
+            for c in 0..self.out_c {
+                let bias = self.b.data()[c];
+                for r in 0..rows {
+                    dst[base + c * rows + r] = y.at2(r, c) + bias;
+                }
+            }
+            self.cached_patches.push(patches);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            !self.cached_patches.is_empty(),
+            "backward called before forward"
+        );
+        let batch = grad_out.shape()[0];
+        assert_eq!(batch, self.cached_patches.len(), "batch size changed");
+        let rows = self.dims.rows();
+        let in_len = self.dims.in_c * self.dims.in_h * self.dims.in_w;
+        let mut grad_in = Tensor::zeros(vec![batch, in_len]);
+        for s in 0..batch {
+            // Reassemble [rows, out_c] position-major gradient.
+            let gflat = grad_out.row(s);
+            let mut gpos = Tensor::zeros(vec![rows, self.out_c]);
+            for c in 0..self.out_c {
+                for r in 0..rows {
+                    gpos.set2(r, c, gflat[c * rows + r]);
+                }
+            }
+            let patches = &self.cached_patches[s];
+            // dW += gpos^T @ patches  -> [out_c, cols]
+            let gw = gpos.matmul_at(patches);
+            self.grad_w.add_assign(&gw);
+            // db += column sums of gpos.
+            let gb = gpos.sum_rows();
+            self.grad_b.add_assign(&gb);
+            // dPatches = gpos @ W -> [rows, cols]; scatter back.
+            let gp = gpos.matmul(&self.w);
+            let gi = col2im(&gp, self.dims);
+            grad_in.data_mut()[s * in_len..(s + 1) * in_len].copy_from_slice(gi.data());
+        }
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<ParamGrad<'_>> {
+        vec![
+            ParamGrad {
+                param: &mut self.w,
+                grad: &mut self.grad_w,
+            },
+            ParamGrad {
+                param: &mut self.b,
+                grad: &mut self.grad_b,
+            },
+        ]
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_w.scale(0.0);
+        self.grad_b.scale(0.0);
+    }
+
+    fn output_len(&self) -> usize {
+        self.out_len()
+    }
+
+    fn label(&self) -> String {
+        format!("conv({})", self.out_c)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_dims() -> ConvDims {
+        ConvDims {
+            in_c: 1,
+            in_h: 3,
+            in_w: 3,
+            k: 2,
+            s: 1,
+        }
+    }
+
+    #[test]
+    fn forward_computes_cross_correlation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(tiny_dims(), 1, &mut rng);
+        // Kernel that picks the top-left pixel of each patch.
+        conv.w = Tensor::from_vec(vec![1, 4], vec![1., 0., 0., 0.]);
+        conv.b = Tensor::from_vec(vec![1], vec![0.5]);
+        let x = Tensor::from_vec(vec![1, 9], (1..=9).map(|i| i as f32).collect());
+        let y = conv.forward(&x, true);
+        // Patch top-left values: 1,2,4,5; plus bias.
+        assert_eq!(y.data(), &[1.5, 2.5, 4.5, 5.5]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let dims = ConvDims {
+            in_c: 2,
+            in_h: 4,
+            in_w: 4,
+            k: 3,
+            s: 1,
+        };
+        let mut conv = Conv2d::new(dims, 3, &mut rng);
+        let x = Tensor::randn(vec![2, 32], 1.0, &mut rng);
+        let _ = conv.forward(&x, true);
+        let ones = Tensor::ones(vec![2, conv.out_len()]);
+        let gx = conv.backward(&ones);
+
+        let eps = 1e-2;
+        // Spot-check a few input coordinates.
+        for &i in &[0usize, 7, 31, 40, 63] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let yp = conv.forward(&xp, true).sum();
+            let ym = conv.forward(&xm, true).sum();
+            let fd = (yp - ym) / (2.0 * eps);
+            assert!(
+                (gx.data()[i] - fd).abs() < 1e-1,
+                "input grad {i}: analytic {} vs fd {fd}",
+                gx.data()[i]
+            );
+        }
+        // And a few weight coordinates.
+        let mut conv2 = Conv2d::new(dims, 3, &mut rng);
+        let _ = conv2.forward(&x, true);
+        let _ = conv2.backward(&ones);
+        let analytic = conv2.grad_w.clone();
+        for &i in &[0usize, 5, 17, 53] {
+            let orig = conv2.w.data()[i];
+            conv2.w.data_mut()[i] = orig + eps;
+            let yp = conv2.forward(&x, true).sum();
+            conv2.w.data_mut()[i] = orig - eps;
+            let ym = conv2.forward(&x, true).sum();
+            conv2.w.data_mut()[i] = orig;
+            let fd = (yp - ym) / (2.0 * eps);
+            assert!(
+                (analytic.data()[i] - fd).abs() < 1e-1,
+                "weight grad {i}: analytic {} vs fd {fd}",
+                analytic.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn paper_geometry_mnist_first_conv() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let dims = ConvDims {
+            in_c: 1,
+            in_h: 28,
+            in_w: 28,
+            k: 5,
+            s: 1,
+        };
+        let conv = Conv2d::new(dims, 40, &mut rng);
+        assert_eq!(conv.out_len(), 40 * 24 * 24);
+        assert_eq!(conv.label(), "conv(40)");
+    }
+
+    #[test]
+    #[should_panic(expected = "input features")]
+    fn wrong_input_length_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(tiny_dims(), 1, &mut rng);
+        let _ = conv.forward(&Tensor::zeros(vec![1, 8]), true);
+    }
+}

@@ -1,0 +1,151 @@
+//! Inverted dropout for regularising the paper's deep fc stacks.
+
+use crate::layer::Layer;
+use naps_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; at inference the
+/// layer is the identity, so monitored activation patterns are unaffected
+/// by it in deployment.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Vec<f32>>,
+    out_len: usize,
+}
+
+impl Dropout {
+    /// Dropout with drop probability `p`, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0,1), got {p}"
+        );
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+            out_len: 0,
+        }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.out_len = x.shape().iter().skip(1).product();
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| {
+                if self.rng.gen::<f32>() < self.p {
+                    0.0
+                } else {
+                    1.0 / keep
+                }
+            })
+            .collect();
+        let mut y = x.clone();
+        for (v, &m) in y.data_mut().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            None => grad_out.clone(),
+            Some(mask) => {
+                assert_eq!(
+                    mask.len(),
+                    grad_out.len(),
+                    "gradient shape changed between forward and backward"
+                );
+                let mut g = grad_out.clone();
+                for (v, &m) in g.data_mut().iter_mut().zip(mask) {
+                    *v *= m;
+                }
+                g
+            }
+        }
+    }
+
+    fn output_len(&self) -> usize {
+        self.out_len
+    }
+
+    fn label(&self) -> String {
+        format!("dropout({})", self.p)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.5, 0);
+        let x = Tensor::from_vec(vec![1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.forward(&x, false), x);
+        // Backward after inference forward passes gradients through.
+        let g = Tensor::ones(vec![1, 4]);
+        assert_eq!(d.backward(&g), g);
+    }
+
+    #[test]
+    fn training_zeroes_roughly_p_fraction() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::ones(vec![1, 1000]);
+        let y = d.forward(&x, true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        assert!((300..700).contains(&zeros), "{zeros} zeros");
+        // Survivors are scaled to keep the expectation.
+        for &v in y.data() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_reuses_forward_mask() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::ones(vec![1, 100]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones(vec![1, 100]));
+        for (gy, yy) in g.data().iter().zip(y.data()) {
+            assert_eq!(*gy == 0.0, *yy == 0.0, "mask mismatch");
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let mut d = Dropout::new(0.0, 3);
+        let x = Tensor::from_vec(vec![1, 3], vec![1.0, -2.0, 3.0]);
+        assert_eq!(d.forward(&x, true), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn invalid_probability_panics() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! The paper's two network architectures (Table I) and a generic MLP
+//! builder.
+
+use crate::conv::Conv2d;
+use crate::dense::Dense;
+use crate::layer::{Flatten, Layer};
+use crate::norm::BatchNorm2d;
+use crate::pool::MaxPool2d;
+use crate::relu::Relu;
+use crate::sequential::Sequential;
+use naps_tensor::ConvDims;
+use rand::Rng;
+
+/// Index of the monitored layer of [`mnist_net`]: the ReLU after `fc(40)`.
+///
+/// `Sequential::forward_all(..)[MNIST_MONITOR_LAYER + 1]` is the monitored
+/// activation (Table I highlights `ReLU(fc(40))` in bold).
+pub const MNIST_MONITOR_LAYER: usize = 14;
+
+/// Width of the monitored layer of [`mnist_net`] (`fc(40)`).
+pub const MNIST_MONITOR_WIDTH: usize = 40;
+
+/// Index of the monitored layer of [`gtsrb_net`]: the ReLU after `fc(84)`.
+pub const GTSRB_MONITOR_LAYER: usize = 12;
+
+/// Width of the monitored layer of [`gtsrb_net`] (`fc(84)`).
+pub const GTSRB_MONITOR_WIDTH: usize = 84;
+
+/// Network 1 of the paper (MNIST classifier):
+///
+/// `ReLU(Conv(40)), MaxPool, ReLU(Conv(20)), MaxPool, ReLU(fc(320)),
+/// ReLU(fc(160)), ReLU(fc(80)), ReLU(fc(40)), fc(10)` over 1×28×28 inputs,
+/// 5×5 kernels, stride 1, 2×2 max pooling.
+///
+/// The monitored layer is the ReLU after `fc(40)`
+/// ([`MNIST_MONITOR_LAYER`]).
+pub fn mnist_net(rng: &mut impl Rng) -> Sequential {
+    let conv1 = ConvDims {
+        in_c: 1,
+        in_h: 28,
+        in_w: 28,
+        k: 5,
+        s: 1,
+    }; // -> 40 x 24 x 24
+    let conv2 = ConvDims {
+        in_c: 40,
+        in_h: 12,
+        in_w: 12,
+        k: 5,
+        s: 1,
+    }; // -> 20 x 8 x 8
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Conv2d::new(conv1, 40, rng)),   // 0
+        Box::new(Relu::new()),                   // 1
+        Box::new(MaxPool2d::new(40, 24, 24, 2)), // 2  -> 40x12x12
+        Box::new(Conv2d::new(conv2, 20, rng)),   // 3
+        Box::new(Relu::new()),                   // 4
+        Box::new(MaxPool2d::new(20, 8, 8, 2)),   // 5  -> 20x4x4 = 320
+        Box::new(Flatten::new(320)),             // 6
+        Box::new(Dense::new(320, 320, rng)),     // 7
+        Box::new(Relu::new()),                   // 8
+        Box::new(Dense::new(320, 160, rng)),     // 9
+        Box::new(Relu::new()),                   // 10
+        Box::new(Dense::new(160, 80, rng)),      // 11
+        Box::new(Relu::new()),                   // 12
+        Box::new(Dense::new(80, 40, rng)),       // 13
+        Box::new(Relu::new()),                   // 14 <- monitored
+        Box::new(Dense::new(40, 10, rng)),       // 15
+    ];
+    Sequential::new(layers)
+}
+
+/// Network 2 of the paper (GTSRB classifier):
+///
+/// `ReLU(BN(Conv(40))), MaxPool, ReLU(BN(Conv(20))), MaxPool,
+/// ReLU(fc(240)), ReLU(fc(84)), fc(43)` over 3×32×32 inputs, 5×5 kernels,
+/// stride 1, 2×2 max pooling.
+///
+/// The monitored layer is the ReLU after `fc(84)`
+/// ([`GTSRB_MONITOR_LAYER`]); the paper monitors 25 % of its 84 neurons
+/// selected by gradient saliency, for the stop-sign class `c = 14`.
+pub fn gtsrb_net(rng: &mut impl Rng) -> Sequential {
+    let conv1 = ConvDims {
+        in_c: 3,
+        in_h: 32,
+        in_w: 32,
+        k: 5,
+        s: 1,
+    }; // -> 40 x 28 x 28
+    let conv2 = ConvDims {
+        in_c: 40,
+        in_h: 14,
+        in_w: 14,
+        k: 5,
+        s: 1,
+    }; // -> 20 x 10 x 10
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Conv2d::new(conv1, 40, rng)),   // 0
+        Box::new(BatchNorm2d::new(40, 28, 28)),  // 1
+        Box::new(Relu::new()),                   // 2
+        Box::new(MaxPool2d::new(40, 28, 28, 2)), // 3  -> 40x14x14
+        Box::new(Conv2d::new(conv2, 20, rng)),   // 4
+        Box::new(BatchNorm2d::new(20, 10, 10)),  // 5
+        Box::new(Relu::new()),                   // 6
+        Box::new(MaxPool2d::new(20, 10, 10, 2)), // 7  -> 20x5x5 = 500
+        Box::new(Flatten::new(500)),             // 8
+        Box::new(Dense::new(500, 240, rng)),     // 9
+        Box::new(Relu::new()),                   // 10
+        Box::new(Dense::new(240, 84, rng)),      // 11
+        Box::new(Relu::new()),                   // 12 <- monitored
+        Box::new(Dense::new(84, 43, rng)),       // 13
+    ];
+    Sequential::new(layers)
+}
+
+/// A plain ReLU multi-layer perceptron `dims[0] -> .. -> dims.last()`, with
+/// ReLU after every layer except the last (linear logits).
+///
+/// Used by the front-car case study and throughout the test suite.
+///
+/// # Panics
+///
+/// Panics if fewer than two dimensions are given.
+pub fn mlp(dims: &[usize], rng: &mut impl Rng) -> Sequential {
+    assert!(
+        dims.len() >= 2,
+        "an MLP needs at least input and output dims"
+    );
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    for w in dims.windows(2).enumerate() {
+        let (i, pair) = w;
+        layers.push(Box::new(Dense::new(pair[0], pair[1], rng)));
+        if i + 2 < dims.len() {
+            layers.push(Box::new(Relu::new()));
+        }
+    }
+    Sequential::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naps_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mnist_net_shapes_flow() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = mnist_net(&mut rng);
+        let x = Tensor::zeros(vec![1, 28 * 28]);
+        let acts = net.forward_all(&x, false);
+        assert_eq!(acts.last().unwrap().shape(), &[1, 10]);
+        // Monitored activation is the 40-wide ReLU output.
+        assert_eq!(acts[MNIST_MONITOR_LAYER + 1].shape(), &[1, 40]);
+        assert_eq!(net.layer(MNIST_MONITOR_LAYER).label(), "relu");
+        assert_eq!(net.layer(MNIST_MONITOR_LAYER - 1).label(), "fc(40)");
+    }
+
+    #[test]
+    fn gtsrb_net_shapes_flow() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = gtsrb_net(&mut rng);
+        let x = Tensor::zeros(vec![1, 3 * 32 * 32]);
+        let acts = net.forward_all(&x, false);
+        assert_eq!(acts.last().unwrap().shape(), &[1, 43]);
+        assert_eq!(acts[GTSRB_MONITOR_LAYER + 1].shape(), &[1, 84]);
+        assert_eq!(net.layer(GTSRB_MONITOR_LAYER).label(), "relu");
+        assert_eq!(net.layer(GTSRB_MONITOR_LAYER - 1).label(), "fc(84)");
+    }
+
+    #[test]
+    fn mnist_summary_matches_table_1() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = mnist_net(&mut rng);
+        let s = net.summary();
+        assert!(s.contains("conv(40)"));
+        assert!(s.contains("conv(20)"));
+        assert!(s.contains("fc(320)"));
+        assert!(s.contains("fc(40)"));
+        assert!(s.ends_with("fc(10)"));
+    }
+
+    #[test]
+    fn gtsrb_summary_matches_table_1() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = gtsrb_net(&mut rng);
+        let s = net.summary();
+        assert!(s.contains("bn"));
+        assert!(s.contains("fc(240)"));
+        assert!(s.contains("fc(84)"));
+        assert!(s.ends_with("fc(43)"));
+    }
+
+    #[test]
+    fn mlp_builder_alternates_dense_relu() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = mlp(&[4, 8, 8, 3], &mut rng);
+        assert_eq!(net.summary(), "fc(8), relu, fc(8), relu, fc(3)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn mlp_needs_two_dims() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = mlp(&[4], &mut rng);
+    }
+}

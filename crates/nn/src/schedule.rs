@@ -1,0 +1,221 @@
+//! Learning-rate schedules and early stopping for [`crate::Trainer`].
+//!
+//! The paper trains its two networks to near-saturated training accuracy
+//! (Table I) — exactly the regime where a decaying learning rate and an
+//! early-stopping criterion save wall-clock without changing the monitor
+//! story.  Schedules map an epoch index to a learning-rate multiple of
+//! the optimizer's base rate; [`EarlyStop`] halts training when the
+//! epoch loss stops improving.
+
+/// Maps an epoch index to the learning rate for that epoch.
+///
+/// `base_lr` is the optimizer's rate at the start of training; epoch
+/// indices are 0-based.
+pub trait LrSchedule: std::fmt::Debug {
+    /// Learning rate to use for `epoch`.
+    fn lr_at(&self, epoch: usize, base_lr: f32) -> f32;
+}
+
+/// The trivial schedule: the base rate, every epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConstantLr;
+
+impl LrSchedule for ConstantLr {
+    fn lr_at(&self, _epoch: usize, base_lr: f32) -> f32 {
+        base_lr
+    }
+}
+
+/// Multiplies the rate by `factor` every `every` epochs (classic step
+/// decay).
+///
+/// # Example
+///
+/// ```
+/// use naps_nn::{LrSchedule, StepDecay};
+///
+/// let s = StepDecay::new(10, 0.5);
+/// assert_eq!(s.lr_at(0, 1.0), 1.0);
+/// assert_eq!(s.lr_at(10, 1.0), 0.5);
+/// assert_eq!(s.lr_at(25, 1.0), 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDecay {
+    every: usize,
+    factor: f32,
+}
+
+impl StepDecay {
+    /// Decay by `factor` every `every` epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero or `factor` is not in `(0, 1]`.
+    pub fn new(every: usize, factor: f32) -> Self {
+        assert!(every > 0, "decay interval must be positive");
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        StepDecay { every, factor }
+    }
+}
+
+impl LrSchedule for StepDecay {
+    fn lr_at(&self, epoch: usize, base_lr: f32) -> f32 {
+        base_lr * self.factor.powi((epoch / self.every) as i32)
+    }
+}
+
+/// Cosine annealing from the base rate down to `min_lr` over
+/// `total_epochs` (Loshchilov & Hutter, without restarts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineDecay {
+    total_epochs: usize,
+    min_lr: f32,
+}
+
+impl CosineDecay {
+    /// Anneal over `total_epochs` to a floor of `min_lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_epochs` is zero or `min_lr` is negative.
+    pub fn new(total_epochs: usize, min_lr: f32) -> Self {
+        assert!(total_epochs > 0, "schedule length must be positive");
+        assert!(min_lr >= 0.0, "floor must be non-negative");
+        CosineDecay {
+            total_epochs,
+            min_lr,
+        }
+    }
+}
+
+impl LrSchedule for CosineDecay {
+    fn lr_at(&self, epoch: usize, base_lr: f32) -> f32 {
+        let t = (epoch.min(self.total_epochs) as f32) / self.total_epochs as f32;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+        self.min_lr + (base_lr - self.min_lr) * cos
+    }
+}
+
+/// Stops training when the epoch loss has not improved by at least
+/// `min_delta` for `patience` consecutive epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStop {
+    /// Epochs without improvement tolerated before stopping.
+    pub patience: usize,
+    /// Minimum loss decrease that counts as improvement.
+    pub min_delta: f32,
+}
+
+impl EarlyStop {
+    /// An early-stopping criterion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patience` is zero or `min_delta` is negative.
+    pub fn new(patience: usize, min_delta: f32) -> Self {
+        assert!(patience > 0, "patience must be positive");
+        assert!(min_delta >= 0.0, "min_delta must be non-negative");
+        EarlyStop {
+            patience,
+            min_delta,
+        }
+    }
+}
+
+/// Tracks epoch losses against an [`EarlyStop`] criterion.
+#[derive(Debug, Clone)]
+pub(crate) struct EarlyStopState {
+    criterion: EarlyStop,
+    best: f32,
+    stale: usize,
+}
+
+impl EarlyStopState {
+    pub(crate) fn new(criterion: EarlyStop) -> Self {
+        EarlyStopState {
+            criterion,
+            best: f32::INFINITY,
+            stale: 0,
+        }
+    }
+
+    /// Records one epoch loss; returns `true` when training should stop.
+    pub(crate) fn update(&mut self, loss: f32) -> bool {
+        if loss < self.best - self.criterion.min_delta {
+            self.best = loss;
+            self.stale = 0;
+        } else {
+            self.stale += 1;
+        }
+        self.stale >= self.criterion.patience
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let s = ConstantLr;
+        for e in [0usize, 3, 100] {
+            assert_eq!(s.lr_at(e, 0.01), 0.01);
+        }
+    }
+
+    #[test]
+    fn step_decay_is_piecewise_constant() {
+        let s = StepDecay::new(5, 0.1);
+        assert_eq!(s.lr_at(4, 1.0), 1.0);
+        assert!((s.lr_at(5, 1.0) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(9, 1.0) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(10, 1.0) - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_starts_at_base_and_ends_at_floor() {
+        let s = CosineDecay::new(20, 1e-4);
+        assert!((s.lr_at(0, 0.1) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(20, 0.1) - 1e-4).abs() < 1e-7);
+        // Past the horizon it stays at the floor.
+        assert!((s.lr_at(50, 0.1) - 1e-4).abs() < 1e-7);
+        // Monotone decreasing over the horizon.
+        let mut prev = f32::INFINITY;
+        for e in 0..=20 {
+            let lr = s.lr_at(e, 0.1);
+            assert!(lr <= prev + 1e-9, "lr rose at epoch {e}");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn early_stop_waits_out_patience() {
+        let mut st = EarlyStopState::new(EarlyStop::new(2, 0.01));
+        assert!(!st.update(1.0)); // improvement (from infinity)
+        assert!(!st.update(0.5)); // improvement
+        assert!(!st.update(0.495)); // below min_delta: stale 1
+        assert!(st.update(0.5)); // stale 2 -> stop
+    }
+
+    #[test]
+    fn early_stop_resets_on_improvement() {
+        let mut st = EarlyStopState::new(EarlyStop::new(2, 0.0));
+        assert!(!st.update(1.0));
+        assert!(!st.update(1.0)); // stale 1
+        assert!(!st.update(0.9)); // improvement resets
+        assert!(!st.update(0.9)); // stale 1
+        assert!(st.update(0.9)); // stale 2
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be in (0, 1]")]
+    fn step_decay_rejects_growth() {
+        let _ = StepDecay::new(3, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "patience must be positive")]
+    fn early_stop_rejects_zero_patience() {
+        let _ = EarlyStop::new(0, 0.1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Sequential composition of layers, with activation taps and
+//! boundary-gradient collection.
+
+use crate::layer::{Layer, ParamGrad};
+use naps_tensor::Tensor;
+
+/// A feed-forward stack of layers, applied in order.
+///
+/// Besides plain [`forward`](Sequential::forward), the container exposes
+/// [`forward_all`](Sequential::forward_all), which returns **every**
+/// intermediate activation: the runtime monitor reads the output of the
+/// layer it watches from that list, exactly like a forward hook in the
+/// paper's PyTorch implementation.
+#[derive(Debug)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Composes `layers` front to back.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the stack has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Immutable access to a layer.
+    pub fn layer(&self, idx: usize) -> &dyn Layer {
+        self.layers[idx].as_ref()
+    }
+
+    /// Mutable access to a layer (e.g. to read `Dense::weights` for the
+    /// saliency special case).
+    pub fn layer_mut(&mut self, idx: usize) -> &mut dyn Layer {
+        self.layers[idx].as_mut()
+    }
+
+    /// Runs the network on a batch `[batch, features]`, returning logits.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    /// Runs the network and returns every activation: entry `0` is the
+    /// input, entry `i + 1` is the output of layer `i` (so the last entry
+    /// is the logits).
+    pub fn forward_all(&mut self, x: &Tensor, train: bool) -> Vec<Tensor> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.clone());
+        for layer in &mut self.layers {
+            let next = layer.forward(acts.last().expect("nonempty"), train);
+            acts.push(next);
+        }
+        acts
+    }
+
+    /// Backpropagates `grad_out` (w.r.t. the logits) through the stack,
+    /// accumulating parameter gradients, and returns the gradient w.r.t.
+    /// the network input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Like [`backward`](Sequential::backward) but returns the gradient at
+    /// **every** layer boundary: entry `i` is the gradient w.r.t. the input
+    /// of layer `i` (equivalently the output of layer `i - 1`), and the
+    /// final entry is `grad_out` itself.
+    ///
+    /// Gradient saliency for a monitored layer `l` reads entry `l + 1`.
+    pub fn backward_all(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
+        let mut grads = vec![Tensor::default(); self.layers.len() + 1];
+        grads[self.layers.len()] = grad_out.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            grads[i] = layer.backward(&grads[i + 1]);
+        }
+        grads
+    }
+
+    /// All `(parameter, gradient)` pairs of the stack, in layer order.
+    pub fn params_mut(&mut self) -> Vec<ParamGrad<'_>> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_parameters(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.param.len()).sum()
+    }
+
+    /// Architecture summary in the paper's Table I notation, e.g.
+    /// `"conv(40), maxpool, fc(320), relu, fc(10)"`.
+    pub fn summary(&self) -> String {
+        self.layers
+            .iter()
+            .map(|l| l.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Predicted class per sample: argmax over logits.
+    pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
+        let logits = self.forward(x, false);
+        let classes = logits.shape()[1];
+        (0..logits.shape()[0])
+            .map(|r| {
+                let row = logits.row(r);
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                let _ = classes;
+                best
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use crate::relu::Relu;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new(vec![
+            Box::new(Dense::new(3, 5, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(5, 2, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn forward_all_exposes_intermediates() {
+        let mut net = tiny_net(0);
+        let x = Tensor::ones(vec![2, 3]);
+        let acts = net.forward_all(&x, false);
+        assert_eq!(acts.len(), 4);
+        assert_eq!(acts[0].shape(), &[2, 3]);
+        assert_eq!(acts[2].shape(), &[2, 5]); // output of the ReLU tap
+        assert_eq!(acts[3].shape(), &[2, 2]);
+        // forward and forward_all agree on the logits.
+        let direct = net.forward(&x, false);
+        assert_eq!(acts[3], direct);
+    }
+
+    #[test]
+    fn backward_all_boundary_shapes() {
+        let mut net = tiny_net(1);
+        let x = Tensor::ones(vec![1, 3]);
+        let _ = net.forward(&x, true);
+        let g = Tensor::ones(vec![1, 2]);
+        let grads = net.backward_all(&g);
+        assert_eq!(grads.len(), 4);
+        assert_eq!(grads[0].shape(), &[1, 3]);
+        assert_eq!(grads[2].shape(), &[1, 5]);
+        assert_eq!(grads[3], g);
+    }
+
+    #[test]
+    fn backward_all_agrees_with_backward() {
+        let mut a = tiny_net(2);
+        let mut b = tiny_net(2);
+        let x = Tensor::from_vec(vec![1, 3], vec![0.1, -0.4, 0.9]);
+        let g = Tensor::from_vec(vec![1, 2], vec![1.0, -2.0]);
+        let _ = a.forward(&x, true);
+        let ga = a.backward(&g);
+        let _ = b.forward(&x, true);
+        let gb = b.backward_all(&g);
+        assert_eq!(ga, gb[0]);
+    }
+
+    #[test]
+    fn num_parameters_counts_all() {
+        let mut net = tiny_net(3);
+        // (3*5 + 5) + (5*2 + 2) = 32
+        assert_eq!(net.num_parameters(), 32);
+    }
+
+    #[test]
+    fn summary_lists_layers() {
+        let net = tiny_net(4);
+        assert_eq!(net.summary(), "fc(5), relu, fc(2)");
+    }
+
+    #[test]
+    fn predict_takes_argmax() {
+        let w = Tensor::from_vec(vec![1, 2], vec![1.0, -1.0]);
+        let b = Tensor::from_vec(vec![2], vec![0.0, 0.0]);
+        let mut net = Sequential::new(vec![Box::new(Dense::from_parts(w, b))]);
+        let preds = net.predict(&Tensor::from_vec(vec![2, 1], vec![2.0, -3.0]));
+        assert_eq!(preds, vec![0, 1]);
+    }
+}

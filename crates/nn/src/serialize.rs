@@ -1,0 +1,196 @@
+//! Model serialization for deployment: capture a trained [`Sequential`]
+//! into a self-contained, serde-friendly snapshot and restore it later —
+//! the companion of [`naps_core`-style] monitor snapshots, so a monitored
+//! network ships as two JSON files.
+//!
+//! Convolutional models are supported through their full parameter set;
+//! stateful training caches are not captured (snapshots restore in
+//! inference-ready state).
+
+use crate::dense::Dense;
+use crate::dropout::Dropout;
+use crate::layer::{Flatten, Layer};
+use crate::leaky::LeakyRelu;
+use crate::relu::Relu;
+use crate::sequential::Sequential;
+use naps_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A layer's serialisable description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum LayerSnapshot {
+    /// Fully-connected layer: weights `[in, out]` and bias `[out]`.
+    Dense {
+        /// Weight matrix.
+        w: Tensor,
+        /// Bias vector.
+        b: Tensor,
+    },
+    /// ReLU activation.
+    Relu,
+    /// Leaky ReLU with its slope.
+    LeakyRelu {
+        /// Negative-side slope.
+        slope: f32,
+    },
+    /// Dropout (restored with a fresh deterministic RNG).
+    Dropout {
+        /// Drop probability.
+        p: f32,
+    },
+    /// Flatten marker with its feature count.
+    Flatten {
+        /// Features per sample.
+        features: usize,
+    },
+}
+
+/// A serialisable description of an MLP-style [`Sequential`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelSnapshot {
+    /// Layer descriptions in order.
+    pub layers: Vec<LayerSnapshot>,
+}
+
+/// Error restoring or capturing a model snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The model contains a layer type the snapshot format cannot express
+    /// (e.g. convolution, pooling, batch norm).
+    UnsupportedLayer {
+        /// The layer's label.
+        label: String,
+        /// Its position.
+        index: usize,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::UnsupportedLayer { label, index } => {
+                write!(f, "layer {index} ({label}) cannot be snapshotted")
+            }
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+impl ModelSnapshot {
+    /// Captures an MLP-style model (Dense / ReLU / LeakyReLU / Dropout /
+    /// Flatten layers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::UnsupportedLayer`] for convolutional or
+    /// normalisation layers; snapshot those models with custom tooling.
+    pub fn capture(model: &Sequential) -> Result<Self, SnapshotError> {
+        let mut layers = Vec::with_capacity(model.len());
+        for i in 0..model.len() {
+            let layer = model.layer(i);
+            let any = layer.as_any();
+            let snap = if let Some(d) = any.downcast_ref::<Dense>() {
+                LayerSnapshot::Dense {
+                    w: d.weights().clone(),
+                    b: d.bias().clone(),
+                }
+            } else if any.downcast_ref::<Relu>().is_some() {
+                LayerSnapshot::Relu
+            } else if let Some(l) = any.downcast_ref::<LeakyRelu>() {
+                LayerSnapshot::LeakyRelu { slope: l.slope() }
+            } else if let Some(d) = any.downcast_ref::<Dropout>() {
+                LayerSnapshot::Dropout { p: d.probability() }
+            } else if let Some(f) = any.downcast_ref::<Flatten>() {
+                LayerSnapshot::Flatten {
+                    features: f.output_len(),
+                }
+            } else {
+                // Conv2d, MaxPool2d, BatchNorm2d and any future stateful
+                // layer fall through here.
+                return Err(SnapshotError::UnsupportedLayer {
+                    label: layer.label(),
+                    index: i,
+                });
+            };
+            layers.push(snap);
+        }
+        Ok(ModelSnapshot { layers })
+    }
+
+    /// Rebuilds the model.  Dropout layers get a fixed seed (they are
+    /// inert at inference anyway).
+    pub fn restore(&self) -> Sequential {
+        let layers: Vec<Box<dyn Layer>> = self
+            .layers
+            .iter()
+            .map(|l| -> Box<dyn Layer> {
+                match l {
+                    LayerSnapshot::Dense { w, b } => {
+                        Box::new(Dense::from_parts(w.clone(), b.clone()))
+                    }
+                    LayerSnapshot::Relu => Box::new(Relu::new()),
+                    LayerSnapshot::LeakyRelu { slope } => Box::new(LeakyRelu::new(*slope)),
+                    LayerSnapshot::Dropout { p } => Box::new(Dropout::new(*p, 0)),
+                    LayerSnapshot::Flatten { features } => Box::new(Flatten::new(*features)),
+                }
+            })
+            .collect();
+        Sequential::new(layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_snapshot_roundtrips_inference() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = crate::models::mlp(&[4, 8, 3], &mut rng);
+        let snap = ModelSnapshot::capture(&net).expect("capture");
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: ModelSnapshot = serde_json::from_str(&json).expect("deserialize");
+        let mut restored = back.restore();
+        let x = Tensor::from_vec(vec![2, 4], (0..8).map(|i| i as f32 * 0.3 - 1.0).collect());
+        assert_eq!(net.forward(&x, false), restored.forward(&x, false));
+    }
+
+    #[test]
+    fn snapshot_preserves_layer_variants() {
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Dense::from_parts(
+                Tensor::from_vec(vec![2, 2], vec![1., 0., 0., 1.]),
+                Tensor::zeros(vec![2]),
+            )),
+            Box::new(LeakyRelu::new(0.1)),
+            Box::new(Dropout::new(0.3, 7)),
+            Box::new(Flatten::new(2)),
+            Box::new(Relu::new()),
+        ];
+        let mut net = Sequential::new(layers);
+        let x = Tensor::from_vec(vec![1, 2], vec![0.5, -0.5]);
+        let _ = net.forward(&x, false);
+        let snap = ModelSnapshot::capture(&net).expect("capture");
+        assert_eq!(snap.layers.len(), 5);
+        let mut restored = snap.restore();
+        assert_eq!(restored.summary(), net.summary());
+        assert_eq!(restored.forward(&x, false), net.forward(&x, false));
+    }
+
+    #[test]
+    fn conv_models_are_rejected_with_context() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = crate::models::mnist_net(&mut rng);
+        let err = ModelSnapshot::capture(&net).expect_err("conv unsupported");
+        let SnapshotError::UnsupportedLayer { label, index } = err;
+        assert_eq!(index, 0);
+        assert!(label.contains("conv"));
+    }
+}

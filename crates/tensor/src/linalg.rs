@@ -1,0 +1,211 @@
+//! 2-D linear algebra: matrix products (plain and transposed variants) and
+//! transpose.  The transposed variants avoid materialising intermediate
+//! transposes inside backpropagation.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Matrix product `self @ other` for 2-D tensors `[m,k] @ [k,n] -> [m,n]`.
+    ///
+    /// Uses an i-k-j loop order so the inner loop streams both the output
+    /// row and the right-hand row — the cache-friendly layout for row-major
+    /// data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = dims2(self, "matmul lhs");
+        let (k2, n) = dims2(other, "matmul rhs");
+        assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue; // ReLU outputs are often sparse
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(vec![m, n], out)
+    }
+
+    /// Matrix product with a transposed left operand:
+    /// `self^T @ other` for `[k,m]^T @ [k,n] -> [m,n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the shared dimension differs.
+    pub fn matmul_at(&self, other: &Tensor) -> Tensor {
+        let (k, m) = dims2(self, "matmul_at lhs");
+        let (k2, n) = dims2(other, "matmul_at rhs");
+        assert_eq!(k, k2, "matmul_at shared dimensions differ: {k} vs {k2}");
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(vec![m, n], out)
+    }
+
+    /// Matrix product with a transposed right operand:
+    /// `self @ other^T` for `[m,k] @ [n,k]^T -> [m,n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the shared dimension differs.
+    pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
+        let (m, k) = dims2(self, "matmul_bt lhs");
+        let (n, k2) = dims2(other, "matmul_bt rhs");
+        assert_eq!(k, k2, "matmul_bt shared dimensions differ: {k} vs {k2}");
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(vec![m, n], out)
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose(&self) -> Tensor {
+        let (m, n) = dims2(self, "transpose");
+        let a = self.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = a[i * n + j];
+            }
+        }
+        Tensor::from_vec(vec![n, m], out)
+    }
+
+    /// Sums a 2-D tensor over its rows, returning a `[cols]` tensor.
+    ///
+    /// Used to reduce per-sample bias gradients over a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn sum_rows(&self) -> Tensor {
+        let (m, n) = dims2(self, "sum_rows");
+        let mut out = vec![0.0f32; n];
+        for i in 0..m {
+            for (o, &v) in out.iter_mut().zip(self.row(i)) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(vec![n], out)
+    }
+}
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    let s = t.shape();
+    assert_eq!(s.len(), 2, "{what} requires a 2-D tensor, got shape {s:?}");
+    (s[0], s[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a23() -> Tensor {
+        Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.])
+    }
+    fn b32() -> Tensor {
+        Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.])
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let c = a23().matmul(&b32());
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_at_equals_explicit_transpose() {
+        let a = a23(); // [2,3]
+        let x = Tensor::from_vec(vec![2, 4], (0..8).map(|i| i as f32).collect());
+        let viat = a.matmul_at(&x); // a^T [3,2] @ [2,4]
+        let explicit = a.transpose().matmul(&x);
+        assert_eq!(viat, explicit);
+    }
+
+    #[test]
+    fn matmul_bt_equals_explicit_transpose() {
+        let a = a23(); // [2,3]
+        let b = Tensor::from_vec(vec![4, 3], (0..12).map(|i| i as f32).collect());
+        let viat = a.matmul_bt(&b); // [2,3] @ [4,3]^T
+        let explicit = a.matmul(&b.transpose());
+        assert_eq!(viat, explicit);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = a23();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = a23();
+        let eye = Tensor::from_vec(vec![3, 3], vec![1., 0., 0., 0., 1., 0., 0., 0., 1.]);
+        assert_eq!(a.matmul(&eye), a);
+    }
+
+    #[test]
+    fn sum_rows_reduces_batch() {
+        let a = a23();
+        let s = a.sum_rows();
+        assert_eq!(s.shape(), &[3]);
+        assert_eq!(s.data(), &[5., 7., 9.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_dim_mismatch_panics() {
+        let a = a23();
+        let b = Tensor::zeros(vec![2, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_skips_zero_rows_correctly() {
+        // Sparsity fast-path must not change results.
+        let a = Tensor::from_vec(vec![2, 3], vec![0., 2., 0., 4., 0., 6.]);
+        let b = b32();
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[18., 20., 94., 104.]);
+    }
+}

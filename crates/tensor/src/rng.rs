@@ -1,0 +1,83 @@
+//! Random initialisation helpers: Gaussian sampling and Xavier/Glorot
+//! uniform initialisation for layer weights.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Extension trait adding Gaussian sampling to any [`rand::Rng`].
+///
+/// Implemented with the Box–Muller transform so the crate needs no
+/// distribution dependency beyond `rand` itself.
+pub trait Randn: Rng {
+    /// One sample from `N(0, 1)`.
+    fn randn(&mut self) -> f32 {
+        // Box–Muller; clamp the uniform away from 0 to keep ln finite.
+        let u1: f32 = self.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+}
+
+impl<R: Rng + ?Sized> Randn for R {}
+
+/// A tensor with entries drawn uniformly from the Xavier/Glorot range
+/// `±sqrt(6 / (fan_in + fan_out))` — the initialisation that keeps layer
+/// activations well-scaled so the paper's deep fc stacks train reliably.
+pub fn xavier_uniform(
+    shape: Vec<usize>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+    let bound = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
+    let numel: usize = shape.iter().product();
+    let data = (0..numel).map(|_| rng.gen_range(-bound..bound)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+impl Tensor {
+    /// A tensor with i.i.d. `N(0, std²)` entries.
+    pub fn randn(shape: Vec<usize>, std: f32, rng: &mut impl Rng) -> Tensor {
+        let numel: usize = shape.iter().product();
+        let data = (0..numel).map(|_| rng.randn() * std).collect();
+        Tensor::from_vec(shape, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_has_plausible_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| rng.randn()).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = xavier_uniform(vec![64, 32], 32, 64, &mut rng);
+        let bound = (6.0f32 / 96.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= bound));
+        // Not degenerate.
+        assert!(t.data().iter().any(|&x| x.abs() > bound * 0.5));
+    }
+
+    #[test]
+    fn randn_tensor_is_seeded_deterministically() {
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        let ta = Tensor::randn(vec![8], 2.0, &mut a);
+        let tb = Tensor::randn(vec![8], 2.0, &mut b);
+        assert_eq!(ta, tb);
+    }
+}

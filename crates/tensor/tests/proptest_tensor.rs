@@ -1,0 +1,100 @@
+//! Property-based tests for the tensor substrate: linear-algebra laws and
+//! the im2col/col2im adjoint relation on random geometries.
+
+use naps_tensor::{col2im, im2col, max_pool2d, max_pool2d_backward, ConvDims, Tensor};
+use proptest::prelude::*;
+
+fn tensor(m: usize, n: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, m * n)
+        .prop_map(move |d| Tensor::from_vec(vec![m, n], d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// (A B) C == A (B C) within f32 tolerance on small random matrices.
+    #[test]
+    fn matmul_is_associative(
+        a in tensor(3, 2), b in tensor(2, 4), c in tensor(4, 2),
+    ) {
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    /// Transpose is an involution and (AB)^T == B^T A^T.
+    #[test]
+    fn transpose_laws(a in tensor(3, 4), b in tensor(4, 2)) {
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let ab_t = a.matmul(&b).transpose();
+        let bt_at = b.transpose().matmul(&a.transpose());
+        for (x, y) in ab_t.data().iter().zip(bt_at.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Elementwise ops are pointwise and shape-preserving.
+    #[test]
+    fn elementwise_laws(a in tensor(2, 5), b in tensor(2, 5)) {
+        let sum = a.add(&b);
+        let diff = sum.sub(&b);
+        for (x, y) in diff.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+        let prod = a.mul(&b);
+        for ((p, x), y) in prod.data().iter().zip(a.data()).zip(b.data()) {
+            prop_assert!((p - x * y).abs() < 1e-5);
+        }
+    }
+
+    /// im2col/col2im satisfy the adjoint identity
+    /// <im2col(x), g> == <x, col2im(g)> for random geometry and data.
+    #[test]
+    fn im2col_col2im_are_adjoint(
+        c in 1usize..3,
+        h in 3usize..6,
+        k in 1usize..3,
+        seed in 0u64..500,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let dims = ConvDims { in_c: c, in_h: h, in_w: h, k, s: 1 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(vec![c, h, h], 1.0, &mut rng);
+        let g = Tensor::randn(vec![dims.rows(), dims.cols()], 1.0, &mut rng);
+        let px = im2col(&x, dims);
+        let lhs: f32 = px.data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+        let back = col2im(&g, dims);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    /// Max pooling returns genuine per-window maxima and its backward
+    /// routes all gradient mass (conservation).
+    #[test]
+    fn pooling_laws(seed in 0u64..500) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(vec![2, 4, 4], 1.0, &mut rng);
+        let (pooled, arg) = max_pool2d(&x, 2, 4, 4, 2);
+        // Every pooled value is attained at its argmax position.
+        for (o, &idx) in pooled.data().iter().zip(&arg) {
+            prop_assert_eq!(*o, x.data()[idx]);
+        }
+        // Gradient conservation.
+        let g = Tensor::ones(vec![2, 2, 2]);
+        let back = max_pool2d_backward(&g, &arg, x.len());
+        prop_assert!((back.sum() - g.sum()).abs() < 1e-5);
+    }
+
+    /// sum_rows equals per-column summation.
+    #[test]
+    fn sum_rows_is_column_sum(a in tensor(4, 3)) {
+        let s = a.sum_rows();
+        for col in 0..3 {
+            let manual: f32 = (0..4).map(|r| a.at2(r, col)).sum();
+            prop_assert!((s.data()[col] - manual).abs() < 1e-4);
+        }
+    }
+}

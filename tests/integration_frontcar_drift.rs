@@ -1,0 +1,116 @@
+//! Integration: the front-car pipeline's monitor verdicts feeding the
+//! drift detector — the fleet-level story of the paper's introduction
+//! ("the network deployed on an autonomous vehicle needs to be updated")
+//! on the Figure 3 case study.
+
+use naps::frontcar::{Conditions, FrontCarPipeline, PipelineConfig, Scenario};
+use naps::monitor::{DriftConfig, DriftDetector, DriftStatus, Verdict};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pipeline(seed: u64) -> (FrontCarPipeline, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pipeline = FrontCarPipeline::train(
+        PipelineConfig {
+            train_scenarios: 800,
+            epochs: 12,
+            ..PipelineConfig::default()
+        },
+        &mut rng,
+    );
+    (pipeline, rng)
+}
+
+fn stream(
+    pipeline: &mut FrontCarPipeline,
+    conditions: Conditions,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<Verdict> {
+    (0..n)
+        .map(|_| {
+            let scenario = Scenario::sample(conditions, rng);
+            pipeline.step(&scenario, rng).verdict
+        })
+        .collect()
+}
+
+#[test]
+fn degraded_sensor_episode_raises_the_fleet_alarm() {
+    let (mut pipeline, mut rng) = pipeline(3);
+
+    // Calibrate on nominal traffic.
+    let nominal = stream(&mut pipeline, Conditions::nominal(), 400, &mut rng);
+    let baseline = nominal
+        .iter()
+        .filter(|v| **v == Verdict::OutOfPattern)
+        .count() as f64
+        / nominal.len() as f64;
+    let degraded = stream(&mut pipeline, Conditions::degraded_sensor(), 400, &mut rng);
+    let degraded_rate = degraded
+        .iter()
+        .filter(|v| **v == Verdict::OutOfPattern)
+        .count() as f64
+        / degraded.len() as f64;
+    assert!(
+        degraded_rate > baseline,
+        "degraded sensing did not raise the warning rate: {degraded_rate:.3} <= {baseline:.3}"
+    );
+
+    // The alarm threshold sits between the two measured rates, as a team
+    // calibrating on validation data would place it.
+    let config = DriftConfig {
+        baseline_rate: baseline,
+        alarm_rate: (baseline + degraded_rate) / 2.0,
+        window: 100,
+        ewma_alpha: 0.05,
+        patience: 15,
+    };
+    let mut det = DriftDetector::new(config);
+
+    // Nominal deployment: no alarm.
+    det.observe_all(&nominal);
+    assert_ne!(
+        det.status(),
+        DriftStatus::Drifting,
+        "nominal traffic alarmed"
+    );
+    let nominal_alarms = det.alarm_count();
+
+    // Sensor degradation episode: the alarm must fire within the episode.
+    let mut fired = false;
+    for v in &degraded {
+        if det.observe(*v) == DriftStatus::Drifting {
+            fired = true;
+        }
+    }
+    assert!(fired, "degraded-sensor episode never alarmed");
+    assert!(det.alarm_count() > nominal_alarms);
+}
+
+#[test]
+fn monitor_distance_grows_under_degraded_sensing() {
+    let (mut pipeline, mut rng) = pipeline(5);
+    let sum_distance =
+        |pipeline: &mut FrontCarPipeline, conditions: Conditions, rng: &mut StdRng| {
+            let mut total = 0u64;
+            let mut count = 0u64;
+            for _ in 0..300 {
+                let scenario = Scenario::sample(conditions, rng);
+                if let Some(d) = pipeline.step(&scenario, rng).distance_to_seeds {
+                    total += u64::from(d);
+                    count += 1;
+                }
+            }
+            total as f64 / count.max(1) as f64
+        };
+    let nominal = sum_distance(&mut pipeline, Conditions::nominal(), &mut rng);
+    let degraded = sum_distance(&mut pipeline, Conditions::degraded_sensor(), &mut rng);
+    // The mean Hamming distance to the training patterns is the graded
+    // version of the out-of-pattern verdict; degradation should push
+    // activations further from the comfort zones on average.
+    assert!(
+        degraded >= nominal,
+        "mean distance fell under degradation: {degraded:.3} < {nominal:.3}"
+    );
+}
