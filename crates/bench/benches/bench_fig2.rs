@@ -16,10 +16,13 @@ fn configured() -> Criterion {
 }
 
 /// Full sweep cost: dilate a 40-bit zone from γ = 0 to the target radius.
+/// Dilation cost grows roughly an order of magnitude per radius step
+/// (γ = 4 already takes ~1.5 min on this fixture), so the sweep stops at
+/// γ = 3 to keep the bench suite tractable.
 fn sweep_to_gamma(c: &mut Criterion) {
     let seeds = clustered_patterns(300, 40, 1, 21);
     let mut group = c.benchmark_group("fig2_sweep_to_gamma");
-    for gamma in [2u32, 4, 6] {
+    for gamma in [1u32, 2, 3] {
         group.bench_with_input(BenchmarkId::from_parameter(gamma), &gamma, |b, &g| {
             b.iter_batched(
                 || zone_from_patterns::<BddZone>(&seeds, 0),
@@ -40,7 +43,7 @@ fn query_at_gamma(c: &mut Criterion) {
     let seeds = clustered_patterns(300, 40, 1, 22);
     let probes = clustered_patterns(64, 40, 4, 23);
     let mut group = c.benchmark_group("fig2_query_at_gamma");
-    for gamma in [0u32, 2, 4, 6] {
+    for gamma in [0u32, 1, 2, 3] {
         let zone: BddZone = zone_from_patterns(&seeds, gamma);
         group.bench_with_input(BenchmarkId::from_parameter(gamma), &gamma, |b, _| {
             let mut i = 0usize;

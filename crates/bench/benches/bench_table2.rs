@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use naps_bench::{clustered_patterns, small_monitor, small_trained_model, zone_from_patterns};
+use naps_core::ActivationMonitor;
 use naps_core::{BddZone, ExactZone, MonitorBuilder, Zone};
 use std::hint::black_box;
 use std::time::Duration;

@@ -90,6 +90,7 @@ pub type ExactBackend = ExactZone;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use naps_core::ActivationMonitor;
 
     #[test]
     fn clustered_patterns_have_requested_shape() {

@@ -7,6 +7,7 @@
 //! increase γ and keep the largest abstraction for which an out-of-pattern
 //! event still likely coincides with a misclassification.
 
+use crate::activation::ActivationMonitor;
 use crate::monitor::Monitor;
 use crate::stats::{evaluate_with_mode, EvalMode, MonitorStats};
 use crate::zone::Zone;

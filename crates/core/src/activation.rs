@@ -1,0 +1,72 @@
+//! The shared interface of the monitor family.
+//!
+//! The crate ships four deployable monitors — [`crate::Monitor`] (one
+//! layer, Definition 3), [`crate::LayeredMonitor`] (several layers),
+//! [`crate::RefinedMonitor`] (binary + numeric envelopes) and
+//! [`crate::GridMonitor`] (per-grid-cell zones for YOLO-style heads) —
+//! that historically exposed four ad-hoc query APIs.  [`ActivationMonitor`]
+//! unifies them: one `check` / `check_batch` pair with an associated
+//! report type, and [`MonitorOutcome`] gives every report a uniform
+//! *did-it-warn* accessor so deployment glue (rate counters, drift
+//! detectors, alarm plumbing) can be written once, generically.
+//!
+//! ```
+//! use naps_core::{ActivationMonitor, MonitorOutcome};
+//! use naps_nn::Sequential;
+//! use naps_tensor::Tensor;
+//!
+//! /// Works with every monitor in the family.
+//! fn warning_rate<M: ActivationMonitor>(
+//!     monitor: &M,
+//!     model: &mut Sequential,
+//!     inputs: &[Tensor],
+//! ) -> f64 {
+//!     let reports = monitor.check_batch(model, inputs);
+//!     if reports.is_empty() {
+//!         return 0.0;
+//!     }
+//!     let warned = reports.iter().filter(|r| r.out_of_pattern()).count();
+//!     warned as f64 / reports.len() as f64
+//! }
+//! # let _ = warning_rate::<naps_core::Monitor>;
+//! ```
+
+use naps_nn::Sequential;
+use naps_tensor::Tensor;
+
+/// Uniform view of a monitor report: did this query raise the paper's
+/// *out-of-pattern* warning?
+pub trait MonitorOutcome {
+    /// `true` iff the monitor's (combined) verdict warns that the
+    /// decision is not supported by prior similarities in training.
+    /// Unmonitored outcomes are **not** warnings.
+    fn out_of_pattern(&self) -> bool;
+}
+
+/// A runtime neuron-activation-pattern monitor: judges network decisions
+/// against comfort zones built from training-time activations.
+///
+/// Implementors define the per-input [`ActivationMonitor::check`]; the
+/// provided [`ActivationMonitor::check_batch`] loops over it, and
+/// implementations with a cheaper batched path (one forward pass for the
+/// whole batch) override it.  `check_batch` must be equivalent to mapping
+/// `check` over the inputs.
+pub trait ActivationMonitor {
+    /// What one query returns.
+    type Report: MonitorOutcome;
+
+    /// Runs the network on one input and judges its decision — the
+    /// deployment-time flow of the paper's Figure 1(b).
+    fn check(&self, model: &mut Sequential, input: &Tensor) -> Self::Report;
+
+    /// Judges a batch of inputs.  Equivalent to `check` on each input;
+    /// implementations override this when they can share one forward
+    /// pass across the batch.
+    fn check_batch(&self, model: &mut Sequential, inputs: &[Tensor]) -> Vec<Self::Report> {
+        inputs.iter().map(|x| self.check(model, x)).collect()
+    }
+
+    /// Grows every comfort zone to Hamming radius `gamma` (Section III's
+    /// gradual enlargement).  Monotone: enlarging never evicts a pattern.
+    fn enlarge_to(&mut self, gamma: u32);
+}

@@ -1,0 +1,52 @@
+//! Shared batched-forward scaffolding for the monitor family.
+//!
+//! Every `check_batch` implementation follows the same shape — pack the
+//! per-input rows into one `[n, feat]` tensor, run a single forward pass,
+//! argmax the logits per row, read the monitored layer's activations —
+//! and only the final judgement differs.  Keeping the scaffold here means
+//! a fix to the batching logic lands in one place.
+
+use naps_nn::Sequential;
+use naps_tensor::Tensor;
+
+/// Packs per-input rows into one `[n, feat]` batch tensor.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or the inputs have inconsistent widths.
+pub(crate) fn pack_batch(inputs: &[Tensor]) -> Tensor {
+    let feat = inputs[0].len();
+    let mut data = Vec::with_capacity(inputs.len() * feat);
+    for t in inputs {
+        assert_eq!(t.len(), feat, "inconsistent input widths");
+        data.extend_from_slice(t.data());
+    }
+    Tensor::from_vec(vec![inputs.len(), feat], data)
+}
+
+/// Index of the largest logit (first wins on ties), i.e. `dec(in)`.
+pub(crate) fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Runs one forward pass over a packed `[n, feat]` batch and returns the
+/// per-row predicted classes plus the monitored `layer`'s activations
+/// (`[n, width]`).
+pub(crate) fn forward_observe_packed(
+    model: &mut Sequential,
+    batch: &Tensor,
+    layer: usize,
+) -> (Vec<usize>, Tensor) {
+    let rows = batch.shape()[0];
+    let mut acts = model.forward_all(batch, false);
+    let logits = acts.last().expect("nonempty activations");
+    let predicted = (0..rows).map(|r| argmax(logits.row(r))).collect();
+    let monitored = acts.swap_remove(layer + 1);
+    (predicted, monitored)
+}

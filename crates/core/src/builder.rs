@@ -169,6 +169,7 @@ impl MonitorBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::activation::ActivationMonitor;
     use crate::monitor::Verdict;
     use crate::zone::{BddZone, ExactZone};
     use naps_nn::{mlp, Adam, TrainConfig, Trainer};

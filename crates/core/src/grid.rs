@@ -9,6 +9,8 @@
 //! rows × cols arrangement of [`Monitor`]s over one shared head, queried
 //! cell-wise in a single call.
 
+use crate::activation::{ActivationMonitor, MonitorOutcome};
+use crate::batch::{forward_observe_packed, pack_batch};
 use crate::builder::MonitorBuilder;
 use crate::monitor::{Monitor, MonitorReport, Verdict};
 use crate::zone::{BddZone, Zone};
@@ -38,6 +40,12 @@ impl GridReport {
             return 0.0;
         }
         self.out_of_pattern_cells.len() as f64 / monitored as f64
+    }
+}
+
+impl MonitorOutcome for GridReport {
+    fn out_of_pattern(&self) -> bool {
+        !self.out_of_pattern_cells.is_empty()
     }
 }
 
@@ -130,22 +138,45 @@ impl<Z: Zone> GridMonitor<Z> {
     }
 
     /// Checks one frame: `cell_inputs[r * cols + c]` is the feature
-    /// vector the shared head sees for that cell.
+    /// vector the shared head sees for that cell.  The whole frame runs
+    /// through the shared head in **one** forward pass.
     ///
     /// # Panics
     ///
-    /// Panics if `cell_inputs.len() != rows * cols`.
+    /// Panics if `cell_inputs.len() != rows * cols` or the cell inputs
+    /// have inconsistent widths.
     pub fn check_frame(&self, head: &mut Sequential, cell_inputs: &[Tensor]) -> GridReport {
         assert_eq!(
             cell_inputs.len(),
             self.rows * self.cols,
             "one input per grid cell"
         );
-        let cells: Vec<MonitorReport> = self
-            .cells
-            .iter()
-            .zip(cell_inputs)
-            .map(|(m, x)| m.check(head, x))
+        self.judge_packed(head, &pack_batch(cell_inputs))
+    }
+
+    /// Judges a packed `[cells, feat]` frame: one forward pass through the
+    /// shared head, then row `i` is judged against cell `i`'s zones.  All
+    /// cells share layer and selection (checked in
+    /// [`GridMonitor::from_cells`]), so the pass can be shared.
+    fn judge_packed(&self, head: &mut Sequential, batch: &Tensor) -> GridReport {
+        let (predictions, monitored) = forward_observe_packed(head, batch, self.cells[0].layer());
+        let selection = self.cells[0].selection();
+        let cells: Vec<MonitorReport> = predictions
+            .into_iter()
+            .enumerate()
+            .map(|(i, predicted)| {
+                let pattern = selection.pattern_from(monitored.row(i));
+                let cell = &self.cells[i];
+                let verdict = cell.check_pattern(predicted, &pattern);
+                let distance_to_seeds = cell
+                    .zone(predicted)
+                    .and_then(|z| z.distance_to_seeds(&pattern));
+                MonitorReport {
+                    predicted,
+                    verdict,
+                    distance_to_seeds,
+                }
+            })
             .collect();
         let out_of_pattern_cells = cells
             .iter()
@@ -158,9 +189,35 @@ impl<Z: Zone> GridMonitor<Z> {
             out_of_pattern_cells,
         }
     }
+}
+
+impl<Z: Zone> ActivationMonitor for GridMonitor<Z> {
+    type Report = GridReport;
+
+    /// Checks one full frame packed into a single tensor: row `r * cols +
+    /// c` of a `[rows * cols, features]` tensor (or the equivalent flat
+    /// layout) is the feature vector the shared head sees for that cell.
+    /// Use [`GridMonitor::check_frame`] when the per-cell inputs are
+    /// already separate tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input's length is not a multiple of the cell count.
+    fn check(&self, model: &mut Sequential, input: &Tensor) -> GridReport {
+        let cells = self.rows * self.cols;
+        assert_eq!(
+            input.len() % cells,
+            0,
+            "frame length {} is not divisible by the {cells} grid cells",
+            input.len()
+        );
+        let feat = input.len() / cells;
+        let batch = Tensor::from_vec(vec![cells, feat], input.data().to_vec());
+        self.judge_packed(model, &batch)
+    }
 
     /// Grows every cell's zones to radius `gamma`.
-    pub fn enlarge_to(&mut self, gamma: u32) {
+    fn enlarge_to(&mut self, gamma: u32) {
         for m in &mut self.cells {
             m.enlarge_to(gamma);
         }

@@ -20,6 +20,7 @@
 //!
 //! | Module | Paper artefact |
 //! |---|---|
+//! | [`ActivationMonitor`], [`MonitorOutcome`] | the family's shared query interface (`check` / `check_batch` / `out_of_pattern`) |
 //! | [`Pattern`] | Definition 1, `pat(f^(l)(in))` |
 //! | [`Zone`], [`BddZone`], [`ExactZone`] | Definition 2, `Z^γ_c` (BDD-backed as in the paper, plus an explicit-set reference/baseline) |
 //! | [`MonitorBuilder`] | Algorithm 1 |
@@ -36,7 +37,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use naps_core::{BddZone, MonitorBuilder, Verdict};
+//! use naps_core::{ActivationMonitor, BddZone, MonitorBuilder, Verdict};
 //! use naps_nn::{mlp, Adam, TrainConfig, Trainer};
 //! use naps_tensor::Tensor;
 //! use rand::{rngs::StdRng, SeedableRng};
@@ -62,6 +63,8 @@
 //! ```
 
 mod abstraction;
+mod activation;
+mod batch;
 mod builder;
 mod dbm;
 mod drift;
@@ -78,6 +81,7 @@ mod stats;
 mod zone;
 
 pub use abstraction::{choose_gamma, GammaPolicy, GammaStats, GammaSweep};
+pub use activation::{ActivationMonitor, MonitorOutcome};
 pub use builder::MonitorBuilder;
 pub use dbm::DbmZone;
 pub use drift::{DriftConfig, DriftDetector, DriftStatus};

@@ -1,5 +1,7 @@
 //! The runtime monitor (Definition 3 + the deployment query of Figure 1).
 
+use crate::activation::{ActivationMonitor, MonitorOutcome};
+use crate::batch::{forward_observe_packed, pack_batch};
 use crate::error::MonitorError;
 use crate::pattern::Pattern;
 use crate::selection::NeuronSelection;
@@ -35,6 +37,12 @@ pub struct MonitorReport {
     /// monitored and non-empty.  `Some(0)` means the exact pattern was
     /// seen in training.
     pub distance_to_seeds: Option<u32>,
+}
+
+impl MonitorOutcome for MonitorReport {
+    fn out_of_pattern(&self) -> bool {
+        self.verdict == Verdict::OutOfPattern
+    }
 }
 
 /// A neuron activation pattern monitor `⟨Z^γ_1, …, Z^γ_C⟩`.
@@ -112,15 +120,6 @@ impl<Z: Zone> Monitor<Z> {
         self.zones.get(class).and_then(|z| z.as_ref())
     }
 
-    /// Grows every zone to Hamming radius `gamma` (Section III's gradual
-    /// enlargement).  Monotone; see [`Zone::enlarge_to`].
-    pub fn enlarge_to(&mut self, gamma: u32) {
-        for z in self.zones.iter_mut().flatten() {
-            z.enlarge_to(gamma);
-        }
-        self.gamma = gamma;
-    }
-
     /// Merges `other`'s per-class seed sets into this monitor (set union,
     /// re-dilated to this monitor's γ).  Both monitors must have been
     /// built for the same layer, selection and class count — this is how
@@ -168,53 +167,6 @@ impl<Z: Zone> Monitor<Z> {
         }
     }
 
-    /// Runs the network on one flat input, extracts the monitored pattern
-    /// and returns the network decision plus the monitor verdict — the
-    /// deployment-time flow of Figure 1(b).
-    pub fn check(&self, model: &mut Sequential, input: &Tensor) -> MonitorReport {
-        self.check_batch(model, std::slice::from_ref(input))
-            .pop()
-            .expect("one report per input")
-    }
-
-    /// Batched version of [`Monitor::check`].
-    pub fn check_batch(&self, model: &mut Sequential, inputs: &[Tensor]) -> Vec<MonitorReport> {
-        if inputs.is_empty() {
-            return Vec::new();
-        }
-        let feat = inputs[0].len();
-        let mut data = Vec::with_capacity(inputs.len() * feat);
-        for t in inputs {
-            assert_eq!(t.len(), feat, "inconsistent input widths");
-            data.extend_from_slice(t.data());
-        }
-        let batch = Tensor::from_vec(vec![inputs.len(), feat], data);
-        let acts = model.forward_all(&batch, false);
-        let monitored = &acts[self.layer + 1];
-        let logits = acts.last().expect("nonempty activations");
-        (0..inputs.len())
-            .map(|r| {
-                let row = logits.row(r);
-                let mut predicted = 0;
-                for (i, &v) in row.iter().enumerate() {
-                    if v > row[predicted] {
-                        predicted = i;
-                    }
-                }
-                let pattern = self.selection.pattern_from(monitored.row(r));
-                let verdict = self.check_pattern(predicted, &pattern);
-                let distance_to_seeds = self
-                    .zone(predicted)
-                    .and_then(|z| z.distance_to_seeds(&pattern));
-                MonitorReport {
-                    predicted,
-                    verdict,
-                    distance_to_seeds,
-                }
-            })
-            .collect()
-    }
-
     /// Extracts the (predicted class, monitored pattern) pair for one input
     /// without judging it — the [`crate::MonitorBuilder`] and diagnostics
     /// path.
@@ -233,28 +185,53 @@ impl<Z: Zone> Monitor<Z> {
         if inputs.is_empty() {
             return Vec::new();
         }
-        let feat = inputs[0].len();
-        let mut data = Vec::with_capacity(inputs.len() * feat);
-        for t in inputs {
-            assert_eq!(t.len(), feat, "inconsistent input widths");
-            data.extend_from_slice(t.data());
-        }
-        let batch = Tensor::from_vec(vec![inputs.len(), feat], data);
-        let acts = model.forward_all(&batch, false);
-        let monitored = &acts[self.layer + 1];
-        let logits = acts.last().expect("nonempty activations");
-        (0..inputs.len())
-            .map(|r| {
-                let row = logits.row(r);
-                let mut predicted = 0;
-                for (i, &v) in row.iter().enumerate() {
-                    if v > row[predicted] {
-                        predicted = i;
-                    }
+        let batch = pack_batch(inputs);
+        let (predicted, monitored) = forward_observe_packed(model, &batch, self.layer);
+        predicted
+            .into_iter()
+            .enumerate()
+            .map(|(r, p)| (p, self.selection.pattern_from(monitored.row(r))))
+            .collect()
+    }
+}
+
+impl<Z: Zone> ActivationMonitor for Monitor<Z> {
+    type Report = MonitorReport;
+
+    /// Runs the network on one flat input, extracts the monitored pattern
+    /// and returns the network decision plus the monitor verdict — the
+    /// deployment-time flow of Figure 1(b).
+    fn check(&self, model: &mut Sequential, input: &Tensor) -> MonitorReport {
+        self.check_batch(model, std::slice::from_ref(input))
+            .pop()
+            .expect("one report per input")
+    }
+
+    /// Batched judgement sharing one forward pass across the batch.
+    fn check_batch(&self, model: &mut Sequential, inputs: &[Tensor]) -> Vec<MonitorReport> {
+        self.observe_batch(model, inputs)
+            .into_iter()
+            .map(|(predicted, pattern)| {
+                let verdict = self.check_pattern(predicted, &pattern);
+                let distance_to_seeds = self
+                    .zone(predicted)
+                    .and_then(|z| z.distance_to_seeds(&pattern));
+                MonitorReport {
+                    predicted,
+                    verdict,
+                    distance_to_seeds,
                 }
-                (predicted, self.selection.pattern_from(monitored.row(r)))
             })
             .collect()
+    }
+
+    /// Grows every zone to Hamming radius `gamma` (Section III's gradual
+    /// enlargement).  Monotone; see [`Zone::enlarge_to`].
+    fn enlarge_to(&mut self, gamma: u32) {
+        for z in self.zones.iter_mut().flatten() {
+            z.enlarge_to(gamma);
+        }
+        self.gamma = gamma;
     }
 }
 

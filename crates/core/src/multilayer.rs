@@ -8,6 +8,8 @@
 //! [`LayeredMonitor`] wraps any number of [`Monitor`]s over the same
 //! network and evaluates them with a **single forward pass** per query.
 
+use crate::activation::{ActivationMonitor, MonitorOutcome};
+use crate::batch::{argmax, pack_batch};
 use crate::monitor::{Monitor, Verdict};
 use crate::zone::{BddZone, Zone};
 use naps_nn::Sequential;
@@ -73,13 +75,19 @@ pub struct LayeredReport {
     pub combined: Verdict,
 }
 
+impl MonitorOutcome for LayeredReport {
+    fn out_of_pattern(&self) -> bool {
+        self.combined == Verdict::OutOfPattern
+    }
+}
+
 /// Several [`Monitor`]s over one network, queried with a single forward
 /// pass and combined by a [`CombinePolicy`].
 ///
 /// # Example
 ///
 /// ```
-/// use naps_core::{CombinePolicy, ExactZone, LayeredMonitor, MonitorBuilder};
+/// use naps_core::{ActivationMonitor, CombinePolicy, ExactZone, LayeredMonitor, MonitorBuilder};
 /// use naps_nn::mlp;
 /// use naps_tensor::Tensor;
 /// use rand::{rngs::StdRng, SeedableRng};
@@ -131,9 +139,13 @@ impl<Z: Zone> LayeredMonitor<Z> {
     pub fn num_classes(&self) -> usize {
         self.monitors[0].num_classes()
     }
+}
+
+impl<Z: Zone> ActivationMonitor for LayeredMonitor<Z> {
+    type Report = LayeredReport;
 
     /// Jointly checks one input.
-    pub fn check(&self, model: &mut Sequential, input: &Tensor) -> LayeredReport {
+    fn check(&self, model: &mut Sequential, input: &Tensor) -> LayeredReport {
         self.check_batch(model, std::slice::from_ref(input))
             .pop()
             .expect("one report per input")
@@ -141,28 +153,16 @@ impl<Z: Zone> LayeredMonitor<Z> {
 
     /// Batched joint check: one forward pass for the whole batch,
     /// regardless of how many layers are monitored.
-    pub fn check_batch(&self, model: &mut Sequential, inputs: &[Tensor]) -> Vec<LayeredReport> {
+    fn check_batch(&self, model: &mut Sequential, inputs: &[Tensor]) -> Vec<LayeredReport> {
         if inputs.is_empty() {
             return Vec::new();
         }
-        let feat = inputs[0].len();
-        let mut data = Vec::with_capacity(inputs.len() * feat);
-        for t in inputs {
-            assert_eq!(t.len(), feat, "inconsistent input widths");
-            data.extend_from_slice(t.data());
-        }
-        let batch = Tensor::from_vec(vec![inputs.len(), feat], data);
+        let batch = pack_batch(inputs);
         let acts = model.forward_all(&batch, false);
         let logits = acts.last().expect("nonempty activations");
         (0..inputs.len())
             .map(|r| {
-                let row = logits.row(r);
-                let mut predicted = 0;
-                for (i, &v) in row.iter().enumerate() {
-                    if v > row[predicted] {
-                        predicted = i;
-                    }
-                }
+                let predicted = argmax(logits.row(r));
                 let per_layer: Vec<Verdict> = self
                     .monitors
                     .iter()
@@ -183,8 +183,8 @@ impl<Z: Zone> LayeredMonitor<Z> {
     }
 
     /// Grows every wrapped monitor to radius `gamma` (see
-    /// [`Monitor::enlarge_to`]).
-    pub fn enlarge_to(&mut self, gamma: u32) {
+    /// [`ActivationMonitor::enlarge_to`]).
+    fn enlarge_to(&mut self, gamma: u32) {
         for m in &mut self.monitors {
             m.enlarge_to(gamma);
         }

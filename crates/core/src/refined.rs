@@ -8,6 +8,8 @@
 //! their disjunction.  The numeric side never weakens the binary
 //! monitor: a combined `InPattern` requires both abstractions to accept.
 
+use crate::activation::{ActivationMonitor, MonitorOutcome};
+use crate::batch::{forward_observe_packed, pack_batch};
 use crate::builder::MonitorBuilder;
 use crate::dbm::DbmZone;
 use crate::interval::IntervalZone;
@@ -40,6 +42,12 @@ pub struct RefinedReport {
     /// The numeric violation (minimal admitting slack), when the
     /// predicted class has an envelope.
     pub violation: Option<f32>,
+}
+
+impl MonitorOutcome for RefinedReport {
+    fn out_of_pattern(&self) -> bool {
+        self.combined == Verdict::OutOfPattern
+    }
 }
 
 /// A binary activation-pattern monitor refined by per-class numeric
@@ -126,38 +134,59 @@ impl<Z: Zone> RefinedMonitor<Z> {
         };
         (verdict, violation)
     }
+}
+
+impl<Z: Zone> ActivationMonitor for RefinedMonitor<Z> {
+    type Report = RefinedReport;
 
     /// Runs the network and judges the decision with both abstractions.
-    pub fn check(&self, model: &mut Sequential, input: &Tensor) -> RefinedReport {
-        let feat = input.len();
-        let batch = Tensor::from_vec(vec![1, feat], input.data().to_vec());
-        let acts = model.forward_all(&batch, false);
-        let logits = acts.last().expect("nonempty activations");
-        let row = logits.row(0);
-        let mut predicted = 0;
-        for (i, &v) in row.iter().enumerate() {
-            if v > row[predicted] {
-                predicted = i;
-            }
+    fn check(&self, model: &mut Sequential, input: &Tensor) -> RefinedReport {
+        self.check_batch(model, std::slice::from_ref(input))
+            .pop()
+            .expect("one report per input")
+    }
+
+    /// Batched refined judgement: one forward pass for the whole batch,
+    /// then per-row binary and numeric verdicts.
+    fn check_batch(&self, model: &mut Sequential, inputs: &[Tensor]) -> Vec<RefinedReport> {
+        if inputs.is_empty() {
+            return Vec::new();
         }
+        let batch = pack_batch(inputs);
+        let (predictions, monitored) = forward_observe_packed(model, &batch, self.monitor.layer());
         let selection = self.monitor.selection();
-        let monitored = acts[self.monitor.layer() + 1].row(0);
-        let pattern = selection.pattern_from(monitored);
-        let binary = self.monitor.check_pattern(predicted, &pattern);
-        let values: Vec<f32> = selection.indices().iter().map(|&i| monitored[i]).collect();
-        let (numeric, violation) = self.numeric_verdict(predicted, &values);
-        let combined = match (binary, numeric) {
-            (Verdict::OutOfPattern, _) | (_, Verdict::OutOfPattern) => Verdict::OutOfPattern,
-            (Verdict::Unmonitored, Verdict::Unmonitored) => Verdict::Unmonitored,
-            _ => Verdict::InPattern,
-        };
-        RefinedReport {
-            predicted,
-            binary,
-            numeric,
-            combined,
-            violation,
-        }
+        predictions
+            .into_iter()
+            .enumerate()
+            .map(|(r, predicted)| {
+                let full = monitored.row(r);
+                let pattern = selection.pattern_from(full);
+                let binary = self.monitor.check_pattern(predicted, &pattern);
+                let values: Vec<f32> = selection.indices().iter().map(|&i| full[i]).collect();
+                let (numeric, violation) = self.numeric_verdict(predicted, &values);
+                let combined = match (binary, numeric) {
+                    (Verdict::OutOfPattern, _) | (_, Verdict::OutOfPattern) => {
+                        Verdict::OutOfPattern
+                    }
+                    (Verdict::Unmonitored, Verdict::Unmonitored) => Verdict::Unmonitored,
+                    _ => Verdict::InPattern,
+                };
+                RefinedReport {
+                    predicted,
+                    binary,
+                    numeric,
+                    combined,
+                    violation,
+                }
+            })
+            .collect()
+    }
+
+    /// Grows the **binary** monitor's zones to radius `gamma`.  The
+    /// numeric envelopes have their own coarseness knob,
+    /// [`RefinedMonitor::set_slack`], and are left untouched.
+    fn enlarge_to(&mut self, gamma: u32) {
+        self.monitor.enlarge_to(gamma);
     }
 }
 

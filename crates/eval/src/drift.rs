@@ -15,6 +15,7 @@
 use crate::config::RunConfig;
 use crate::report::{pct, rule, write_json};
 use crate::trained::train_mnist;
+use naps_core::ActivationMonitor;
 use naps_core::{
     BddZone, DriftConfig, DriftDetector, DriftStatus, Monitor, MonitorBuilder, Verdict,
 };

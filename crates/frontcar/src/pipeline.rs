@@ -3,6 +3,7 @@
 use crate::features::{FeatureVector, NUM_CLASSES};
 use crate::perception::{detect_lane, detect_vehicles};
 use crate::scenario::{Conditions, Scenario};
+use naps_core::ActivationMonitor;
 use naps_core::{BddZone, Monitor, MonitorBuilder, Verdict};
 use naps_nn::{mlp, Adam, Sequential, TrainConfig, Trainer};
 use naps_tensor::Tensor;

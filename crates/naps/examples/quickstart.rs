@@ -1,0 +1,93 @@
+//! Quickstart: the full Figure 1 workflow in one file.
+//!
+//! 1. Train a small digit classifier.
+//! 2. Build a neuron activation pattern monitor from the training data
+//!    (Algorithm 1) and pick γ on a validation set (Section III).
+//! 3. Deploy: classify a validation digit (in pattern) and a scooter-like
+//!    novelty image (out of pattern — "problematic decision!").
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use naps::data::{digits, novelty};
+use naps::monitor::ActivationMonitor;
+use naps::monitor::{choose_gamma, BddZone, GammaPolicy, GammaSweep, MonitorBuilder, Verdict};
+use naps::nn::{mlp, Adam, TrainConfig, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // -- Training phase ---------------------------------------------------
+    println!("[1/4] training a 784-64-32-10 ReLU classifier on synthetic digits");
+    let train = digits::generate(60, digits::DigitStyle::clean(), &mut rng);
+    let val = digits::generate(20, digits::DigitStyle::hard(), &mut rng);
+    let mut net = mlp(&[784, 64, 32, 10], &mut rng);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        verbose: false,
+    });
+    trainer.fit(
+        &mut net,
+        &train.samples,
+        &train.labels,
+        &mut Adam::new(2e-3),
+        &mut rng,
+    );
+    println!(
+        "      train accuracy {:.1}%, val accuracy {:.1}%",
+        100.0 * trainer.evaluate(&mut net, &train.samples, &train.labels),
+        100.0 * trainer.evaluate(&mut net, &val.samples, &val.labels)
+    );
+
+    // -- Monitor creation (Figure 1a, Algorithm 1) ------------------------
+    println!("[2/4] recording activation patterns of the 32-neuron ReLU layer");
+    let monitored_layer = 3; // fc(784->64), relu, fc(64->32), relu <- here
+    let mut monitor = MonitorBuilder::new(monitored_layer, 0).build::<BddZone>(
+        &mut net,
+        &train.samples,
+        &train.labels,
+        10,
+    );
+
+    // -- Abstraction control (Section III) --------------------------------
+    println!("[3/4] sweeping γ on the validation set to size the comfort zone");
+    let sweep = GammaSweep::up_to(4).run(&mut monitor, &mut net, &val.samples, &val.labels);
+    for g in &sweep {
+        println!(
+            "      γ={}  out-of-pattern {:>6.2}%  warning precision {:>6.2}%",
+            g.gamma,
+            100.0 * g.stats.out_of_pattern_rate(),
+            100.0 * g.stats.warning_precision()
+        );
+    }
+    let gamma = choose_gamma(&sweep, GammaPolicy::MaxOutOfPatternRate(0.10)).unwrap_or(2);
+    println!("      chosen γ = {gamma}");
+    // Zones only grow; rebuild at the chosen γ for deployment.
+    let monitor = MonitorBuilder::new(monitored_layer, gamma).build::<BddZone>(
+        &mut net,
+        &train.samples,
+        &train.labels,
+        10,
+    );
+
+    // -- Deployment (Figure 1b) --------------------------------------------
+    println!("[4/4] deployment-time queries");
+    let familiar = &val.samples[0];
+    let report = monitor.check(&mut net, familiar);
+    println!(
+        "      validation digit -> class {} | verdict {:?} | distance {:?}",
+        report.predicted, report.verdict, report.distance_to_seeds
+    );
+
+    let scooter = novelty::render_gray(novelty::Novelty::Scooter, 28, &mut rng);
+    let report = monitor.check(&mut net, &scooter);
+    println!(
+        "      scooter image    -> class {} | verdict {:?} | distance {:?}",
+        report.predicted, report.verdict, report.distance_to_seeds
+    );
+    if report.verdict == Verdict::OutOfPattern {
+        println!("      problematic decision! (not supported by training data)");
+    }
+}

@@ -1,0 +1,151 @@
+//! Integration: monitor verdicts feeding the drift detector — the
+//! paper's "frequent appearance of unseen patterns indicates data
+//! distribution shift" turned into an online alarm.
+
+use naps::data::corrupt::{shift_dataset, Corruption};
+use naps::data::digits;
+use naps::monitor::ActivationMonitor;
+use naps::monitor::{BddZone, DriftConfig, DriftDetector, DriftStatus, MonitorBuilder, Verdict};
+use naps::nn::{mlp, Adam, Sequential, TrainConfig, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MONITORED_LAYER: usize = 3;
+
+fn fixture(seed: u64) -> (Sequential, naps::data::Dataset, naps::data::Dataset) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let train = digits::generate(25, digits::DigitStyle::clean(), &mut rng);
+    let val = digits::generate(20, digits::DigitStyle::clean(), &mut rng);
+    let mut net = mlp(&[784, 48, 24, 10], &mut rng);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        verbose: false,
+    });
+    trainer.fit(
+        &mut net,
+        &train.samples,
+        &train.labels,
+        &mut Adam::new(2e-3),
+        &mut rng,
+    );
+    (net, train, val)
+}
+
+/// Verdicts of a deployment stream, shuffled so the stream is i.i.d. —
+/// the datasets are generated class by class, and without shuffling the
+/// out-of-pattern verdicts arrive in class-correlated bursts.
+fn stream_verdicts(
+    monitor: &naps::monitor::Monitor<BddZone>,
+    net: &mut Sequential,
+    samples: &[naps::tensor::Tensor],
+    seed: u64,
+) -> Vec<Verdict> {
+    use rand::seq::SliceRandom;
+    let mut verdicts: Vec<Verdict> = monitor
+        .check_batch(net, samples)
+        .into_iter()
+        .map(|r| r.verdict)
+        .collect();
+    verdicts.shuffle(&mut StdRng::seed_from_u64(seed));
+    verdicts
+}
+
+#[test]
+fn detector_stays_stable_in_distribution_and_alarms_under_heavy_shift() {
+    let (mut net, train, val) = fixture(42);
+    let monitor = MonitorBuilder::new(MONITORED_LAYER, 2).build::<BddZone>(
+        &mut net,
+        &train.samples,
+        &train.labels,
+        10,
+    );
+
+    // Calibrate the baseline on the clean validation stream.
+    let clean = stream_verdicts(&monitor, &mut net, &val.samples, 100);
+    let baseline = clean
+        .iter()
+        .filter(|v| **v == Verdict::OutOfPattern)
+        .count() as f64
+        / clean.len() as f64;
+
+    let config = DriftConfig {
+        baseline_rate: baseline.min(0.94),
+        alarm_rate: (baseline + 0.05).max(2.0 * baseline).min(0.95),
+        window: 60,
+        ewma_alpha: 0.05,
+        patience: 20,
+    };
+
+    // In-distribution deployment: repeat the clean stream; no alarm.
+    let mut det = DriftDetector::new(config.clone());
+    for _ in 0..3 {
+        det.observe_all(&clean);
+    }
+    assert_ne!(det.status(), DriftStatus::Drifting, "clean stream alarmed");
+    assert_eq!(det.alarm_count(), 0);
+
+    // Severe corruption: the out-of-pattern rate must rise enough to trip
+    // the detector within a few windows.
+    let mut rng = StdRng::seed_from_u64(43);
+    let noisy = shift_dataset(&val, 1, 28, Corruption::GaussianNoise(0.6), &mut rng);
+    let shifted = stream_verdicts(&monitor, &mut net, &noisy.samples, 101);
+    let shifted_rate = shifted
+        .iter()
+        .filter(|v| **v == Verdict::OutOfPattern)
+        .count() as f64
+        / shifted.len() as f64;
+    assert!(
+        shifted_rate > config.alarm_rate,
+        "corruption did not raise the rate: {shifted_rate:.3} <= {:.3}",
+        config.alarm_rate
+    );
+    for _ in 0..3 {
+        det.observe_all(&shifted);
+    }
+    assert_eq!(
+        det.status(),
+        DriftStatus::Drifting,
+        "shifted stream never alarmed"
+    );
+    // A rate hovering near the threshold may alarm in several episodes;
+    // what matters is that the shift was reported at all.
+    assert!(det.alarm_count() >= 1);
+
+    // Shipping a fixed network: reset clears the alarm history.
+    det.reset();
+    assert_eq!(det.status(), DriftStatus::Warmup);
+    assert_eq!(det.alarm_count(), 0);
+}
+
+#[test]
+fn windowed_rate_tracks_the_deployment_stream() {
+    let (mut net, train, val) = fixture(7);
+    let monitor = MonitorBuilder::new(MONITORED_LAYER, 1).build::<BddZone>(
+        &mut net,
+        &train.samples,
+        &train.labels,
+        10,
+    );
+    let verdicts = stream_verdicts(&monitor, &mut net, &val.samples, 102);
+    let monitored: Vec<&Verdict> = verdicts
+        .iter()
+        .filter(|v| **v != Verdict::Unmonitored)
+        .collect();
+    let window = monitored.len().max(1);
+    let mut det = DriftDetector::new(DriftConfig {
+        baseline_rate: 0.0,
+        alarm_rate: 0.999,
+        window,
+        ewma_alpha: 0.1,
+        patience: 5,
+    });
+    det.observe_all(&verdicts);
+    let expect = monitored
+        .iter()
+        .filter(|v| ***v == Verdict::OutOfPattern)
+        .count() as f64
+        / window as f64;
+    assert!((det.windowed_rate() - expect).abs() < 1e-12);
+    assert_eq!(det.observed(), monitored.len());
+}

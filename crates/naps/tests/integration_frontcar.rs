@@ -1,0 +1,84 @@
+//! Integration: the front-car case study pipeline across crates.
+
+use naps::frontcar::{Conditions, FrontCarPipeline, PipelineConfig, Scenario};
+use naps::monitor::{Verdict, Zone};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_pipeline(seed: u64) -> (FrontCarPipeline, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Class 3 (front car in the last vehicle slot) only occurs when all
+    // four slots fill AND the last is nearest in the ego lane — roughly 1%
+    // of nominal traffic — so the scenario budget must be large enough for
+    // Algorithm 1 to see every class several times.
+    let pipe = FrontCarPipeline::train(
+        PipelineConfig {
+            hidden: [32, 16],
+            train_scenarios: 2500,
+            epochs: 15,
+            gamma: 1,
+        },
+        &mut rng,
+    );
+    (pipe, rng)
+}
+
+#[test]
+fn pipeline_selects_front_cars_reliably_in_distribution() {
+    let (mut pipe, mut rng) = small_pipeline(30);
+    let acc = pipe.accuracy(400, Conditions::nominal(), &mut rng);
+    assert!(acc > 0.7, "nominal accuracy {acc}");
+}
+
+#[test]
+fn monitored_decisions_carry_distances_when_monitored() {
+    let (mut pipe, mut rng) = small_pipeline(31);
+    for _ in 0..50 {
+        let s = Scenario::sample(Conditions::nominal(), &mut rng);
+        let out = pipe.step(&s, &mut rng);
+        match out.verdict {
+            Verdict::InPattern | Verdict::OutOfPattern => {
+                assert!(
+                    out.distance_to_seeds.is_some(),
+                    "monitored verdict without a distance"
+                );
+            }
+            Verdict::Unmonitored => {}
+        }
+    }
+}
+
+#[test]
+fn every_class_has_a_zone_after_training() {
+    let (pipe, _) = small_pipeline(32);
+    // All 5 classes (4 slots + no-front-car) appear in nominal traffic, so
+    // Algorithm 1 should have filled every zone.
+    let monitored = pipe.monitor().monitored_classes();
+    assert_eq!(monitored.len(), 5);
+    for c in monitored {
+        assert!(
+            pipe.monitor().zone(c).map(|z| z.seed_count()).unwrap_or(0) > 0,
+            "class {c} zone is empty"
+        );
+    }
+}
+
+#[test]
+fn distribution_shift_is_visible_in_the_warning_rate() {
+    let (mut pipe, mut rng) = small_pipeline(33);
+    let nominal = pipe.warning_rate(400, Conditions::nominal(), &mut rng);
+    let degraded = pipe.warning_rate(400, Conditions::degraded_sensor(), &mut rng);
+    assert!(
+        degraded >= nominal,
+        "degraded sensor warns less ({degraded}) than nominal ({nominal})"
+    );
+}
+
+#[test]
+fn scenario_determinism_under_fixed_seed() {
+    let mut a = StdRng::seed_from_u64(99);
+    let mut b = StdRng::seed_from_u64(99);
+    let sa = Scenario::sample(Conditions::nominal(), &mut a);
+    let sb = Scenario::sample(Conditions::nominal(), &mut b);
+    assert_eq!(sa, sb);
+}

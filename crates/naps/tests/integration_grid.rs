@@ -1,0 +1,170 @@
+//! Integration: YOLO-style grid monitoring (Section V extension (1))
+//! through the umbrella crate with BDD-backed zones — a shared proposal
+//! head, per-cell comfort zones, whole-frame queries.
+
+use naps::monitor::ActivationMonitor;
+use naps::monitor::{BddZone, GridMonitor, MonitorBuilder, Verdict};
+use naps::nn::{mlp, Adam, Sequential, TrainConfig, Trainer};
+use naps::tensor::{Randn, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FEATURES: usize = 8;
+const CLASSES: usize = 3;
+
+fn cell_features(class: usize, rng: &mut StdRng) -> Tensor {
+    let data: Vec<f32> = (0..FEATURES)
+        .map(|i| {
+            let centre = match class {
+                0 => 0.0,
+                1 => (i as f32 * 0.8).sin() * 2.0,
+                _ => (i as f32 * 1.3).cos() * 2.0,
+            };
+            centre + 0.25 * rng.randn()
+        })
+        .collect();
+    Tensor::from_vec(vec![FEATURES], data)
+}
+
+fn shared_head(rng: &mut StdRng) -> Sequential {
+    let mut head = mlp(&[FEATURES, 16, CLASSES], rng);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for _ in 0..300 {
+        let c = rng.gen_range(0..CLASSES);
+        xs.push(cell_features(c, rng));
+        ys.push(c);
+    }
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 25,
+        batch_size: 32,
+        verbose: false,
+    });
+    trainer.fit(&mut head, &xs, &ys, &mut Adam::new(0.01), rng);
+    head
+}
+
+/// Per-cell traffic: each cell sees a different dominant class.
+fn per_cell_traffic(rng: &mut StdRng) -> Vec<(Vec<Tensor>, Vec<usize>)> {
+    [0usize, 1, 1, 2]
+        .iter()
+        .map(|&dominant| {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for _ in 0..60 {
+                let c = if rng.gen::<f32>() < 0.8 {
+                    dominant
+                } else {
+                    rng.gen_range(0..CLASSES)
+                };
+                xs.push(cell_features(c, rng));
+                ys.push(c);
+            }
+            (xs, ys)
+        })
+        .collect()
+}
+
+#[test]
+fn grid_monitor_localises_unfamiliar_proposals() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut head = shared_head(&mut rng);
+    let traffic = per_cell_traffic(&mut rng);
+    let grid = GridMonitor::<BddZone>::build(
+        2,
+        2,
+        &MonitorBuilder::new(1, 1),
+        &mut head,
+        &traffic,
+        CLASSES,
+    );
+
+    // A nominal frame (each cell sees its dominant class) stays quiet in
+    // most cells over repeated draws.
+    let mut nominal_warnings = 0usize;
+    let mut frames = 0usize;
+    for _ in 0..20 {
+        let frame: Vec<Tensor> = [0usize, 1, 1, 2]
+            .iter()
+            .map(|&c| cell_features(c, &mut rng))
+            .collect();
+        let report = grid.check_frame(&mut head, &frame);
+        nominal_warnings += report.out_of_pattern_cells.len();
+        frames += 4;
+    }
+    let nominal_rate = nominal_warnings as f64 / frames as f64;
+
+    // An alien blob in one cell: that cell's warning rate dominates.
+    let mut alien_cell0 = 0usize;
+    let mut alien_other = 0usize;
+    for _ in 0..20 {
+        let mut frame: Vec<Tensor> = [0usize, 1, 1, 2]
+            .iter()
+            .map(|&c| cell_features(c, &mut rng))
+            .collect();
+        frame[0] = Tensor::from_vec(vec![FEATURES], vec![8.0; FEATURES]);
+        let report = grid.check_frame(&mut head, &frame);
+        for &c in &report.out_of_pattern_cells {
+            if c == 0 {
+                alien_cell0 += 1;
+            } else {
+                alien_other += 1;
+            }
+        }
+    }
+    assert!(
+        alien_cell0 >= 15,
+        "alien object missed in its cell: {alien_cell0}/20"
+    );
+    assert!(
+        alien_cell0 > alien_other,
+        "warnings not localised: cell0 {alien_cell0} vs others {alien_other}"
+    );
+    assert!(
+        nominal_rate < 0.5,
+        "nominal frames too noisy: {nominal_rate:.2}"
+    );
+}
+
+#[test]
+fn grid_enlargement_reduces_nominal_warnings() {
+    let mut rng = StdRng::seed_from_u64(78);
+    let mut head = shared_head(&mut rng);
+    let traffic = per_cell_traffic(&mut rng);
+    let mut grid = GridMonitor::<BddZone>::build(
+        2,
+        2,
+        &MonitorBuilder::new(1, 0),
+        &mut head,
+        &traffic,
+        CLASSES,
+    );
+    let frames: Vec<Vec<Tensor>> = (0..25)
+        .map(|_| {
+            [0usize, 1, 1, 2]
+                .iter()
+                .map(|&c| cell_features(c, &mut rng))
+                .collect()
+        })
+        .collect();
+    let count = |grid: &GridMonitor<BddZone>, head: &mut Sequential| -> usize {
+        frames
+            .iter()
+            .map(|f| grid.check_frame(head, f).out_of_pattern_cells.len())
+            .sum()
+    };
+    let before = count(&grid, &mut head);
+    grid.enlarge_to(3);
+    let after = count(&grid, &mut head);
+    assert!(
+        after <= before,
+        "γ-enlargement increased warnings: {before} -> {after}"
+    );
+
+    // Verdicts never flip InPattern -> OutOfPattern under enlargement.
+    for f in &frames {
+        for cell in grid.check_frame(&mut head, f).cells {
+            assert_ne!(cell.verdict, Verdict::Unmonitored);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Integration: joint monitoring of several ReLU layers of one trained
+//! digit classifier, combined with the Any/All/Majority policies.
+
+use naps::data::corrupt::{shift_dataset, Corruption};
+use naps::data::digits;
+use naps::monitor::ActivationMonitor;
+use naps::monitor::{BddZone, CombinePolicy, LayeredMonitor, MonitorBuilder, Verdict};
+use naps::nn::{mlp, Adam, Sequential, TrainConfig, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// The 784-48-24-10 MLP has monitorable ReLUs after layers 1 and 3.
+const SHALLOW_LAYER: usize = 1;
+const DEEP_LAYER: usize = 3;
+
+fn fixture(seed: u64) -> (Sequential, naps::data::Dataset, naps::data::Dataset) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let train = digits::generate(25, digits::DigitStyle::clean(), &mut rng);
+    let val = digits::generate(12, digits::DigitStyle::clean(), &mut rng);
+    let mut net = mlp(&[784, 48, 24, 10], &mut rng);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        verbose: false,
+    });
+    trainer.fit(
+        &mut net,
+        &train.samples,
+        &train.labels,
+        &mut Adam::new(2e-3),
+        &mut rng,
+    );
+    (net, train, val)
+}
+
+fn layered(
+    net: &mut Sequential,
+    train: &naps::data::Dataset,
+    gamma: u32,
+    policy: CombinePolicy,
+) -> LayeredMonitor<BddZone> {
+    let shallow = MonitorBuilder::new(SHALLOW_LAYER, gamma).build::<BddZone>(
+        net,
+        &train.samples,
+        &train.labels,
+        10,
+    );
+    let deep = MonitorBuilder::new(DEEP_LAYER, gamma).build::<BddZone>(
+        net,
+        &train.samples,
+        &train.labels,
+        10,
+    );
+    LayeredMonitor::new(vec![shallow, deep], policy)
+}
+
+#[test]
+fn soundness_extends_across_layers() {
+    let (mut net, train, _) = fixture(31);
+    let jm = layered(&mut net, &train, 0, CombinePolicy::Any);
+    for (x, &y) in train.samples.iter().zip(&train.labels) {
+        let rep = jm.check(&mut net, x);
+        if rep.predicted == y {
+            assert_eq!(
+                rep.combined,
+                Verdict::InPattern,
+                "correct training input flagged at some layer: {:?}",
+                rep.per_layer
+            );
+        }
+    }
+}
+
+#[test]
+fn policy_warning_rates_are_ordered_on_shifted_data() {
+    let (mut net, train, val) = fixture(37);
+    let mut rng = StdRng::seed_from_u64(38);
+    let noisy = shift_dataset(&val, 1, 28, Corruption::GaussianNoise(0.4), &mut rng);
+
+    let rate = |policy: CombinePolicy, net: &mut Sequential| -> f64 {
+        let jm = layered(net, &train, 1, policy);
+        let reports = jm.check_batch(net, &noisy.samples);
+        reports
+            .iter()
+            .filter(|r| r.combined == Verdict::OutOfPattern)
+            .count() as f64
+            / reports.len() as f64
+    };
+    let any = rate(CombinePolicy::Any, &mut net);
+    let maj = rate(CombinePolicy::Majority, &mut net);
+    let all = rate(CombinePolicy::All, &mut net);
+    assert!(
+        any >= maj && maj >= all,
+        "any={any:.3} maj={maj:.3} all={all:.3}"
+    );
+    assert!(any > 0.0, "heavy noise never flagged on any layer");
+}
+
+#[test]
+fn per_layer_verdicts_match_standalone_monitors() {
+    let (mut net, train, val) = fixture(41);
+    let jm = layered(&mut net, &train, 1, CombinePolicy::Majority);
+    let shallow_alone = MonitorBuilder::new(SHALLOW_LAYER, 1).build::<BddZone>(
+        &mut net,
+        &train.samples,
+        &train.labels,
+        10,
+    );
+    let deep_alone = MonitorBuilder::new(DEEP_LAYER, 1).build::<BddZone>(
+        &mut net,
+        &train.samples,
+        &train.labels,
+        10,
+    );
+    for x in val.samples.iter().take(20) {
+        let joint = jm.check(&mut net, x);
+        let s = shallow_alone.check(&mut net, x);
+        let d = deep_alone.check(&mut net, x);
+        assert_eq!(joint.predicted, s.predicted);
+        assert_eq!(joint.per_layer[0], s.verdict);
+        assert_eq!(joint.per_layer[1], d.verdict);
+    }
+}
+
+#[test]
+fn enlarging_the_layered_monitor_is_monotone() {
+    let (mut net, train, val) = fixture(43);
+    let mut jm = layered(&mut net, &train, 0, CombinePolicy::Any);
+    let before: Vec<Verdict> = jm
+        .check_batch(&mut net, &val.samples)
+        .into_iter()
+        .map(|r| r.combined)
+        .collect();
+    jm.enlarge_to(2);
+    let after: Vec<Verdict> = jm
+        .check_batch(&mut net, &val.samples)
+        .into_iter()
+        .map(|r| r.combined)
+        .collect();
+    for (b, a) in before.iter().zip(&after) {
+        if *b == Verdict::InPattern {
+            assert_eq!(*a, Verdict::InPattern, "enlargement evicted a member");
+        }
+    }
+}

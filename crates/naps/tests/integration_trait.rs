@@ -1,0 +1,243 @@
+//! Integration: the whole monitor family behind one generic interface.
+//!
+//! Every deployable monitor — [`Monitor`], [`LayeredMonitor`],
+//! [`RefinedMonitor`], [`GridMonitor`] — implements `ActivationMonitor`,
+//! so deployment glue can be written once.  These tests drive all four
+//! through the same generic functions (no `dyn`, no per-type code) and
+//! pin the trait's core contract: `check_batch` is equivalent to mapping
+//! `check` over the inputs, and `out_of_pattern` reflects the combined
+//! verdict.
+
+use naps::monitor::{
+    ActivationMonitor, BddZone, CombinePolicy, ExactZone, GridMonitor, LayeredMonitor,
+    MonitorBuilder, MonitorOutcome, NumericDomain, RefinedMonitor, Verdict,
+};
+use naps::nn::{mlp, Adam, Sequential, TrainConfig, Trainer};
+use naps::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generic: batched judgement must equal per-item judgement.
+fn assert_batch_matches_single<M: ActivationMonitor>(
+    monitor: &M,
+    net: &mut Sequential,
+    inputs: &[Tensor],
+) where
+    M::Report: PartialEq + std::fmt::Debug,
+{
+    let batched = monitor.check_batch(net, inputs);
+    assert_eq!(batched.len(), inputs.len(), "one report per input");
+    for (i, (input, want)) in inputs.iter().zip(&batched).enumerate() {
+        let got = monitor.check(net, input);
+        assert_eq!(&got, want, "batch/single disagree on input {i}");
+    }
+    assert!(monitor.check_batch(net, &[]).is_empty());
+}
+
+/// Generic: fraction of inputs that warn, via the uniform accessor.
+fn warning_rate<M: ActivationMonitor>(monitor: &M, net: &mut Sequential, inputs: &[Tensor]) -> f64 {
+    let reports = monitor.check_batch(net, inputs);
+    reports.iter().filter(|r| r.out_of_pattern()).count() as f64 / inputs.len().max(1) as f64
+}
+
+fn two_blob_problem(seed: u64) -> (Sequential, Vec<Tensor>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = mlp(&[2, 10, 8, 2], &mut rng);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for i in 0..60 {
+        let s = if i % 2 == 0 { 1.2f32 } else { -1.2 };
+        let wiggle = (i as f32 * 0.23).sin() * 0.25;
+        xs.push(Tensor::from_vec(vec![2], vec![s + wiggle, s - wiggle]));
+        ys.push(i % 2);
+    }
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 70,
+        batch_size: 8,
+        verbose: false,
+    });
+    trainer.fit(&mut net, &xs, &ys, &mut Adam::new(0.05), &mut rng);
+    (net, xs, ys)
+}
+
+fn probes(n: usize, scale: f32) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| {
+            let t = i as f32 * 0.37;
+            Tensor::from_vec(vec![2], vec![scale * t.sin(), scale * t.cos()])
+        })
+        .collect()
+}
+
+#[test]
+fn plain_monitor_batch_matches_single_through_the_trait() {
+    let (mut net, xs, ys) = two_blob_problem(1);
+    let monitor = MonitorBuilder::new(1, 1).build::<BddZone>(&mut net, &xs, &ys, 2);
+    assert_batch_matches_single(&monitor, &mut net, &xs[..16]);
+    assert_batch_matches_single(&monitor, &mut net, &probes(12, 2.5));
+}
+
+#[test]
+fn layered_monitor_batch_matches_single_through_the_trait() {
+    let (mut net, xs, ys) = two_blob_problem(2);
+    let shallow = MonitorBuilder::new(1, 0).build::<ExactZone>(&mut net, &xs, &ys, 2);
+    let deep = MonitorBuilder::new(3, 0).build::<ExactZone>(&mut net, &xs, &ys, 2);
+    let joint = LayeredMonitor::new(vec![shallow, deep], CombinePolicy::Majority);
+    assert_batch_matches_single(&joint, &mut net, &xs[..16]);
+    assert_batch_matches_single(&joint, &mut net, &probes(12, 2.5));
+}
+
+#[test]
+fn refined_monitor_batch_matches_single_through_the_trait() {
+    let (mut net, xs, ys) = two_blob_problem(3);
+    for domain in [NumericDomain::Box, NumericDomain::Dbm] {
+        let refined: RefinedMonitor<ExactZone> =
+            MonitorBuilder::new(1, 1).build_refined(&mut net, &xs, &ys, 2, domain);
+        assert_batch_matches_single(&refined, &mut net, &xs[..16]);
+        assert_batch_matches_single(&refined, &mut net, &probes(12, 2.0));
+    }
+}
+
+#[test]
+fn grid_monitor_batch_matches_single_through_the_trait() {
+    let mut rng = StdRng::seed_from_u64(4);
+    const FEAT: usize = 4;
+    let mut head = mlp(&[FEAT, 10, 3], &mut rng);
+    // Per-cell traffic with different class mixes through one shared head.
+    let feature = |class: usize, rng: &mut StdRng| {
+        let data: Vec<f32> = (0..FEAT)
+            .map(|i| match class {
+                0 => 0.1 * (rng.gen::<f32>() - 0.5),
+                1 => (i as f32).sin() + 0.1 * (rng.gen::<f32>() - 0.5),
+                _ => -(i as f32).cos() + 0.1 * (rng.gen::<f32>() - 0.5),
+            })
+            .collect();
+        Tensor::from_vec(vec![FEAT], data)
+    };
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for _ in 0..120 {
+        let c = rng.gen_range(0..3);
+        xs.push(feature(c, &mut rng));
+        ys.push(c);
+    }
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 40,
+        batch_size: 16,
+        verbose: false,
+    });
+    trainer.fit(&mut head, &xs, &ys, &mut Adam::new(0.02), &mut rng);
+    let mixes: [&[usize]; 4] = [&[0], &[0, 1], &[1, 2], &[2]];
+    let per_cell: Vec<(Vec<Tensor>, Vec<usize>)> = mixes
+        .iter()
+        .map(|mix| {
+            let mut cx = Vec::new();
+            let mut cy = Vec::new();
+            for _ in 0..30 {
+                let c = mix[rng.gen_range(0..mix.len())];
+                cx.push(feature(c, &mut rng));
+                cy.push(c);
+            }
+            (cx, cy)
+        })
+        .collect();
+    let grid =
+        GridMonitor::<ExactZone>::build(2, 2, &MonitorBuilder::new(1, 0), &mut head, &per_cell, 3);
+
+    // Frames packed as single tensors: one row per cell.
+    let frames: Vec<Tensor> = (0..6)
+        .map(|_| {
+            let mut data = Vec::with_capacity(4 * FEAT);
+            for mix in &mixes {
+                let c = mix[rng.gen_range(0..mix.len())];
+                data.extend_from_slice(feature(c, &mut rng).data());
+            }
+            Tensor::from_vec(vec![4, FEAT], data)
+        })
+        .collect();
+    assert_batch_matches_single(&grid, &mut head, &frames);
+
+    // The packed-frame trait path must agree with the explicit
+    // per-cell-slice path.
+    for frame in &frames {
+        let via_trait = grid.check(&mut head, frame);
+        let cells: Vec<Tensor> = (0..4)
+            .map(|i| Tensor::from_vec(vec![FEAT], frame.data()[i * FEAT..(i + 1) * FEAT].to_vec()))
+            .collect();
+        let via_frame = grid.check_frame(&mut head, &cells);
+        assert_eq!(via_trait, via_frame);
+    }
+}
+
+#[test]
+fn out_of_pattern_accessor_tracks_verdicts_generically() {
+    let (mut net, xs, ys) = two_blob_problem(5);
+    let monitor = MonitorBuilder::new(1, 0).build::<BddZone>(&mut net, &xs, &ys, 2);
+
+    // Per-report agreement between the accessor and the raw verdict.
+    for x in xs.iter().take(10) {
+        let rep = monitor.check(&mut net, x);
+        assert_eq!(rep.out_of_pattern(), rep.verdict == Verdict::OutOfPattern);
+    }
+
+    // Generic rates: training data warns less than far-out probes.
+    let train_rate = warning_rate(&monitor, &mut net, &xs);
+    let wild_rate = warning_rate(&monitor, &mut net, &probes(40, 8.0));
+    assert!(
+        train_rate <= wild_rate,
+        "training rate {train_rate} > wild rate {wild_rate}"
+    );
+}
+
+#[test]
+fn enlarge_to_is_monotone_for_every_monitor_kind() {
+    let (mut net, xs, ys) = two_blob_problem(6);
+    let inputs = probes(30, 1.8);
+
+    // Build one of each kind, enlarge through the trait, and require the
+    // warning rate not to increase (zones only grow).
+    let mut plain = MonitorBuilder::new(1, 0).build::<BddZone>(&mut net, &xs, &ys, 2);
+    let mut layered = LayeredMonitor::new(
+        vec![
+            MonitorBuilder::new(1, 0).build::<ExactZone>(&mut net, &xs, &ys, 2),
+            MonitorBuilder::new(3, 0).build::<ExactZone>(&mut net, &xs, &ys, 2),
+        ],
+        CombinePolicy::Any,
+    );
+    let mut refined: RefinedMonitor<ExactZone> =
+        MonitorBuilder::new(1, 0).build_refined(&mut net, &xs, &ys, 2, NumericDomain::Box);
+    refined.set_slack(1e6); // isolate the binary side
+
+    fn rate_before_after<M: ActivationMonitor>(
+        m: &mut M,
+        net: &mut Sequential,
+        inputs: &[Tensor],
+    ) -> (f64, f64) {
+        let before = {
+            let reports = m.check_batch(net, inputs);
+            reports.iter().filter(|r| r.out_of_pattern()).count() as f64 / inputs.len() as f64
+        };
+        m.enlarge_to(3);
+        let after = {
+            let reports = m.check_batch(net, inputs);
+            reports.iter().filter(|r| r.out_of_pattern()).count() as f64 / inputs.len() as f64
+        };
+        (before, after)
+    }
+
+    let (b, a) = rate_before_after(&mut plain, &mut net, &inputs);
+    assert!(
+        a <= b,
+        "plain monitor warned more after enlarging: {b} -> {a}"
+    );
+    let (b, a) = rate_before_after(&mut layered, &mut net, &inputs);
+    assert!(
+        a <= b,
+        "layered monitor warned more after enlarging: {b} -> {a}"
+    );
+    let (b, a) = rate_before_after(&mut refined, &mut net, &inputs);
+    assert!(
+        a <= b,
+        "refined monitor warned more after enlarging: {b} -> {a}"
+    );
+}

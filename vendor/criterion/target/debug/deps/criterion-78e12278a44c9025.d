@@ -1,0 +1,9 @@
+/root/repo/vendor/criterion/target/debug/deps/criterion-78e12278a44c9025.d: src/lib.rs Cargo.toml
+
+/root/repo/vendor/criterion/target/debug/deps/libcriterion-78e12278a44c9025.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

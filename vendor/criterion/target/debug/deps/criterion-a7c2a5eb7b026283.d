@@ -1,0 +1,9 @@
+/root/repo/vendor/criterion/target/debug/deps/criterion-a7c2a5eb7b026283.d: src/lib.rs Cargo.toml
+
+/root/repo/vendor/criterion/target/debug/deps/libcriterion-a7c2a5eb7b026283.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/vendor/parking_lot/target/debug/deps/parking_lot-717c0cc0d330dec8.d: src/lib.rs Cargo.toml
+
+/root/repo/vendor/parking_lot/target/debug/deps/libparking_lot-717c0cc0d330dec8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

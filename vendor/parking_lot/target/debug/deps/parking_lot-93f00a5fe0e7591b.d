@@ -1,0 +1,9 @@
+/root/repo/vendor/parking_lot/target/debug/deps/parking_lot-93f00a5fe0e7591b.d: src/lib.rs Cargo.toml
+
+/root/repo/vendor/parking_lot/target/debug/deps/libparking_lot-93f00a5fe0e7591b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

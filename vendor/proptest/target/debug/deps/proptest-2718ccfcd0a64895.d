@@ -1,0 +1,9 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-2718ccfcd0a64895.d: src/lib.rs Cargo.toml
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-2718ccfcd0a64895.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-499dc94724fdca06.d: src/lib.rs Cargo.toml
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-499dc94724fdca06.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/vendor/proptest/target/debug/deps/rand-6c384b602995ee06.d: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/librand-6c384b602995ee06.rmeta: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/vendor/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/vendor/rand/target/debug/deps/rand-67f1350969e496e6.d: src/lib.rs Cargo.toml
+
+/root/repo/vendor/rand/target/debug/deps/librand-67f1350969e496e6.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

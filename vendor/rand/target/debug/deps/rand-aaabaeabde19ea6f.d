@@ -1,0 +1,9 @@
+/root/repo/vendor/rand/target/debug/deps/rand-aaabaeabde19ea6f.d: src/lib.rs Cargo.toml
+
+/root/repo/vendor/rand/target/debug/deps/librand-aaabaeabde19ea6f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/vendor/serde/target/debug/deps/serde-7a9081e1ecbfff1f.d: src/lib.rs Cargo.toml
+
+/root/repo/vendor/serde/target/debug/deps/libserde-7a9081e1ecbfff1f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/vendor/serde_derive/target/debug/deps/serde_derive-97779e8da0cafee8.d: src/lib.rs Cargo.toml
+
+/root/repo/vendor/serde_derive/target/debug/deps/libserde_derive-97779e8da0cafee8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/vendor/serde_derive/target/debug/deps/serde_derive-983da7b86534eba8.d: src/lib.rs Cargo.toml
+
+/root/repo/vendor/serde_derive/target/debug/deps/libserde_derive-983da7b86534eba8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde-2b0ba02c3d3b8dc2.d: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde-2b0ba02c3d3b8dc2.rmeta: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-dffc470be49e107c.d: src/lib.rs Cargo.toml
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde_json-dffc470be49e107c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR
