@@ -91,6 +91,72 @@ impl BddSnapshot {
         self.nodes.len()
     }
 
+    /// Evaluates the captured function under a full assignment without
+    /// restoring it into a manager: a single root-to-terminal walk over the
+    /// immutable node array.
+    ///
+    /// This is the lock-free serving path of `naps-serve`: a snapshot is
+    /// plain data with no caches or interior mutability, so any number of
+    /// threads can evaluate one `Arc<BddSnapshot>` concurrently, each query
+    /// touching at most one node per variable.  Agrees bit-for-bit with
+    /// [`Bdd::eval`] on the restored function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != num_vars`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(
+            assignment.len(),
+            self.num_vars,
+            "assignment length must equal the variable count"
+        );
+        let mut cur = self.root;
+        while cur >= 2 {
+            let (var, low, high) = self.nodes[cur as usize - 2];
+            cur = if assignment[var as usize] { high } else { low };
+        }
+        cur == 1
+    }
+
+    /// Minimum Hamming distance from `pattern` to any satisfying assignment
+    /// of the captured function, or `None` if it is unsatisfiable — the
+    /// snapshot counterpart of [`Bdd::min_hamming_distance`], again without
+    /// a manager.
+    ///
+    /// Because snapshot nodes are stored children-before-parents, the
+    /// shortest-path recursion becomes a single bottom-up sweep over the
+    /// node array: no recursion, no hashing, one `Option<u32>` per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern.len() != num_vars`.
+    pub fn min_hamming_distance(&self, pattern: &[bool]) -> Option<u32> {
+        assert_eq!(
+            pattern.len(),
+            self.num_vars,
+            "pattern length must equal the variable count"
+        );
+        // dist[i] = min flips to reach ONE from entry i (terminals at 0, 1).
+        let mut dist: Vec<Option<u32>> = Vec::with_capacity(self.nodes.len() + 2);
+        dist.push(None); // ZERO
+        dist.push(Some(0)); // ONE
+        for &(var, low, high) in &self.nodes {
+            let (agree, disagree) = if pattern[var as usize] {
+                (high, low)
+            } else {
+                (low, high)
+            };
+            let d_agree = dist[agree as usize];
+            let d_disagree = dist[disagree as usize].map(|d| d.saturating_add(1));
+            dist.push(match (d_agree, d_disagree) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            });
+        }
+        dist[self.root as usize]
+    }
+
     /// Rebuilds the function inside `bdd`, returning its root.
     ///
     /// # Errors

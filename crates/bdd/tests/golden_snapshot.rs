@@ -1,0 +1,112 @@
+//! Golden-file tests for [`BddSnapshot`] serialization.
+//!
+//! A small comfort zone (fixed seed patterns, γ = 1 dilation — no RNG, so
+//! the fixture is immune to vendored-RNG retunings) is serialized to a
+//! checked-in JSON fixture under `tests/golden/`.  The tests pin the wire
+//! format byte-for-byte and the restored semantics query-for-query: a
+//! change to either is a deliberate format break and must re-bless the
+//! fixture with `GOLDEN_BLESS=1 cargo test -p naps-bdd golden`.
+
+use naps_bdd::{Bdd, BddSnapshot, NodeId};
+use std::path::PathBuf;
+
+const WIDTH: usize = 8;
+
+/// The fixture's seed patterns: three hand-picked 8-bit patterns.
+const SEEDS: [[bool; WIDTH]; 3] = [
+    [true, false, true, false, true, false, true, false],
+    [true, true, false, false, true, true, false, false],
+    [false, false, false, true, true, true, false, true],
+];
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("comfort_zone_w8_g1.json")
+}
+
+/// Builds the deterministic fixture zone: the γ=1 dilation of `SEEDS`.
+fn build_fixture() -> (Bdd, NodeId) {
+    let mut bdd = Bdd::new(WIDTH);
+    let mut seeds = bdd.zero();
+    for s in &SEEDS {
+        let cube = bdd.cube_from_bools(s);
+        seeds = bdd.or(seeds, cube);
+    }
+    let zone = bdd.dilate(seeds, 1);
+    (bdd, zone)
+}
+
+fn serialize_fixture() -> (BddSnapshot, String) {
+    let (bdd, zone) = build_fixture();
+    let snap = BddSnapshot::capture(&bdd, zone);
+    let json = serde_json::to_string_pretty(&snap).expect("serialize");
+    (snap, json)
+}
+
+#[test]
+fn golden_fixture_is_byte_identical() {
+    let (_, json) = serialize_fixture();
+    let path = fixture_path();
+    if std::env::var("GOLDEN_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, &json).expect("write fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run GOLDEN_BLESS=1 cargo test -p naps-bdd golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        json, golden,
+        "BddSnapshot wire format changed; if intentional, re-bless with \
+         GOLDEN_BLESS=1 cargo test -p naps-bdd golden"
+    );
+}
+
+#[test]
+fn golden_fixture_restores_with_identical_semantics() {
+    let golden = std::fs::read_to_string(fixture_path()).expect("golden fixture present");
+    let snap: BddSnapshot = serde_json::from_str(&golden).expect("deserialize fixture");
+    assert_eq!(snap.num_vars(), WIDTH);
+
+    // Byte-for-byte round-trip: deserialize → serialize is the identity.
+    let rewritten = serde_json::to_string_pretty(&snap).expect("serialize");
+    assert_eq!(rewritten, golden, "fixture does not round-trip bytewise");
+
+    // Semantic equality: the restored zone answers every membership and
+    // distance query exactly like the freshly built one, both through a
+    // manager and through the lock-free snapshot walk.
+    let (bdd, zone) = build_fixture();
+    let mut fresh = Bdd::new(WIDTH);
+    let restored = snap.restore(&mut fresh).expect("restore");
+    for m in 0..(1u32 << WIDTH) {
+        let probe: Vec<bool> = (0..WIDTH).map(|i| (m >> i) & 1 == 1).collect();
+        let want = bdd.eval(zone, &probe);
+        assert_eq!(fresh.eval(restored, &probe), want, "probe {probe:?}");
+        assert_eq!(snap.eval(&probe), want, "snapshot walk at {probe:?}");
+        assert_eq!(
+            snap.min_hamming_distance(&probe),
+            bdd.min_hamming_distance(zone, &probe),
+            "distance at {probe:?}"
+        );
+    }
+}
+
+#[test]
+fn golden_fixture_contains_dilated_seeds() {
+    let golden = std::fs::read_to_string(fixture_path()).expect("golden fixture present");
+    let snap: BddSnapshot = serde_json::from_str(&golden).expect("deserialize fixture");
+    for s in &SEEDS {
+        assert!(snap.eval(s), "seed {s:?} missing from the golden zone");
+        // γ = 1: every one-bit flip of a seed is inside the zone.
+        for i in 0..WIDTH {
+            let mut flipped = *s;
+            flipped[i] = !flipped[i];
+            assert!(snap.eval(&flipped), "flip {i} of {s:?} outside the zone");
+        }
+    }
+}

@@ -269,3 +269,75 @@ proptest! {
         prop_assert!(live >= bdd.node_count(g));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Hamming distance computed through the BDD is a metric on
+    /// patterns: symmetric, zero iff equal, and obeying the triangle
+    /// inequality.  Single patterns are embedded as one-path cubes, so
+    /// `d(a, b) = min_hamming_distance(cube(a), b)`.
+    #[test]
+    fn hamming_is_a_metric(a in pattern(), b in pattern(), c in pattern()) {
+        let mut bdd = Bdd::new(VARS);
+        let ca = bdd.cube_from_bools(&a);
+        let cb = bdd.cube_from_bools(&b);
+        let d = |bdd: &Bdd, cube, probe: &[bool]| {
+            bdd.min_hamming_distance(cube, probe).expect("cube is satisfiable")
+        };
+        // Symmetry: distance from a's cube to b equals b's cube to a.
+        prop_assert_eq!(d(&bdd, ca, &b), d(&bdd, cb, &a));
+        // Identity of indiscernibles: zero iff the patterns are equal.
+        prop_assert_eq!(d(&bdd, ca, &b) == 0, a == b);
+        prop_assert_eq!(d(&bdd, ca, &a), 0);
+        // Triangle inequality through an intermediate pattern.
+        prop_assert!(d(&bdd, ca, &c) <= d(&bdd, ca, &b) + d(&bdd, cb, &c));
+    }
+
+    /// Point-to-set distance: `d(F, p)` is a lower bound realised by some
+    /// member of `F`, and dilating by the reported distance admits `p`.
+    #[test]
+    fn set_distance_is_tight(pats in pattern_set(), probe in pattern()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build_set(&mut bdd, &pats);
+        let d = bdd.min_hamming_distance(f, &probe).expect("non-empty set");
+        let z = bdd.dilate(f, d);
+        prop_assert!(bdd.eval(z, &probe), "probe not admitted at its own distance");
+        if d > 0 {
+            let tight = bdd.dilate(f, d - 1);
+            prop_assert!(!bdd.eval(tight, &probe), "distance overestimates");
+        }
+    }
+
+    /// Snapshot-side queries agree with the manager: `BddSnapshot::eval`
+    /// and `BddSnapshot::min_hamming_distance` are the lock-free serving
+    /// path and must be bit-identical to `Bdd::eval` /
+    /// `Bdd::min_hamming_distance` on every assignment.
+    #[test]
+    fn snapshot_queries_match_manager(pats in pattern_set(), gamma in 0u32..3) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build_set(&mut bdd, &pats);
+        let z = bdd.dilate(f, gamma);
+        for (root, snap) in [(f, BddSnapshot::capture(&bdd, f)), (z, BddSnapshot::capture(&bdd, z))] {
+            for probe in all_assignments_again() {
+                prop_assert_eq!(snap.eval(&probe), bdd.eval(root, &probe));
+                prop_assert_eq!(
+                    snap.min_hamming_distance(&probe),
+                    bdd.min_hamming_distance(root, &probe)
+                );
+            }
+        }
+    }
+
+    /// Terminal snapshots answer queries like the constant functions.
+    #[test]
+    fn snapshot_terminal_queries(probe in pattern()) {
+        let bdd = Bdd::new(VARS);
+        let empty = BddSnapshot::capture(&bdd, bdd.zero());
+        let full = BddSnapshot::capture(&bdd, bdd.one());
+        prop_assert!(!empty.eval(&probe));
+        prop_assert!(full.eval(&probe));
+        prop_assert_eq!(empty.min_hamming_distance(&probe), None);
+        prop_assert_eq!(full.min_hamming_distance(&probe), Some(0));
+    }
+}

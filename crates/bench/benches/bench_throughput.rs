@@ -1,0 +1,63 @@
+//! Serving throughput: sequential `check_batch` vs. the `naps-serve`
+//! `MonitorEngine` across worker counts (1/2/4/8) and micro-batch sizes
+//! (1/16/128) on the shared serving fixture.
+//!
+//! The single-thread sequential rows are the baseline the ROADMAP's
+//! monitoring-latency regression checks compare against; the engine rows
+//! quantify what the work-stealing pool buys on the current hardware
+//! (`results/throughput.json`, written by the `naps-eval` `throughput`
+//! binary, records the same matrix with explicit QPS numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naps_bench::serving_fixture;
+use naps_core::ActivationMonitor;
+use naps_serve::{EngineConfig, MonitorEngine};
+
+const CLASSES: usize = 6;
+const PROBES: usize = 256;
+const BATCHES: [usize; 3] = [1, 16, 128];
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_sequential(c: &mut Criterion) {
+    let (monitor, mut model, probes) = serving_fixture(CLASSES, PROBES, 42);
+    let mut group = c.benchmark_group("throughput/sequential");
+    for batch in BATCHES {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let mut served = 0usize;
+                for chunk in probes.chunks(batch) {
+                    served += monitor.check_batch(&mut model, chunk).len();
+                }
+                served
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let (monitor, model, probes) = serving_fixture(CLASSES, PROBES, 42);
+    for workers in WORKERS {
+        let mut group = c.benchmark_group(format!("throughput/engine-{workers}w"));
+        for batch in BATCHES {
+            let engine = MonitorEngine::new(
+                &monitor,
+                &model,
+                EngineConfig {
+                    workers,
+                    max_batch: batch,
+                    queue_capacity: 2 * PROBES,
+                },
+            )
+            .expect("serving fixture is an MLP");
+            group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+                b.iter(|| engine.check_batch(&probes).len());
+            });
+            engine.shutdown();
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_sequential, bench_engine);
+criterion_main!(benches);

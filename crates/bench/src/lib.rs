@@ -87,6 +87,64 @@ pub type BddBackend = BddZone;
 /// The explicit-set baseline backend.
 pub type ExactBackend = ExactZone;
 
+/// The serving-throughput fixture shared by `bench_throughput` and the
+/// `naps-eval` `throughput` binary: a classifier wide enough that the
+/// forward pass dominates per-query cost (so parallel speedup is
+/// measurable rather than drowned in queueing overhead), its monitor,
+/// and a mixed in/out-of-distribution probe workload.
+///
+/// Returns `(monitor, model, probes)`; the monitor watches the second
+/// ReLU (layer 3) of a `[16, 96, 48, classes]` MLP at γ = 1.
+pub fn serving_fixture(
+    classes: usize,
+    probes: usize,
+    seed: u64,
+) -> (Monitor<BddZone>, Sequential, Vec<Tensor>) {
+    let in_dim = 16;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = mlp(&[in_dim, 96, 48, classes], &mut rng);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for c in 0..classes {
+        let phase = c as f32 * std::f32::consts::TAU / classes as f32;
+        for k in 0..40 {
+            let data: Vec<f32> = (0..in_dim)
+                .map(|i| {
+                    let centre = (phase + i as f32 * 0.6).sin() * 2.0;
+                    centre + 0.25 * ((k * in_dim + i) as f32 * 0.77).sin()
+                })
+                .collect();
+            xs.push(Tensor::from_vec(vec![in_dim], data));
+            ys.push(c);
+        }
+    }
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 20,
+        batch_size: 32,
+        verbose: false,
+    });
+    trainer.fit(&mut net, &xs, &ys, &mut Adam::new(0.01), &mut rng);
+    let monitor = MonitorBuilder::new(3, 1).build::<BddZone>(&mut net, &xs, &ys, classes);
+    let workload: Vec<Tensor> = (0..probes)
+        .map(|p| {
+            let base = &xs[p % xs.len()];
+            let scale = match p % 3 {
+                0 => 0.0, // exact training input
+                1 => 0.2, // jittered in-distribution
+                _ => 3.0, // far out: exercises out-of-pattern
+            };
+            let data: Vec<f32> = base
+                .data()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v + scale * ((p * 31 + i) as f32 * 1.3).sin())
+                .collect();
+            Tensor::from_vec(vec![in_dim], data)
+        })
+        .collect();
+    (monitor, net, workload)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

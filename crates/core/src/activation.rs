@@ -51,6 +51,24 @@ pub trait MonitorOutcome {
 /// implementations with a cheaper batched path (one forward pass for the
 /// whole batch) override it.  `check_batch` must be equivalent to mapping
 /// `check` over the inputs.
+///
+/// # Thread safety
+///
+/// Every monitor in the crate — [`crate::Monitor`],
+/// [`crate::LayeredMonitor`], [`crate::RefinedMonitor`],
+/// [`crate::GridMonitor`] — is `Send + Sync` (for `Send + Sync` zone
+/// backends, which both [`crate::BddZone`] and [`crate::ExactZone`] are):
+/// the query path takes `&self`, holds no caches and no interior
+/// mutability, so one monitor behind an `Arc` serves any number of
+/// threads concurrently.  This is load-bearing for `naps-serve`'s
+/// parallel `MonitorEngine` and is pinned by compile-time assertions in
+/// the crate's tests.
+///
+/// The **model** is the non-shareable half: [`naps_nn::Layer::forward`]
+/// caches activations for backprop, so `check`/`check_batch` take
+/// `&mut Sequential`.  Concurrent checkers must either replicate the
+/// model (one replica per thread — what `naps-serve` does, via
+/// [`naps_nn::ModelSnapshot`]) or serialise forward passes behind a lock.
 pub trait ActivationMonitor {
     /// What one query returns.
     type Report: MonitorOutcome;

@@ -5,6 +5,12 @@
 //! argmax the logits per row, read the monitored layer's activations —
 //! and only the final judgement differs.  Keeping the scaffold here means
 //! a fix to the batching logic lands in one place.
+//!
+//! The functions are public so serving layers (e.g. `naps-serve`'s
+//! `MonitorEngine` workers) can reuse the exact packing and observation
+//! path of the in-process monitors: verdict equivalence between batched,
+//! parallel, and one-at-a-time checking rests on every caller funnelling
+//! through this one implementation.
 
 use naps_nn::Sequential;
 use naps_tensor::Tensor;
@@ -14,7 +20,7 @@ use naps_tensor::Tensor;
 /// # Panics
 ///
 /// Panics if `inputs` is empty or the inputs have inconsistent widths.
-pub(crate) fn pack_batch(inputs: &[Tensor]) -> Tensor {
+pub fn pack_batch(inputs: &[Tensor]) -> Tensor {
     let feat = inputs[0].len();
     let mut data = Vec::with_capacity(inputs.len() * feat);
     for t in inputs {
@@ -25,7 +31,7 @@ pub(crate) fn pack_batch(inputs: &[Tensor]) -> Tensor {
 }
 
 /// Index of the largest logit (first wins on ties), i.e. `dec(in)`.
-pub(crate) fn argmax(row: &[f32]) -> usize {
+pub fn argmax(row: &[f32]) -> usize {
     let mut best = 0;
     for (i, &v) in row.iter().enumerate() {
         if v > row[best] {
@@ -38,7 +44,7 @@ pub(crate) fn argmax(row: &[f32]) -> usize {
 /// Runs one forward pass over a packed `[n, feat]` batch and returns the
 /// per-row predicted classes plus the monitored `layer`'s activations
 /// (`[n, width]`).
-pub(crate) fn forward_observe_packed(
+pub fn forward_observe_packed(
     model: &mut Sequential,
     batch: &Tensor,
     layer: usize,

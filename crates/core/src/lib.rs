@@ -64,7 +64,7 @@
 
 mod abstraction;
 mod activation;
-mod batch;
+pub mod batch;
 mod builder;
 mod dbm;
 mod drift;

@@ -100,6 +100,24 @@ impl BddZone {
         (BddSnapshot::capture(&self.bdd, self.seeds), self.gamma)
     }
 
+    /// Serializable snapshot of the **enlarged** zone `Z^γ_c` itself.
+    ///
+    /// Unlike [`BddZone::snapshot`] — which stores only the seed set and
+    /// re-dilates on restore — this captures the dilated diagram, so a
+    /// serving layer can answer membership queries directly on the
+    /// immutable snapshot ([`BddSnapshot::eval`]) with no manager, no
+    /// re-dilation and no locking.  `naps-serve` freezes one of these per
+    /// class and shares it across worker threads behind an `Arc`.
+    pub fn zone_snapshot(&self) -> BddSnapshot {
+        BddSnapshot::capture(&self.bdd, self.zone)
+    }
+
+    /// Snapshot of the **seed** set `Z^0_c` alone (the first component of
+    /// [`BddZone::snapshot`]), used for frozen distance-to-seeds queries.
+    pub fn seed_snapshot(&self) -> BddSnapshot {
+        BddSnapshot::capture(&self.bdd, self.seeds)
+    }
+
     /// Restores a zone from a snapshot produced by [`BddZone::snapshot`].
     ///
     /// # Errors
@@ -406,6 +424,26 @@ mod tests {
         z.enlarge_to(1);
         assert_eq!(z.pattern_count(), 7.0); // 1 + 6 flips
         assert!(z.node_count() > 0);
+    }
+
+    #[test]
+    fn frozen_zone_snapshots_answer_like_the_live_zone() {
+        let mut z = BddZone::empty(6);
+        z.insert(&p(&[1, 0, 1, 0, 1, 0]));
+        z.insert(&p(&[0, 1, 1, 0, 0, 1]));
+        z.enlarge_to(2);
+        let zone_snap = z.zone_snapshot();
+        let seed_snap = z.seed_snapshot();
+        for m in 0..64u32 {
+            let bits: Vec<bool> = (0..6).map(|i| (m >> i) & 1 == 1).collect();
+            let probe = Pattern::from_bools(&bits);
+            assert_eq!(zone_snap.eval(&bits), z.contains(&probe), "zone at {m}");
+            assert_eq!(
+                seed_snap.min_hamming_distance(&bits),
+                z.distance_to_seeds(&probe),
+                "distance at {m}"
+            );
+        }
     }
 
     #[test]

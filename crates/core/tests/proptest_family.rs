@@ -1,0 +1,208 @@
+//! Property suites for the whole `ActivationMonitor` family.
+//!
+//! The trait contract says `check_batch` must be equivalent to mapping
+//! `check` over the inputs — the property every batched fast path
+//! (shared forward pass, packed frames, and `naps-serve`'s parallel
+//! engine) silently depends on.  These tests pin it for **every**
+//! implementor on random inputs and random zone contents, alongside
+//! `Pattern` bit-accessor round-trips and the compile-time `Send + Sync`
+//! audit of the family.
+
+use naps_core::{
+    ActivationMonitor, BddZone, CombinePolicy, ExactZone, GridMonitor, LayeredMonitor, Monitor,
+    MonitorBuilder, NeuronSelection, NumericDomain, Pattern, RefinedMonitor, Zone,
+};
+use naps_nn::{mlp, Sequential};
+use naps_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const IN_DIM: usize = 4;
+const CLASSES: usize = 3;
+
+/// A random flat input vector.
+fn input() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-3.0f32..3.0, IN_DIM)
+}
+
+/// A random batch of inputs (possibly empty — the contract covers that
+/// edge too).
+fn batch() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(input(), 0..10)
+}
+
+/// Training-shaped data: a few labelled inputs to seed the zones with.
+fn labelled() -> impl Strategy<Value = Vec<(Vec<f32>, usize)>> {
+    proptest::collection::vec((input(), 0usize..CLASSES), 4..16)
+}
+
+fn tensors(rows: &[Vec<f32>]) -> Vec<Tensor> {
+    rows.iter()
+        .map(|r| Tensor::from_vec(vec![r.len()], r.clone()))
+        .collect()
+}
+
+/// A deterministic (untrained) network — determinism, not accuracy, is
+/// what the equivalence property needs.
+fn net(seed: u64, dims: &[usize]) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    mlp(dims, &mut rng)
+}
+
+fn build_monitor<Z: Zone>(
+    seed: u64,
+    layer: usize,
+    data: &[(Vec<f32>, usize)],
+    gamma: u32,
+) -> (Monitor<Z>, Sequential) {
+    let mut model = net(seed, &[IN_DIM, 8, 6, CLASSES]);
+    let xs = tensors(&data.iter().map(|(x, _)| x.clone()).collect::<Vec<_>>());
+    let ys: Vec<usize> = data.iter().map(|(_, y)| *y).collect();
+    let monitor = MonitorBuilder::new(layer, gamma).build::<Z>(&mut model, &xs, &ys, CLASSES);
+    (monitor, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `Monitor::check_batch` ≡ element-wise `Monitor::check`, for both
+    /// zone backends.
+    #[test]
+    fn monitor_batch_equals_elementwise(
+        seed in 0u64..1_000,
+        data in labelled(),
+        probes in batch(),
+        gamma in 0u32..3,
+    ) {
+        let probes = tensors(&probes);
+        {
+            let (m, mut model) = build_monitor::<BddZone>(seed, 1, &data, gamma);
+            let batched = m.check_batch(&mut model, &probes);
+            prop_assert_eq!(batched.len(), probes.len());
+            for (x, want) in probes.iter().zip(&batched) {
+                prop_assert_eq!(&m.check(&mut model, x), want);
+            }
+        }
+        {
+            let (m, mut model) = build_monitor::<ExactZone>(seed, 1, &data, gamma);
+            let batched = m.check_batch(&mut model, &probes);
+            for (x, want) in probes.iter().zip(&batched) {
+                prop_assert_eq!(&m.check(&mut model, x), want);
+            }
+        }
+    }
+
+    /// `LayeredMonitor::check_batch` ≡ element-wise `check` across every
+    /// combine policy.
+    #[test]
+    fn layered_batch_equals_elementwise(
+        seed in 0u64..1_000,
+        data in labelled(),
+        probes in batch(),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [CombinePolicy::Any, CombinePolicy::All, CombinePolicy::Majority][policy_idx];
+        let (shallow, _) = build_monitor::<ExactZone>(seed, 1, &data, 1);
+        let (deep, mut model) = build_monitor::<ExactZone>(seed, 3, &data, 1);
+        let joint = LayeredMonitor::new(vec![shallow, deep], policy);
+        let probes = tensors(&probes);
+        let batched = joint.check_batch(&mut model, &probes);
+        prop_assert_eq!(batched.len(), probes.len());
+        for (x, want) in probes.iter().zip(&batched) {
+            prop_assert_eq!(&joint.check(&mut model, x), want);
+        }
+    }
+
+    /// `RefinedMonitor::check_batch` ≡ element-wise `check` in both
+    /// numeric domains.
+    #[test]
+    fn refined_batch_equals_elementwise(
+        seed in 0u64..1_000,
+        data in labelled(),
+        probes in batch(),
+        domain_idx in 0usize..2,
+    ) {
+        let domain = [NumericDomain::Box, NumericDomain::Dbm][domain_idx];
+        let mut model = net(seed, &[IN_DIM, 8, 6, CLASSES]);
+        let xs = tensors(&data.iter().map(|(x, _)| x.clone()).collect::<Vec<_>>());
+        let ys: Vec<usize> = data.iter().map(|(_, y)| *y).collect();
+        let refined: RefinedMonitor<ExactZone> = MonitorBuilder::new(1, 1)
+            .build_refined(&mut model, &xs, &ys, CLASSES, domain);
+        let probes = tensors(&probes);
+        let batched = refined.check_batch(&mut model, &probes);
+        prop_assert_eq!(batched.len(), probes.len());
+        for (x, want) in probes.iter().zip(&batched) {
+            prop_assert_eq!(&refined.check(&mut model, x), want);
+        }
+    }
+
+    /// `GridMonitor::check_batch` ≡ element-wise `check` on random packed
+    /// frames.
+    #[test]
+    fn grid_batch_equals_elementwise(
+        seed in 0u64..1_000,
+        data in labelled(),
+        frames in proptest::collection::vec(
+            proptest::collection::vec(-3.0f32..3.0, 2 * IN_DIM), 0..5),
+    ) {
+        // A 1x2 grid sharing one head: each frame packs two cell inputs.
+        let mut model = net(seed, &[IN_DIM, 8, 6, CLASSES]);
+        let builder = MonitorBuilder::new(1, 1);
+        let xs = tensors(&data.iter().map(|(x, _)| x.clone()).collect::<Vec<_>>());
+        let ys: Vec<usize> = data.iter().map(|(_, y)| *y).collect();
+        let per_cell = vec![(xs.clone(), ys.clone()), (xs, ys)];
+        let grid: GridMonitor<ExactZone> =
+            GridMonitor::build(1, 2, &builder, &mut model, &per_cell, CLASSES);
+        let frames = tensors(&frames);
+        let batched = grid.check_batch(&mut model, &frames);
+        prop_assert_eq!(batched.len(), frames.len());
+        for (x, want) in frames.iter().zip(&batched) {
+            prop_assert_eq!(&grid.check(&mut model, x), want);
+        }
+    }
+
+    /// `Pattern` round-trips through `from_bools` and the bit accessors:
+    /// `get` reproduces the source bits, `set` is idempotent re-writing,
+    /// and `to_bools`/`count_ones` stay consistent.
+    #[test]
+    fn pattern_bit_accessors_roundtrip(bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let p = Pattern::from_bools(&bits);
+        prop_assert_eq!(p.len(), bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(p.get(i), b, "bit {}", i);
+        }
+        prop_assert_eq!(p.to_bools(), bits.clone());
+        prop_assert_eq!(p.count_ones() as usize, bits.iter().filter(|&&b| b).count());
+        // Rebuilding through set() reproduces the same pattern, and
+        // flipping a bit changes exactly that bit.
+        let mut q = Pattern::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            q.set(i, b);
+        }
+        prop_assert_eq!(&q, &p);
+        let flip = bits.len() / 2;
+        q.set(flip, !bits[flip]);
+        prop_assert_eq!(p.hamming(&q), 1);
+        q.set(flip, bits[flip]);
+        prop_assert_eq!(&q, &p);
+    }
+}
+
+/// Compile-time audit: the whole monitor family is `Send + Sync`, so a
+/// monitor behind an `Arc` may be queried from any number of threads —
+/// the invariant `naps-serve` builds on.
+#[test]
+fn monitor_family_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Pattern>();
+    assert_send_sync::<NeuronSelection>();
+    assert_send_sync::<BddZone>();
+    assert_send_sync::<ExactZone>();
+    assert_send_sync::<Monitor<BddZone>>();
+    assert_send_sync::<Monitor<ExactZone>>();
+    assert_send_sync::<LayeredMonitor<BddZone>>();
+    assert_send_sync::<RefinedMonitor<BddZone>>();
+    assert_send_sync::<GridMonitor<BddZone>>();
+    assert_send_sync::<naps_core::DriftDetector>();
+}

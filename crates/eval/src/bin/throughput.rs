@@ -1,0 +1,6 @@
+//! Measures serving throughput (MonitorEngine vs sequential) and writes
+//! `results/throughput.json`. Usage: `cargo run --release -p naps-eval --bin throughput [--full]`.
+fn main() {
+    let cfg = naps_eval::RunConfig::from_env();
+    let _ = naps_eval::throughput::run(&cfg);
+}

@@ -9,6 +9,7 @@
 //! | `refinement` | Section V item (2) ablation — binary monitor vs box/DBM numeric refinements |
 //! | `drift` | Section I claim — distribution shift surfacing as out-of-pattern warnings, with detection latency |
 //! | `selection` | Section II ablation — gradient saliency vs variance vs random neuron selection |
+//! | `throughput` | ROADMAP north star — parallel `MonitorEngine` QPS vs sequential checking, with verdict-equivalence verification |
 //!
 //! Each binary prints the paper-format rows and writes machine-readable
 //! JSON under `results/`.  Run with `--full` for paper-scale workloads
@@ -30,6 +31,7 @@ pub mod report;
 pub mod selection;
 pub mod table1;
 pub mod table2;
+pub mod throughput;
 pub mod trained;
 
 pub use config::RunConfig;

@@ -32,5 +32,5 @@ pub mod pipeline;
 pub mod scenario;
 
 pub use features::{FeatureVector, NO_FRONT_CAR};
-pub use pipeline::{FrontCarPipeline, PipelineConfig, StepOutcome};
+pub use pipeline::{FrontCarPipeline, PipelineConfig, StepOutcome, RARE_CLASS_SCENARIO_BUDGET};
 pub use scenario::{Conditions, Scenario, Vehicle};

@@ -23,6 +23,7 @@
 //! | [`data`] | `naps-data` | procedural MNIST-like / GTSRB-like datasets, shifts |
 //! | [`monitor`] | `naps-core` | the paper's contribution: comfort zones + monitors |
 //! | [`frontcar`] | `naps-frontcar` | highway front-car selection case study |
+//! | [`serve`] | `naps-serve` | parallel monitoring engine: frozen shards + work-stealing worker pool |
 //!
 //! The monitor family — [`monitor::Monitor`], [`monitor::LayeredMonitor`],
 //! [`monitor::RefinedMonitor`], [`monitor::GridMonitor`] — is driven
@@ -40,4 +41,5 @@ pub use naps_core as monitor;
 pub use naps_data as data;
 pub use naps_frontcar as frontcar;
 pub use naps_nn as nn;
+pub use naps_serve as serve;
 pub use naps_tensor as tensor;

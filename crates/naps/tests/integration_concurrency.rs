@@ -100,6 +100,53 @@ fn model_behind_rwlock_serves_monitored_checks() {
 }
 
 #[test]
+fn serve_engine_replaces_the_rwlock_deployment() {
+    // The RwLock deployment above serialises every forward pass; the
+    // naps-serve engine replicates the model per worker instead and
+    // shares the monitor as immutable frozen shards — same verdicts, no
+    // lock on the query path.
+    let mut rng = StdRng::seed_from_u64(52);
+    let mut net = mlp(&[4, 16, 3], &mut rng);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for i in 0..90 {
+        let c = i % 3;
+        let base = c as f32 - 1.0;
+        xs.push(Tensor::from_vec(
+            vec![4],
+            (0..4)
+                .map(|k| base + 0.1 * (k as f32 + i as f32).sin())
+                .collect(),
+        ));
+        ys.push(c);
+    }
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 30,
+        batch_size: 16,
+        verbose: false,
+    });
+    trainer.fit(&mut net, &xs, &ys, &mut Adam::new(0.02), &mut rng);
+    let monitor = MonitorBuilder::new(1, 1).build::<BddZone>(&mut net, &xs, &ys, 3);
+
+    let engine = naps::serve::MonitorEngine::new(
+        &monitor,
+        &net,
+        naps::serve::EngineConfig {
+            workers: 3,
+            max_batch: 8,
+            queue_capacity: 64,
+        },
+    )
+    .expect("mlp replicates");
+    let served = engine.check_batch(&xs);
+    for (x, served) in xs.iter().zip(&served) {
+        assert_eq!(&monitor.check(&mut net, x), served);
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.processed, xs.len() as u64);
+}
+
+#[test]
 fn zone_types_are_send() {
     fn assert_send<T: Send>() {}
     assert_send::<BddZone>();

@@ -1,20 +1,22 @@
 //! Integration: the front-car case study pipeline across crates.
 
-use naps::frontcar::{Conditions, FrontCarPipeline, PipelineConfig, Scenario};
+use naps::frontcar::{
+    Conditions, FrontCarPipeline, PipelineConfig, Scenario, RARE_CLASS_SCENARIO_BUDGET,
+};
 use naps::monitor::{Verdict, Zone};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn small_pipeline(seed: u64) -> (FrontCarPipeline, StdRng) {
     let mut rng = StdRng::seed_from_u64(seed);
-    // Class 3 (front car in the last vehicle slot) only occurs when all
-    // four slots fill AND the last is nearest in the ego lane — roughly 1%
-    // of nominal traffic — so the scenario budget must be large enough for
-    // Algorithm 1 to see every class several times.
+    // The budget is the named const (see its docs): large enough for the
+    // ~1%-frequency class 3 to reach Algorithm 1 under the vendored RNG
+    // stream.  An ad-hoc smaller number here regresses to a silently
+    // degenerate fixture when the RNG is retuned.
     let pipe = FrontCarPipeline::train(
         PipelineConfig {
             hidden: [32, 16],
-            train_scenarios: 2500,
+            train_scenarios: RARE_CLASS_SCENARIO_BUDGET,
             epochs: 15,
             gamma: 1,
         },
@@ -58,7 +60,9 @@ fn every_class_has_a_zone_after_training() {
     for c in monitored {
         assert!(
             pipe.monitor().zone(c).map(|z| z.seed_count()).unwrap_or(0) > 0,
-            "class {c} zone is empty"
+            "class {c} zone is empty: the vendored RNG stream no longer \
+             surfaces this class within RARE_CLASS_SCENARIO_BUDGET \
+             scenarios — retune the budget const in naps-frontcar"
         );
     }
 }

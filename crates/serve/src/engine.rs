@@ -1,0 +1,612 @@
+//! The parallel monitoring engine: a work-stealing worker pool serving
+//! monitored classifications from micro-batches.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  submit / try_submit / check_batch           workers (one thread each)
+//!  ──────────────┐                            ┌───────────────────────────
+//!   round-robin  │   per-worker queues        │ pop own queue ─┐
+//!   push_back ───┼──► [q0] [q1] [q2] [q3] ────┤ steal siblings ┼─► micro-batch
+//!   (bounded:    │         ▲                  │ (back-steal)   ┘     │
+//!    blocks or   │         └── work-stealing ─┘                      ▼
+//!    Saturated)  │                                   pack_batch → forward
+//!                │                                   (own model replica)
+//!                │              Arc<FrozenMonitor> ◄── per-class shard lookup
+//!                └───────────── callbacks/tickets ◄── MonitorReport per row
+//! ```
+//!
+//! * **Thread safety.** Workers share one immutable [`FrozenMonitor`]
+//!   (`Arc`; per-class zones are `Arc<FrozenZone>` snapshots) — reads
+//!   take no lock.  The only mutable state per worker is its own model
+//!   replica (forward passes cache activations, hence `&mut`).
+//! * **Batching.** A worker drains up to `max_batch` requests in one
+//!   lock acquisition — its own queue first, then stealing from the
+//!   most-loaded sibling — and runs **one** forward pass for the whole
+//!   micro-batch.  Under load, batches grow toward `max_batch`
+//!   automatically; when idle, a lone request is served immediately.
+//! * **Backpressure.** Total queued requests are bounded by
+//!   `queue_capacity`: [`MonitorEngine::submit`] blocks for space,
+//!   [`MonitorEngine::try_submit`] returns
+//!   [`SubmitError::Saturated`] instead.
+//! * **Equivalence.** Every path funnels through the same
+//!   `pack_batch` → `forward_observe_packed` → shard-lookup pipeline as
+//!   the sequential [`naps_core::Monitor::check_batch`], so verdicts are
+//!   bit-identical to sequential checking regardless of how requests
+//!   interleave (asserted by the crate's concurrency tests).
+
+use crate::frozen::FrozenMonitor;
+use naps_core::{BddZone, Monitor, MonitorReport};
+use naps_nn::{ModelSnapshot, Sequential, SnapshotError};
+use naps_tensor::Tensor;
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Sizing knobs of a [`MonitorEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads (and model replicas, and class shards).
+    pub workers: usize,
+    /// Largest micro-batch a worker packs into one forward pass.
+    pub max_batch: usize,
+    /// Bound on requests queued across all workers (backpressure).
+    pub queue_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    /// Four workers, micro-batches of 16, 1024 queued requests.
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            max_batch: 16,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Why an engine could not be constructed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The model contains a layer [`ModelSnapshot`] cannot replicate
+    /// (e.g. convolution); provide per-worker replicas via
+    /// [`MonitorEngine::with_replicas`] instead.
+    UnsupportedModel(SnapshotError),
+    /// A sizing knob is zero.
+    InvalidConfig(&'static str),
+    /// `with_replicas` got a replica count different from
+    /// [`EngineConfig::workers`].
+    ReplicaCountMismatch {
+        /// Configured worker count.
+        expected: usize,
+        /// Provided model replicas.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnsupportedModel(e) => write!(f, "cannot replicate model: {e}"),
+            EngineError::InvalidConfig(what) => write!(f, "invalid engine config: {what}"),
+            EngineError::ReplicaCountMismatch { expected, actual } => {
+                write!(f, "need {expected} model replicas, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SubmitError {
+    /// The bounded queue is full ([`MonitorEngine::try_submit`] only —
+    /// the blocking paths wait for space instead).
+    Saturated,
+    /// The engine is shutting down.
+    ShutDown,
+    /// The input's width does not match the model's input dimension.
+    /// Rejected at submission so one malformed request cannot panic a
+    /// worker mid-batch (which would take unrelated co-batched requests
+    /// — and the worker — down with it).
+    WidthMismatch {
+        /// The model's input dimension.
+        expected: usize,
+        /// The submitted tensor's length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Saturated => write!(f, "engine queue is full"),
+            SubmitError::ShutDown => write!(f, "engine is shut down"),
+            SubmitError::WidthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "input width {actual} does not match model input {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SubmitError {}
+
+/// Counters accumulated over an engine's lifetime.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct EngineStats {
+    /// Requests fully served.
+    pub processed: u64,
+    /// Micro-batches (forward passes) executed.
+    pub batches: u64,
+    /// Requests obtained by stealing from a sibling's queue.
+    pub stolen: u64,
+    /// Largest micro-batch packed into one forward pass.
+    pub largest_batch: u64,
+}
+
+type Callback = Box<dyn FnOnce(MonitorReport) + Send + 'static>;
+
+struct Request {
+    input: Tensor,
+    complete: Callback,
+}
+
+struct State {
+    /// One FIFO per worker; submissions round-robin, owners pop the
+    /// front, thieves pop the back.
+    queues: Vec<VecDeque<Request>>,
+    /// Total queued requests (bounded by `queue_capacity`).
+    pending: usize,
+    /// Round-robin submission cursor.
+    next: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes workers when requests arrive (or shutdown begins).
+    work: Condvar,
+    /// Wakes blocked submitters when queue space frees up.
+    space: Condvar,
+    max_batch: usize,
+    queue_capacity: usize,
+    /// The model's input dimension, when derivable (MLP-style stacks):
+    /// submissions of any other width are rejected up front.
+    input_len: Option<usize>,
+    processed: AtomicU64,
+    batches: AtomicU64,
+    stolen: AtomicU64,
+    largest_batch: AtomicUsize,
+}
+
+/// A handle to one in-flight submission; redeem with
+/// [`VerdictTicket::wait`].
+#[derive(Debug)]
+pub struct VerdictTicket {
+    rx: mpsc::Receiver<MonitorReport>,
+}
+
+impl VerdictTicket {
+    /// Blocks until the verdict is ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serving worker died before answering (a worker
+    /// panic — an engine bug, not a monitoring verdict).
+    pub fn wait(self) -> MonitorReport {
+        self.rx
+            .recv()
+            .expect("engine worker dropped the request without answering")
+    }
+
+    /// Returns the verdict if it is already available, `None` while the
+    /// request is still queued or in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serving worker died before answering — the same
+    /// loud failure as [`VerdictTicket::wait`], rather than reading as
+    /// "not ready yet" forever.
+    pub fn try_wait(&self) -> Option<MonitorReport> {
+        match self.rx.try_recv() {
+            Ok(report) => Some(report),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                panic!("engine worker dropped the request without answering")
+            }
+        }
+    }
+}
+
+/// A parallel monitoring service over a frozen [`Monitor`].
+///
+/// See the [module docs](self) for the architecture.  Construct with
+/// [`MonitorEngine::new`] (replicates the model via [`ModelSnapshot`])
+/// or [`MonitorEngine::with_replicas`] (caller-supplied replicas, e.g.
+/// for convolutional models), submit with
+/// [`submit`](MonitorEngine::submit) /
+/// [`submit_with`](MonitorEngine::submit_with) /
+/// [`check_batch`](MonitorEngine::check_batch), and stop with
+/// [`shutdown`](MonitorEngine::shutdown) (or just drop it — remaining
+/// queued requests are drained first either way).
+pub struct MonitorEngine {
+    shared: Arc<Shared>,
+    monitor: Arc<FrozenMonitor>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl MonitorEngine {
+    /// Builds an engine over `monitor`, sharding its classes across
+    /// `config.workers` shards and replicating `model` once per worker.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnsupportedModel`] when the model cannot be
+    /// snapshot-replicated (use [`MonitorEngine::with_replicas`]), or
+    /// [`EngineError::InvalidConfig`] on zero-sized knobs.
+    pub fn new(
+        monitor: &Monitor<BddZone>,
+        model: &Sequential,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let snap = ModelSnapshot::capture(model).map_err(EngineError::UnsupportedModel)?;
+        let replicas = (0..config.workers).map(|_| snap.restore()).collect();
+        Self::with_replicas(
+            FrozenMonitor::shard_by_class(monitor, config.workers.max(1)),
+            replicas,
+            config,
+        )
+    }
+
+    /// Builds an engine from an already-frozen monitor and caller-made
+    /// model replicas (one per worker).  The replicas must be
+    /// behaviourally identical — verdict equivalence with sequential
+    /// checking is only as good as the replication.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] on zero-sized knobs,
+    /// [`EngineError::ReplicaCountMismatch`] when
+    /// `replicas.len() != config.workers`.
+    pub fn with_replicas(
+        monitor: FrozenMonitor,
+        replicas: Vec<Sequential>,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        if config.workers == 0 {
+            return Err(EngineError::InvalidConfig("workers must be > 0"));
+        }
+        if config.max_batch == 0 {
+            return Err(EngineError::InvalidConfig("max_batch must be > 0"));
+        }
+        if config.queue_capacity == 0 {
+            return Err(EngineError::InvalidConfig("queue_capacity must be > 0"));
+        }
+        if replicas.len() != config.workers {
+            return Err(EngineError::ReplicaCountMismatch {
+                expected: config.workers,
+                actual: replicas.len(),
+            });
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queues: (0..config.workers).map(|_| VecDeque::new()).collect(),
+                pending: 0,
+                next: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            max_batch: config.max_batch,
+            queue_capacity: config.queue_capacity,
+            input_len: model_input_len(&replicas[0]),
+            processed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            largest_batch: AtomicUsize::new(0),
+        });
+        let monitor = Arc::new(monitor);
+        let workers = replicas
+            .into_iter()
+            .enumerate()
+            .map(|(id, model)| {
+                let shared = Arc::clone(&shared);
+                let monitor = Arc::clone(&monitor);
+                std::thread::Builder::new()
+                    .name(format!("naps-serve-{id}"))
+                    .spawn(move || worker_loop(id, &shared, &monitor, model))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Ok(MonitorEngine {
+            shared,
+            monitor,
+            workers,
+        })
+    }
+
+    /// The frozen monitor being served.
+    pub fn monitor(&self) -> &FrozenMonitor {
+        &self.monitor
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues `input` and invokes `complete` with the verdict on a
+    /// worker thread — the callback-style API for event loops that must
+    /// not block.  Blocks only while the bounded queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShutDown`] after shutdown began,
+    /// [`SubmitError::WidthMismatch`] when the input width is wrong for
+    /// the model.
+    pub fn submit_with<F>(&self, input: Tensor, complete: F) -> Result<(), SubmitError>
+    where
+        F: FnOnce(MonitorReport) + Send + 'static,
+    {
+        self.enqueue(input, Box::new(complete), true)
+    }
+
+    /// Queues `input`, blocking while the queue is full, and returns a
+    /// ticket to wait on.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShutDown`] after shutdown began,
+    /// [`SubmitError::WidthMismatch`] when the input width is wrong for
+    /// the model.
+    pub fn submit(&self, input: Tensor) -> Result<VerdictTicket, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(
+            input,
+            Box::new(move |report| {
+                let _ = tx.send(report);
+            }),
+            true,
+        )?;
+        Ok(VerdictTicket { rx })
+    }
+
+    /// Non-blocking [`MonitorEngine::submit`]: fails with
+    /// [`SubmitError::Saturated`] instead of waiting for queue space.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Saturated`] when the queue is full,
+    /// [`SubmitError::ShutDown`] after shutdown began,
+    /// [`SubmitError::WidthMismatch`] when the input width is wrong for
+    /// the model.
+    pub fn try_submit(&self, input: Tensor) -> Result<VerdictTicket, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(
+            input,
+            Box::new(move |report| {
+                let _ = tx.send(report);
+            }),
+            false,
+        )?;
+        Ok(VerdictTicket { rx })
+    }
+
+    /// Checks one input synchronously through the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wrong-width input (mirroring the sequential
+    /// [`Monitor::check`] contract).
+    pub fn check(&self, input: &Tensor) -> MonitorReport {
+        self.submit(input.clone())
+            .unwrap_or_else(|e| panic!("check: {e}"))
+            .wait()
+    }
+
+    /// Checks a batch synchronously, preserving input order.  The batch
+    /// is fanned out across the pool as individual requests, so workers
+    /// micro-batch and steal freely; results are reassembled by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wrong-width input (mirroring the sequential
+    /// [`Monitor::check_batch`] contract).
+    pub fn check_batch(&self, inputs: &[Tensor]) -> Vec<MonitorReport> {
+        let (tx, rx) = mpsc::channel();
+        for (i, input) in inputs.iter().enumerate() {
+            let tx = tx.clone();
+            self.submit_with(input.clone(), move |report| {
+                let _ = tx.send((i, report));
+            })
+            .unwrap_or_else(|e| panic!("check_batch: {e}"));
+        }
+        drop(tx);
+        let mut out: Vec<Option<MonitorReport>> = vec![None; inputs.len()];
+        for (i, report) in rx {
+            out[i] = Some(report);
+        }
+        out.into_iter()
+            .map(|r| r.expect("one report per input"))
+            .collect()
+    }
+
+    /// Lifetime counters (throughput, batching and stealing behaviour).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            processed: self.shared.processed.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            stolen: self.shared.stolen.load(Ordering::Relaxed),
+            largest_batch: self.shared.largest_batch.load(Ordering::Relaxed) as u64,
+        }
+    }
+
+    /// Stops accepting submissions, drains the queues, joins the
+    /// workers and returns the final counters.
+    pub fn shutdown(mut self) -> EngineStats {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.shutdown = true;
+        drop(state);
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+    }
+
+    fn enqueue(&self, input: Tensor, complete: Callback, block: bool) -> Result<(), SubmitError> {
+        if let Some(expected) = self.shared.input_len {
+            if input.len() != expected {
+                return Err(SubmitError::WidthMismatch {
+                    expected,
+                    actual: input.len(),
+                });
+            }
+        }
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.shutdown {
+                return Err(SubmitError::ShutDown);
+            }
+            if state.pending < self.shared.queue_capacity {
+                break;
+            }
+            if !block {
+                return Err(SubmitError::Saturated);
+            }
+            state = self
+                .shared
+                .space
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        let slot = state.next % state.queues.len();
+        state.next = state.next.wrapping_add(1);
+        state.queues[slot].push_back(Request { input, complete });
+        state.pending += 1;
+        drop(state);
+        // Any worker may serve it: idle workers steal from `slot`.
+        self.shared.work.notify_one();
+        Ok(())
+    }
+}
+
+impl Drop for MonitorEngine {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Input width of an MLP-style model, when derivable: walks leading
+/// width-preserving layers (ReLU / leaky ReLU / dropout / flatten) to
+/// the first fully-connected layer and reads its weight matrix's input
+/// dimension.  Returns `None` for geometries this cannot see through
+/// (convolution, pooling, batch norm) — those engines skip submission
+/// validation and rely on the caller, as the sequential API does.
+fn model_input_len(model: &Sequential) -> Option<usize> {
+    use naps_nn::{Dense, Dropout, Flatten, LeakyRelu, Relu};
+    for i in 0..model.len() {
+        let layer = model.layer(i);
+        let any = layer.as_any();
+        if let Some(dense) = any.downcast_ref::<Dense>() {
+            return Some(dense.weights().shape()[0]);
+        }
+        if any.downcast_ref::<Flatten>().is_some() {
+            // Flatten is width-preserving: its feature count is the
+            // model's input width.
+            return Some(layer.output_len());
+        }
+        let width_preserving = any.downcast_ref::<Relu>().is_some()
+            || any.downcast_ref::<LeakyRelu>().is_some()
+            || any.downcast_ref::<Dropout>().is_some();
+        if !width_preserving {
+            return None;
+        }
+    }
+    None
+}
+
+/// Pops a micro-batch for worker `id`: own queue first (FIFO), then
+/// back-stealing from the most-loaded sibling.  Returns `None` to shut
+/// down.  Blocks on the `work` condvar while idle.
+fn next_batch(id: usize, shared: &Shared) -> Option<Vec<Request>> {
+    let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if state.pending > 0 {
+            let mut batch = Vec::new();
+            while batch.len() < shared.max_batch {
+                match state.queues[id].pop_front() {
+                    Some(r) => batch.push(r),
+                    None => break,
+                }
+            }
+            let mut stolen = 0u64;
+            while batch.len() < shared.max_batch {
+                let victim = (0..state.queues.len())
+                    .filter(|&q| q != id && !state.queues[q].is_empty())
+                    .max_by_key(|&q| state.queues[q].len());
+                let Some(victim) = victim else { break };
+                // Take up to half the victim's backlog (at least one),
+                // from the back — the owner keeps draining the front.
+                let take = state.queues[victim]
+                    .len()
+                    .div_ceil(2)
+                    .min(shared.max_batch - batch.len());
+                for _ in 0..take {
+                    let r = state.queues[victim].pop_back().expect("victim non-empty");
+                    batch.push(r);
+                }
+                stolen += take as u64;
+            }
+            if !batch.is_empty() {
+                state.pending -= batch.len();
+                drop(state);
+                shared.space.notify_all();
+                shared.stolen.fetch_add(stolen, Ordering::Relaxed);
+                shared.batches.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .largest_batch
+                    .fetch_max(batch.len(), Ordering::Relaxed);
+                return Some(batch);
+            }
+        }
+        if state.shutdown {
+            // Queues are empty (pending == 0 or this worker saw nothing
+            // poppable) and no more submissions can arrive: done.
+            return None;
+        }
+        state = shared.work.wait(state).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+fn worker_loop(id: usize, shared: &Shared, monitor: &FrozenMonitor, mut model: Sequential) {
+    while let Some(batch) = next_batch(id, shared) {
+        let (inputs, callbacks): (Vec<Tensor>, Vec<Callback>) =
+            batch.into_iter().map(|r| (r.input, r.complete)).unzip();
+        let reports = monitor.check_batch(&mut model, &inputs);
+        shared
+            .processed
+            .fetch_add(reports.len() as u64, Ordering::Relaxed);
+        for (complete, report) in callbacks.into_iter().zip(reports) {
+            complete(report);
+        }
+    }
+}

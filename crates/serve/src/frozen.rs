@@ -1,0 +1,398 @@
+//! Frozen, class-sharded monitors: the immutable data the engine serves.
+//!
+//! A live [`Monitor`] owns a BDD manager per zone; managers are mutable
+//! (hash-consing tables, operation caches) and so cannot be queried from
+//! several threads without locks.  Freezing captures each class's
+//! **enlarged** comfort zone and its seed set as [`BddSnapshot`]s — plain
+//! node arrays with no caches — behind `Arc`s.  Membership becomes a
+//! root-to-terminal walk ([`BddSnapshot::eval`]) and distance-to-seeds a
+//! bottom-up sweep ([`BddSnapshot::min_hamming_distance`]); both take
+//! `&self`, touch nothing mutable, and are therefore lock-free on the
+//! serving hot path.
+//!
+//! [`FrozenMonitor::shard_by_class`] splits the classes round-robin into
+//! disjoint [`MonitorShard`]s.  Shards hold `Arc`s onto the same frozen
+//! zones — sharding costs no memory — and give each engine worker (or
+//! each node of a distributed deployment) ownership of a disjoint class
+//! subset while any worker can still resolve any predicted class.
+
+use naps_bdd::BddSnapshot;
+use naps_core::batch::{forward_observe_packed, pack_batch};
+use naps_core::{BddZone, Monitor, MonitorReport, NeuronSelection, Pattern, Verdict};
+use naps_nn::Sequential;
+use naps_tensor::Tensor;
+use std::sync::Arc;
+
+/// One class's comfort zone, frozen for lock-free concurrent queries.
+#[derive(Debug, Clone)]
+pub struct FrozenZone {
+    zone: BddSnapshot,
+    seeds: BddSnapshot,
+    gamma: u32,
+}
+
+impl FrozenZone {
+    /// Captures the enlarged zone and seed set of a live [`BddZone`].
+    pub fn freeze(zone: &BddZone) -> Self {
+        use naps_core::Zone;
+        FrozenZone {
+            zone: zone.zone_snapshot(),
+            seeds: zone.seed_snapshot(),
+            gamma: zone.gamma(),
+        }
+    }
+
+    /// Pattern width (number of monitored neurons).
+    pub fn width(&self) -> usize {
+        self.zone.num_vars()
+    }
+
+    /// The Hamming radius the zone was enlarged to when frozen.
+    pub fn gamma(&self) -> u32 {
+        self.gamma
+    }
+
+    /// Membership in `Z^γ_c` — one walk over the immutable snapshot,
+    /// bit-identical to [`naps_core::Zone::contains`] on the source zone.
+    pub fn contains(&self, pattern: &Pattern) -> bool {
+        self.zone.eval(&pattern.to_bools())
+    }
+
+    /// Minimum Hamming distance to the seed set `Z^0_c`, `None` when no
+    /// pattern was ever inserted — bit-identical to
+    /// [`naps_core::Zone::distance_to_seeds`].
+    pub fn distance_to_seeds(&self, pattern: &Pattern) -> Option<u32> {
+        self.seeds.min_hamming_distance(&pattern.to_bools())
+    }
+
+    /// Decision-node count of the frozen (enlarged) zone.
+    pub fn node_count(&self) -> usize {
+        self.zone.node_count()
+    }
+}
+
+/// A disjoint class subset of a [`FrozenMonitor`].
+///
+/// Shard `i` of `n` owns every class `c` with `c % n == i`.  The zones
+/// are shared (`Arc`) with the parent monitor and its other shards.
+#[derive(Debug, Clone)]
+pub struct MonitorShard {
+    index: usize,
+    num_shards: usize,
+    /// Slot `s` holds class `s * num_shards + index`.
+    zones: Vec<Option<Arc<FrozenZone>>>,
+    num_classes: usize,
+}
+
+impl MonitorShard {
+    /// Which shard (of `num_shards`) this is.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// `true` when this shard owns `class`.
+    pub fn owns(&self, class: usize) -> bool {
+        class < self.num_classes && class % self.num_shards == self.index
+    }
+
+    /// The classes this shard owns, in ascending order.
+    pub fn classes(&self) -> Vec<usize> {
+        (0..self.zones.len())
+            .map(|s| s * self.num_shards + self.index)
+            .collect()
+    }
+
+    /// The frozen zone of `class`, `None` when the class is unmonitored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this shard does not own `class` — routing a query to the
+    /// wrong shard is a bug in the caller, not a monitoring verdict.
+    pub fn zone(&self, class: usize) -> Option<&FrozenZone> {
+        assert!(
+            self.owns(class),
+            "shard {}/{} does not own class {class}",
+            self.index,
+            self.num_shards
+        );
+        self.zones[class / self.num_shards].as_deref()
+    }
+
+    /// Judges an already-extracted `(predicted, pattern)` pair, exactly
+    /// like [`Monitor::check_pattern`] plus the distance column of
+    /// [`Monitor`]'s reports.
+    pub fn report(&self, predicted: usize, pattern: &Pattern) -> MonitorReport {
+        match self.zone(predicted) {
+            None => MonitorReport {
+                predicted,
+                verdict: Verdict::Unmonitored,
+                distance_to_seeds: None,
+            },
+            Some(z) => MonitorReport {
+                predicted,
+                verdict: if z.contains(pattern) {
+                    Verdict::InPattern
+                } else {
+                    Verdict::OutOfPattern
+                },
+                distance_to_seeds: z.distance_to_seeds(pattern),
+            },
+        }
+    }
+}
+
+/// An immutable, shard-partitioned snapshot of a [`Monitor`] ready for
+/// concurrent serving.
+///
+/// Freezing is the deployment boundary: build and γ-tune a [`Monitor`]
+/// offline, then [`FrozenMonitor::freeze`] (or
+/// [`FrozenMonitor::shard_by_class`]) it for the engine.  A frozen
+/// monitor deliberately does **not** implement
+/// [`naps_core::ActivationMonitor`]: that trait includes `enlarge_to`,
+/// and a frozen zone cannot grow — rebuild and re-freeze instead.
+#[derive(Debug, Clone)]
+pub struct FrozenMonitor {
+    layer: usize,
+    gamma: u32,
+    selection: NeuronSelection,
+    num_classes: usize,
+    shards: Vec<MonitorShard>,
+}
+
+impl FrozenMonitor {
+    /// Freezes a monitor into a single shard (no class partitioning).
+    pub fn freeze(monitor: &Monitor<BddZone>) -> Self {
+        Self::shard_by_class(monitor, 1)
+    }
+
+    /// Freezes a monitor and splits its classes round-robin into
+    /// `num_shards` disjoint shards (class `c` goes to shard
+    /// `c % num_shards`).  Zones are `Arc`-shared, so this is cheap in
+    /// memory no matter how many shards are cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero.
+    pub fn shard_by_class(monitor: &Monitor<BddZone>, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        let num_classes = monitor.num_classes();
+        let frozen: Vec<Option<Arc<FrozenZone>>> = (0..num_classes)
+            .map(|c| monitor.zone(c).map(|z| Arc::new(FrozenZone::freeze(z))))
+            .collect();
+        let shards = (0..num_shards)
+            .map(|index| MonitorShard {
+                index,
+                num_shards,
+                zones: frozen
+                    .iter()
+                    .skip(index)
+                    .step_by(num_shards)
+                    .cloned()
+                    .collect(),
+                num_classes,
+            })
+            .collect();
+        FrozenMonitor {
+            layer: monitor.layer(),
+            gamma: monitor.gamma(),
+            selection: monitor.selection().clone(),
+            num_classes,
+            shards,
+        }
+    }
+
+    /// Index of the monitored layer in the [`Sequential`] model.
+    pub fn layer(&self) -> usize {
+        self.layer
+    }
+
+    /// The Hamming budget γ the zones were frozen at.
+    pub fn gamma(&self) -> u32 {
+        self.gamma
+    }
+
+    /// The monitored neuron subset.
+    pub fn selection(&self) -> &NeuronSelection {
+        &self.selection
+    }
+
+    /// Number of classes (monitored or not).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The disjoint class shards.
+    pub fn shards(&self) -> &[MonitorShard] {
+        &self.shards
+    }
+
+    /// The shard owning `class`.
+    pub fn shard_for(&self, class: usize) -> &MonitorShard {
+        &self.shards[class % self.shards.len()]
+    }
+
+    /// The frozen zone of `class`, if monitored.
+    pub fn zone(&self, class: usize) -> Option<&FrozenZone> {
+        if class >= self.num_classes {
+            return None;
+        }
+        self.shard_for(class).zone(class)
+    }
+
+    /// Checks a pattern against the zone of `class` — the frozen
+    /// counterpart of [`Monitor::check_pattern`].
+    pub fn check_pattern(&self, class: usize, pattern: &Pattern) -> Verdict {
+        match self.zone(class) {
+            None => Verdict::Unmonitored,
+            Some(z) => {
+                if z.contains(pattern) {
+                    Verdict::InPattern
+                } else {
+                    Verdict::OutOfPattern
+                }
+            }
+        }
+    }
+
+    /// Judges an already-extracted `(predicted, pattern)` pair by routing
+    /// it to the owning shard.
+    pub fn report(&self, predicted: usize, pattern: &Pattern) -> MonitorReport {
+        if predicted >= self.num_classes {
+            return MonitorReport {
+                predicted,
+                verdict: Verdict::Unmonitored,
+                distance_to_seeds: None,
+            };
+        }
+        self.shard_for(predicted).report(predicted, pattern)
+    }
+
+    /// Batched judgement sharing one forward pass — the same packed path
+    /// as [`Monitor::check_batch`] (`pack_batch` →
+    /// `forward_observe_packed` → per-row verdicts), so verdicts are
+    /// bit-identical to the live monitor's.
+    pub fn check_batch(&self, model: &mut Sequential, inputs: &[Tensor]) -> Vec<MonitorReport> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let batch = pack_batch(inputs);
+        let (predicted, monitored) = forward_observe_packed(model, &batch, self.layer);
+        predicted
+            .into_iter()
+            .enumerate()
+            .map(|(r, p)| {
+                let pattern = self.selection.pattern_from(monitored.row(r));
+                self.report(p, &pattern)
+            })
+            .collect()
+    }
+
+    /// Single-input judgement (a batch of one).
+    pub fn check(&self, model: &mut Sequential, input: &Tensor) -> MonitorReport {
+        self.check_batch(model, std::slice::from_ref(input))
+            .pop()
+            .expect("one report per input")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naps_core::Zone;
+
+    fn p(bits: &[u8]) -> Pattern {
+        Pattern::from_bools(&bits.iter().map(|&b| b == 1).collect::<Vec<_>>())
+    }
+
+    fn sample_monitor(num_classes: usize) -> Monitor<BddZone> {
+        let width = 6;
+        let zones: Vec<Option<BddZone>> = (0..num_classes)
+            .map(|c| {
+                if c == 2 {
+                    return None; // one unmonitored class
+                }
+                let mut z = BddZone::empty(width);
+                for k in 0..3u64 {
+                    let bits: Vec<u8> = (0..width)
+                        .map(|b| (((c as u64 + k) >> (b % 3)) & 1) as u8)
+                        .collect();
+                    z.insert(&p(&bits));
+                }
+                z.enlarge_to(1);
+                Some(z)
+            })
+            .collect();
+        Monitor::from_zones(zones, 1, NeuronSelection::all(width), 1)
+    }
+
+    #[test]
+    fn frozen_verdicts_match_live_monitor() {
+        let monitor = sample_monitor(5);
+        for shards in [1, 2, 3, 5, 8] {
+            let frozen = FrozenMonitor::shard_by_class(&monitor, shards);
+            assert_eq!(frozen.num_classes(), 5);
+            for m in 0..64u32 {
+                let bits: Vec<bool> = (0..6).map(|i| (m >> i) & 1 == 1).collect();
+                let pat = Pattern::from_bools(&bits);
+                for c in 0..5 {
+                    assert_eq!(
+                        frozen.check_pattern(c, &pat),
+                        monitor.check_pattern(c, &pat),
+                        "class {c} pattern {m:06b} shards {shards}"
+                    );
+                    let live_dist = monitor.zone(c).and_then(|z| z.distance_to_seeds(&pat));
+                    let rep = frozen.report(c, &pat);
+                    assert_eq!(rep.distance_to_seeds, live_dist);
+                    assert_eq!(rep.predicted, c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_classes() {
+        let monitor = sample_monitor(7);
+        let frozen = FrozenMonitor::shard_by_class(&monitor, 3);
+        let mut seen = vec![0usize; 7];
+        for shard in frozen.shards() {
+            for c in shard.classes() {
+                assert!(shard.owns(c));
+                seen[c] += 1;
+            }
+        }
+        assert!(
+            seen.iter().all(|&n| n == 1),
+            "classes not partitioned: {seen:?}"
+        );
+        // Ownership and routing agree.
+        for c in 0..7 {
+            assert!(frozen.shard_for(c).owns(c));
+        }
+    }
+
+    #[test]
+    fn unmonitored_class_reports_unmonitored() {
+        let frozen = FrozenMonitor::freeze(&sample_monitor(4));
+        let rep = frozen.report(2, &p(&[0, 0, 0, 0, 0, 0]));
+        assert_eq!(rep.verdict, Verdict::Unmonitored);
+        assert_eq!(rep.distance_to_seeds, None);
+        // Out-of-range predictions degrade to Unmonitored too.
+        let rep = frozen.report(99, &p(&[0, 0, 0, 0, 0, 0]));
+        assert_eq!(rep.verdict, Verdict::Unmonitored);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not own class")]
+    fn wrong_shard_routing_panics() {
+        let frozen = FrozenMonitor::shard_by_class(&sample_monitor(4), 2);
+        let _ = frozen.shards()[0].zone(1);
+    }
+
+    #[test]
+    fn frozen_monitor_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrozenZone>();
+        assert_send_sync::<MonitorShard>();
+        assert_send_sync::<FrozenMonitor>();
+    }
+}

@@ -1,0 +1,74 @@
+//! # naps-serve — parallel monitoring engine
+//!
+//! The paper's deployment story (Figure 1) puts the activation-pattern
+//! monitor inside a live inference loop.  `naps-core`'s monitors are
+//! single-threaded library calls; this crate turns them into a
+//! long-lived concurrent **service**: requests are collected into
+//! micro-batches, fanned out across a work-stealing pool of worker
+//! threads (each owning a model replica), and judged against per-class
+//! comfort-zone shards that share immutable `Arc`'d BDD snapshots — so
+//! the membership hot path takes **no lock at all**.
+//!
+//! | Type | Role |
+//! |---|---|
+//! | [`FrozenZone`] | one class's zone + seeds as immutable [`naps_bdd::BddSnapshot`]s |
+//! | [`FrozenMonitor`] / [`MonitorShard`] | a deployable monitor split class-wise into disjoint shards |
+//! | [`MonitorEngine`] | the worker pool: batching, stealing, backpressure |
+//! | [`EngineConfig`] | workers / `max_batch` / `queue_capacity` knobs |
+//! | [`VerdictTicket`] | handle to one in-flight verdict |
+//! | [`EngineStats`] | processed / batches / stolen / largest-batch counters |
+//!
+//! Verdicts are **bit-identical** to sequential
+//! [`naps_core::Monitor::check`] checking: every path reuses the same
+//! `pack_batch` → `forward_observe_packed` pipeline, model replicas are
+//! exact parameter copies, and frozen-snapshot queries agree with the
+//! live BDD manager query-for-query (pinned by property tests in
+//! `naps-bdd` and the concurrency suite here).
+//!
+//! ## Example
+//!
+//! ```
+//! use naps_core::{ActivationMonitor, BddZone, MonitorBuilder};
+//! use naps_nn::{mlp, Adam, TrainConfig, Trainer};
+//! use naps_serve::{EngineConfig, MonitorEngine};
+//! use naps_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Train a toy classifier and build its monitor (offline).
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = mlp(&[2, 8, 2], &mut rng);
+//! let xs: Vec<Tensor> = (0..20)
+//!     .map(|i| {
+//!         let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+//!         Tensor::from_vec(vec![2], vec![s, s])
+//!     })
+//!     .collect();
+//! let ys: Vec<usize> = (0..20).map(|i| i % 2).collect();
+//! Trainer::new(TrainConfig { epochs: 40, batch_size: 4, verbose: false })
+//!     .fit(&mut net, &xs, &ys, &mut Adam::new(0.05), &mut rng);
+//! let monitor = MonitorBuilder::new(1, 1).build::<BddZone>(&mut net, &xs, &ys, 2);
+//!
+//! // Freeze + serve in parallel (online).
+//! let engine = MonitorEngine::new(
+//!     &monitor,
+//!     &net,
+//!     EngineConfig { workers: 2, max_batch: 8, queue_capacity: 64 },
+//! )
+//! .expect("MLPs replicate");
+//! let reports = engine.check_batch(&xs);
+//! assert_eq!(reports.len(), xs.len());
+//! // Identical to the sequential monitor, input for input.
+//! for (x, served) in xs.iter().zip(&reports) {
+//!     assert_eq!(&monitor.check(&mut net, x), served);
+//! }
+//! let stats = engine.shutdown();
+//! assert_eq!(stats.processed, 20);
+//! ```
+
+mod engine;
+mod frozen;
+
+pub use engine::{
+    EngineConfig, EngineError, EngineStats, MonitorEngine, SubmitError, VerdictTicket,
+};
+pub use frozen::{FrozenMonitor, FrozenZone, MonitorShard};
