@@ -157,24 +157,24 @@ impl BddSnapshot {
         dist[self.root as usize]
     }
 
-    /// Rebuilds the function inside `bdd`, returning its root.
+    /// Structurally validates the snapshot **without** a manager: every
+    /// child index must precede its parent, variables must be in range and
+    /// respect the order, nodes must be reduced, and the root must be in
+    /// bounds.  A snapshot passing this check is safe to query via
+    /// [`BddSnapshot::eval`] / [`BddSnapshot::min_hamming_distance`] (both
+    /// index unchecked along the happy path) and will restore cleanly into
+    /// a manager of the right width.
+    ///
+    /// This is the integrity gate for snapshots read back from disk (e.g.
+    /// `naps-serve`'s `FrozenMonitor::load`), where the bytes may be
+    /// truncated or hand-edited.
     ///
     /// # Errors
     ///
-    /// Returns [`BddError::VarCountMismatch`] if `bdd` was created with a
-    /// different variable count, [`BddError::CorruptSnapshot`] if a child
-    /// index points past its definition, and [`BddError::MalformedSnapshot`]
-    /// if a node violates reducedness or the variable order.
-    pub fn restore(&self, bdd: &mut Bdd) -> Result<NodeId, BddError> {
-        if self.num_vars != bdd.num_vars() {
-            return Err(BddError::VarCountMismatch {
-                expected: self.num_vars,
-                actual: bdd.num_vars(),
-            });
-        }
-        let mut ids: Vec<NodeId> = Vec::with_capacity(self.nodes.len() + 2);
-        ids.push(NodeId::ZERO);
-        ids.push(NodeId::ONE);
+    /// [`BddError::CorruptSnapshot`] if a child or root index points at or
+    /// past its own definition, [`BddError::MalformedSnapshot`] if a node
+    /// violates reducedness or the variable order.
+    pub fn validate(&self) -> Result<(), BddError> {
         for (i, &(var, low, high)) in self.nodes.iter().enumerate() {
             let slot = i + 2;
             if low as usize >= slot || high as usize >= slot {
@@ -190,23 +190,49 @@ impl BddSnapshot {
                     reason: "node is not reduced (low == high)",
                 });
             }
-            let lo = ids[low as usize];
-            let hi = ids[high as usize];
-            for child in [lo, hi] {
-                if let Some(cv) = bdd.node_var(child) {
-                    if cv <= var {
+            for child in [low, high] {
+                if child >= 2 {
+                    let child_var = self.nodes[child as usize - 2].0;
+                    if child_var <= var {
                         return Err(BddError::MalformedSnapshot {
                             reason: "variable ordering violated",
                         });
                     }
                 }
             }
+        }
+        if self.root as usize >= self.nodes.len() + 2 {
+            return Err(BddError::CorruptSnapshot {
+                index: self.root as usize,
+            });
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the function inside `bdd`, returning its root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::VarCountMismatch`] if `bdd` was created with a
+    /// different variable count, plus everything
+    /// [`BddSnapshot::validate`] rejects.
+    pub fn restore(&self, bdd: &mut Bdd) -> Result<NodeId, BddError> {
+        if self.num_vars != bdd.num_vars() {
+            return Err(BddError::VarCountMismatch {
+                expected: self.num_vars,
+                actual: bdd.num_vars(),
+            });
+        }
+        self.validate()?;
+        let mut ids: Vec<NodeId> = Vec::with_capacity(self.nodes.len() + 2);
+        ids.push(NodeId::ZERO);
+        ids.push(NodeId::ONE);
+        for &(var, low, high) in &self.nodes {
+            let lo = ids[low as usize];
+            let hi = ids[high as usize];
             ids.push(bdd.mk_node(var, lo, hi));
         }
-        let root = self.root as usize;
-        ids.get(root)
-            .copied()
-            .ok_or(BddError::CorruptSnapshot { index: root })
+        Ok(ids[self.root as usize])
     }
 }
 
@@ -283,6 +309,45 @@ mod tests {
             snap.restore(&mut fresh),
             Err(BddError::MalformedSnapshot { .. })
         ));
+    }
+
+    #[test]
+    fn validate_accepts_captured_snapshots() {
+        let mut bdd = Bdd::new(4);
+        let f = bdd_sample(&mut bdd);
+        let snap = BddSnapshot::capture(&bdd, f);
+        assert_eq!(snap.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bounds_root() {
+        let snap = BddSnapshot {
+            num_vars: 2,
+            nodes: vec![(0, 0, 1)],
+            root: 9,
+        };
+        assert!(matches!(
+            snap.validate(),
+            Err(BddError::CorruptSnapshot { index: 9 })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_order_violations() {
+        // Child's variable (0) is not below its parent's (1).
+        let snap = BddSnapshot {
+            num_vars: 2,
+            nodes: vec![(0, 0, 1), (1, 2, 1)],
+            root: 3,
+        };
+        assert!(snap.validate().is_err());
+        // Swapping the variables fixes it.
+        let ok = BddSnapshot {
+            num_vars: 2,
+            nodes: vec![(1, 0, 1), (0, 2, 1)],
+            root: 3,
+        };
+        assert_eq!(ok.validate(), Ok(()));
     }
 
     #[test]

@@ -51,7 +51,7 @@ fn bench_engine(c: &mut Criterion) {
             )
             .expect("serving fixture is an MLP");
             group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
-                b.iter(|| engine.check_batch(&probes).len());
+                b.iter(|| engine.check_batch(&probes).expect("engine is up").len());
             });
             engine.shutdown();
         }

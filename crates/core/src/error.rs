@@ -23,6 +23,14 @@ pub enum MonitorError {
         /// The class whose zone is empty.
         class: usize,
     },
+    /// An online-enrichment request targeted a class with no comfort zone
+    /// (out of range, or deliberately unmonitored): there is nothing to
+    /// enrich, and silently dropping confirmed patterns would lose
+    /// operator feedback.
+    UnmonitoredClass {
+        /// The class the enrichment was addressed to.
+        class: usize,
+    },
 }
 
 impl fmt::Display for MonitorError {
@@ -35,6 +43,9 @@ impl fmt::Display for MonitorError {
             MonitorError::Bdd(e) => write!(f, "bdd snapshot error: {e}"),
             MonitorError::EmptyZone { class } => {
                 write!(f, "comfort zone for class {class} is empty")
+            }
+            MonitorError::UnmonitoredClass { class } => {
+                write!(f, "class {class} has no comfort zone to enrich")
             }
         }
     }

@@ -55,6 +55,9 @@ pub struct Monitor<Z: Zone = BddZone> {
     layer: usize,
     selection: NeuronSelection,
     gamma: u32,
+    /// Per-class "changed since the last [`Monitor::take_dirty`]" flags,
+    /// driving incremental republish of the online-enrichment loop.
+    dirty: Vec<bool>,
 }
 
 impl<Z: Zone> Monitor<Z> {
@@ -78,11 +81,13 @@ impl<Z: Zone> Monitor<Z> {
                 "zone width does not match selection width"
             );
         }
+        let dirty = vec![false; zones.len()];
         Monitor {
             zones,
             layer,
             selection,
             gamma,
+            dirty,
         }
     }
 
@@ -134,13 +139,83 @@ impl<Z: Zone> Monitor<Z> {
         assert_eq!(self.layer, other.layer, "monitored layers differ");
         assert_eq!(self.selection, other.selection, "selections differ");
         assert_eq!(self.zones.len(), other.zones.len(), "class counts differ");
-        for (mine, theirs) in self.zones.iter_mut().zip(&other.zones) {
+        for (c, (mine, theirs)) in self.zones.iter_mut().zip(&other.zones).enumerate() {
             match (mine, theirs) {
-                (Some(a), Some(b)) => a.absorb(b),
+                (Some(a), Some(b)) => {
+                    a.absorb(b);
+                    self.dirty[c] = true;
+                }
                 (None, None) => {}
                 _ => panic!("monitored class sets differ"),
             }
         }
+    }
+
+    /// Feeds operator-confirmed activation patterns back into the comfort
+    /// zone of `class` — the paper's Section IV adaptation loop, where an
+    /// out-of-pattern decision a human vets as benign should stop
+    /// warning.
+    ///
+    /// Works **post-enlargement**: each pattern is inserted into the seed
+    /// set and immediately dilated to the zone's current γ (the
+    /// incremental [`Zone::insert`]-after-[`Zone::enlarge_to`] path), so
+    /// no rebuild or re-sweep is needed before redeploying.  The class is
+    /// marked dirty (see [`Monitor::dirty_classes`] /
+    /// [`Monitor::take_dirty`]) so a serving layer can republish only
+    /// what changed.
+    ///
+    /// Returns the number of patterns that were actually new (outside
+    /// the seed set before the call).
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::UnmonitoredClass`] when `class` has no zone,
+    /// [`MonitorError::WidthMismatch`] when a pattern's width differs
+    /// from the monitored selection; on error the monitor is unchanged.
+    pub fn enrich(&mut self, class: usize, patterns: &[Pattern]) -> Result<usize, MonitorError> {
+        let width = self.selection.len();
+        if let Some(bad) = patterns.iter().find(|p| p.len() != width) {
+            return Err(MonitorError::WidthMismatch {
+                expected: width,
+                actual: bad.len(),
+            });
+        }
+        let zone = self
+            .zones
+            .get_mut(class)
+            .and_then(|z| z.as_mut())
+            .ok_or(MonitorError::UnmonitoredClass { class })?;
+        let mut fresh = 0usize;
+        for p in patterns {
+            if zone.distance_to_seeds(p) == Some(0) {
+                continue; // already a seed: nothing to learn
+            }
+            zone.insert(p);
+            fresh += 1;
+        }
+        if fresh > 0 {
+            self.dirty[class] = true;
+        }
+        Ok(fresh)
+    }
+
+    /// Classes whose zones changed since the last [`Monitor::take_dirty`]
+    /// (via [`Monitor::enrich`], [`Monitor::merge`] or
+    /// [`ActivationMonitor::enlarge_to`]), ascending.
+    pub fn dirty_classes(&self) -> Vec<usize> {
+        self.dirty
+            .iter()
+            .enumerate()
+            .filter_map(|(c, &d)| d.then_some(c))
+            .collect()
+    }
+
+    /// Returns the dirty class set and clears the flags — call when the
+    /// changes have been published (frozen, swapped in, persisted).
+    pub fn take_dirty(&mut self) -> Vec<usize> {
+        let classes = self.dirty_classes();
+        self.dirty.fill(false);
+        classes
     }
 
     /// Per-class construction/coverage summary — seeds recorded, current
@@ -228,8 +303,16 @@ impl<Z: Zone> ActivationMonitor for Monitor<Z> {
     /// Grows every zone to Hamming radius `gamma` (Section III's gradual
     /// enlargement).  Monotone; see [`Zone::enlarge_to`].
     fn enlarge_to(&mut self, gamma: u32) {
-        for z in self.zones.iter_mut().flatten() {
-            z.enlarge_to(gamma);
+        for (c, z) in self.zones.iter_mut().enumerate() {
+            if let Some(z) = z {
+                // Judged per zone, not against the monitor-level γ: zones
+                // assembled via `from_zones` may lag the monitor's γ and
+                // still grow here, which must dirty them for republish.
+                if gamma > z.gamma() {
+                    self.dirty[c] = true;
+                }
+                z.enlarge_to(gamma);
+            }
         }
         self.gamma = gamma;
     }
@@ -256,6 +339,21 @@ impl Monitor<BddZone> {
     pub fn compact(&mut self) {
         for z in self.zones.iter_mut().flatten() {
             z.compact();
+        }
+    }
+
+    /// Garbage-collects only the zones marked dirty since the last
+    /// [`Monitor::take_dirty`] — the cheap pre-republish compaction of
+    /// the online-enrichment loop ([`Monitor::enrich`] leaves dead
+    /// intermediate diagrams behind in exactly those managers).  Dirty
+    /// flags are left set; publishing consumes them.
+    pub fn compact_dirty(&mut self) {
+        for (z, &dirty) in self.zones.iter_mut().zip(&self.dirty) {
+            if dirty {
+                if let Some(z) = z {
+                    z.compact();
+                }
+            }
         }
     }
 
@@ -472,6 +570,129 @@ mod tests {
         let merged_seeds: usize = shard_a.seed_counts().iter().flatten().sum();
         let whole_seeds: usize = whole.seed_counts().iter().flatten().sum();
         assert_eq!(merged_seeds, whole_seeds);
+    }
+
+    #[test]
+    fn enrich_admits_confirmed_patterns_post_enlargement() {
+        let (mut net, xs, ys) = two_blob_problem();
+        let mut monitor: Monitor<BddZone> = build_manual(&mut net, &xs, &ys, 1);
+        assert!(monitor.dirty_classes().is_empty());
+
+        // Find an out-of-pattern probe: flip bits of an observed pattern
+        // until the zone rejects it.
+        let (class, pattern) = monitor.observe(&mut net, &xs[0]);
+        let mut bits = pattern.to_bools();
+        let mut confirmed = None;
+        for k in 0..bits.len() {
+            bits[k] = !bits[k];
+            let cand = Pattern::from_bools(&bits);
+            if monitor.check_pattern(class, &cand) == Verdict::OutOfPattern {
+                confirmed = Some(cand);
+                break;
+            }
+        }
+        let confirmed = confirmed.expect("some 1-to-k flip leaves the zone");
+
+        // The operator confirms it benign: enrich and re-check.
+        let fresh = monitor
+            .enrich(class, std::slice::from_ref(&confirmed))
+            .expect("monitored class");
+        assert_eq!(fresh, 1);
+        assert_eq!(monitor.check_pattern(class, &confirmed), Verdict::InPattern);
+        // Distance-to-seeds now sees it as a seed.
+        assert_eq!(
+            monitor.zone(class).unwrap().distance_to_seeds(&confirmed),
+            Some(0)
+        );
+        // Dirty tracking: exactly that class, consumed by take_dirty.
+        assert_eq!(monitor.dirty_classes(), vec![class]);
+        assert_eq!(monitor.take_dirty(), vec![class]);
+        assert!(monitor.dirty_classes().is_empty());
+
+        // Re-enriching with a known seed is a no-op and stays clean.
+        let fresh = monitor
+            .enrich(class, std::slice::from_ref(&confirmed))
+            .expect("monitored class");
+        assert_eq!(fresh, 0);
+        assert!(monitor.dirty_classes().is_empty());
+    }
+
+    #[test]
+    fn enrich_rejects_bad_targets_without_side_effects() {
+        let (mut net, xs, ys) = two_blob_problem();
+        let mut monitor: Monitor<BddZone> = build_manual(&mut net, &xs, &ys, 1);
+        let pat = Pattern::zeros(8);
+        assert_eq!(
+            monitor.enrich(7, std::slice::from_ref(&pat)),
+            Err(MonitorError::UnmonitoredClass { class: 7 })
+        );
+        let narrow = Pattern::zeros(3);
+        assert_eq!(
+            monitor.enrich(0, std::slice::from_ref(&narrow)),
+            Err(MonitorError::WidthMismatch {
+                expected: 8,
+                actual: 3
+            })
+        );
+        assert!(monitor.dirty_classes().is_empty());
+    }
+
+    #[test]
+    fn compact_dirty_preserves_enriched_semantics() {
+        let (mut net, xs, ys) = two_blob_problem();
+        let mut monitor: Monitor<BddZone> = build_manual(&mut net, &xs, &ys, 1);
+        let (class, pattern) = monitor.observe(&mut net, &xs[0]);
+        let mut bits = pattern.to_bools();
+        for b in bits.iter_mut() {
+            *b = !*b;
+        }
+        let far = Pattern::from_bools(&bits);
+        monitor.enrich(class, std::slice::from_ref(&far)).unwrap();
+        let before: Vec<_> = xs.iter().map(|x| monitor.check(&mut net, x)).collect();
+        monitor.compact_dirty();
+        // Flags survive compaction (publishing consumes them, not GC)...
+        assert_eq!(monitor.dirty_classes(), vec![class]);
+        // ...and verdicts are untouched.
+        for (x, want) in xs.iter().zip(&before) {
+            assert_eq!(&monitor.check(&mut net, x), want);
+        }
+        assert_eq!(monitor.check_pattern(class, &far), Verdict::InPattern);
+    }
+
+    #[test]
+    fn enlarge_and_merge_mark_dirty() {
+        let (mut net, xs, ys) = two_blob_problem();
+        let mut monitor: Monitor<BddZone> = build_manual(&mut net, &xs, &ys, 1);
+        monitor.enlarge_to(2);
+        assert_eq!(monitor.take_dirty(), vec![0, 1]);
+        // Re-requesting the same gamma changes nothing.
+        monitor.enlarge_to(2);
+        assert!(monitor.dirty_classes().is_empty());
+        let other: Monitor<BddZone> = build_manual(&mut net, &xs, &ys, 2);
+        monitor.merge(&other);
+        assert_eq!(monitor.dirty_classes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn enlarge_dirties_zones_lagging_the_monitor_gamma() {
+        // from_zones does not force zone gamma == the monitor gamma
+        // argument; enlarging must dirty any zone that actually grows,
+        // judged per zone.
+        let zones: Vec<Option<BddZone>> = (0..2)
+            .map(|c| {
+                let mut z = BddZone::empty(4);
+                z.insert(&p(&[c, 0, c, 0]));
+                Some(z) // per-zone gamma stays 0
+            })
+            .collect();
+        let mut monitor = Monitor::from_zones(zones, 1, NeuronSelection::all(4), 1);
+        assert_eq!(monitor.gamma(), 1);
+        monitor.enlarge_to(1); // no-op at monitor level, but zones grow 0 -> 1
+        assert_eq!(monitor.take_dirty(), vec![0, 1]);
+    }
+
+    fn p(bits: &[u8]) -> Pattern {
+        Pattern::from_bools(&bits.iter().map(|&b| b == 1).collect::<Vec<_>>())
     }
 
     #[test]

@@ -57,7 +57,9 @@ pub trait Zone: std::fmt::Debug + Send + Sync {
     /// exact pattern was visited in training.
     fn distance_to_seeds(&self, pattern: &Pattern) -> Option<u32>;
 
-    /// Number of distinct seed patterns inserted.
+    /// Number of distinct seed patterns inserted.  Implementations whose
+    /// counting can exceed `usize` (e.g. diagram-based counting over very
+    /// wide patterns) saturate at `usize::MAX` instead of wrapping.
     fn seed_count(&self) -> usize;
 
     /// Merges another zone's **seed set** into this one (set union), then
@@ -195,8 +197,19 @@ impl Zone for BddZone {
             .min_hamming_distance(self.seeds, &pattern.to_bools())
     }
 
+    /// Counted on the diagram via [`naps_bdd::Bdd::sat_count`], which
+    /// returns `f64`; counts at or above `usize::MAX` (reachable only for
+    /// astronomically large seed sets, or any non-empty set over > 1023
+    /// neurons where the count itself overflows to infinity) **saturate**
+    /// to `usize::MAX` rather than truncating, and counts above `2^53`
+    /// are subject to `f64` rounding.
     fn seed_count(&self) -> usize {
-        self.bdd.sat_count(self.seeds) as usize
+        let count = self.bdd.sat_count(self.seeds);
+        if count >= usize::MAX as f64 {
+            usize::MAX
+        } else {
+            count as usize
+        }
     }
 
     fn absorb(&mut self, other: &Self) {
@@ -217,11 +230,16 @@ impl BddZone {
     /// Fraction of the full pattern space `{0,1}^d` covered by the
     /// enlarged zone — the quantitative "coarseness of abstraction" of
     /// Figure 2 (α1 ≈ 0, α3 ≈ 1).
+    ///
+    /// Computed as a normalized measure directly on the diagram
+    /// ([`naps_bdd::Bdd::sat_fraction`]), never as
+    /// `pattern_count() / 2^d`: the quotient returned `0.0` for every
+    /// width-0 zone (even one containing the empty pattern, where the
+    /// zone covers the whole space) and silently divided by `inf` —
+    /// reporting 0 coverage — for widths above 1023, where `2^d`
+    /// overflows `f64`.
     pub fn volume_fraction(&self) -> f64 {
-        if self.width() == 0 {
-            return 0.0;
-        }
-        self.pattern_count() / (2f64).powi(self.width() as i32)
+        self.bdd.sat_fraction(self.zone)
     }
 
     /// Garbage-collects the underlying manager: only the seed set and the
@@ -531,6 +549,49 @@ mod tests {
         assert!((z.volume_fraction() - 7.0 / 64.0).abs() < 1e-12);
         z.enlarge_to(6);
         assert!((z.volume_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volume_fraction_of_width_zero_zone() {
+        // {0,1}^0 has exactly one pattern (the empty one).  A zone that
+        // contains it covers the whole space; an empty zone covers none.
+        let mut z = BddZone::empty(0);
+        assert_eq!(z.volume_fraction(), 0.0);
+        z.insert(&Pattern::from_bools(&[]));
+        assert_eq!(z.volume_fraction(), 1.0);
+        assert_eq!(z.seed_count(), 1);
+        assert!(z.contains(&Pattern::from_bools(&[])));
+    }
+
+    #[test]
+    fn volume_fraction_survives_huge_widths() {
+        // 2^1200 overflows f64; the fraction must stay exact, not
+        // collapse to 0 (finite/inf) or NaN (inf/inf).
+        let mut z = BddZone::empty(1200);
+        assert_eq!(z.volume_fraction(), 0.0);
+        z.zone = z.bdd.one(); // full space, directly (inserting 2^1200 seeds is not an option)
+        assert_eq!(z.volume_fraction(), 1.0);
+        let v0 = z.bdd.var(0);
+        z.zone = v0; // half space
+        assert_eq!(z.volume_fraction(), 0.5);
+    }
+
+    #[test]
+    fn seed_count_saturates_instead_of_wrapping() {
+        // A full seed space over 80 neurons counts 2^80 > usize::MAX;
+        // the old `as usize` cast reported a nonsense number.
+        let mut z = BddZone::empty(80);
+        z.seeds = z.bdd.one();
+        assert_eq!(z.seed_count(), usize::MAX);
+        // Beyond 1023 vars sat_count is infinite; still saturates.
+        let mut w = BddZone::empty(1200);
+        w.seeds = w.bdd.one();
+        assert_eq!(w.seed_count(), usize::MAX);
+        // Small counts are still exact.
+        let mut s = BddZone::empty(8);
+        s.insert(&p(&[1, 0, 1, 0, 1, 0, 1, 0]));
+        s.insert(&p(&[0, 1, 0, 1, 0, 1, 0, 1]));
+        assert_eq!(s.seed_count(), 2);
     }
 
     #[test]

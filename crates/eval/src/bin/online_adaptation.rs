@@ -1,0 +1,33 @@
+//! Replays the online-adaptation loop (drift stream → operator-confirmed
+//! enrichment → hot snapshot swap → persistence) and writes
+//! `results/online.json`.  Exits non-zero when the loop fails its
+//! purpose — the out-of-pattern rate on the shifted stream must **drop**
+//! after enrichment, verdicts must stay attributable across the swap,
+//! and the published snapshot must persist — so CI can gate on it.
+//! Usage: `cargo run --release -p naps-eval --bin online_adaptation [--full]`.
+fn main() {
+    let cfg = naps_eval::RunConfig::from_env();
+    let result = naps_eval::online::run(&cfg);
+    let mut failures = Vec::new();
+    if result.enriched_patterns == 0 {
+        failures.push("no benign pattern was confirmed/enriched".to_string());
+    }
+    if !result.rate_dropped {
+        failures.push(format!(
+            "out-of-pattern rate did not drop after enrichment ({:.4} -> {:.4})",
+            result.shifted_rate_before, result.shifted_rate_after
+        ));
+    }
+    if !result.verdicts_attributable {
+        failures.push("an under-swap verdict diverged from its epoch's oracle".to_string());
+    }
+    if !result.persistence_roundtrip_ok {
+        failures.push("save/load did not round-trip the published snapshot".to_string());
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

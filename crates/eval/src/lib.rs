@@ -10,6 +10,7 @@
 //! | `drift` | Section I claim — distribution shift surfacing as out-of-pattern warnings, with detection latency |
 //! | `selection` | Section II ablation — gradient saliency vs variance vs random neuron selection |
 //! | `throughput` | ROADMAP north star — parallel `MonitorEngine` QPS vs sequential checking, with verdict-equivalence verification |
+//! | `online_adaptation` | Section IV deployment loop — drift stream, operator-confirmed enrichment, hot snapshot swap, persistence (`results/online.json`; exits non-zero when the out-of-pattern rate fails to drop) |
 //!
 //! Each binary prints the paper-format rows and writes machine-readable
 //! JSON under `results/`.  Run with `--full` for paper-scale workloads
@@ -26,6 +27,7 @@ pub mod case_study;
 pub mod config;
 pub mod drift;
 pub mod fig2;
+pub mod online;
 pub mod refinement;
 pub mod report;
 pub mod selection;

@@ -123,11 +123,19 @@ pub fn run(cfg: &RunConfig) -> Throughput {
                 },
             )
             .expect("serving fixture is an MLP");
+            let served = |engine: &MonitorEngine| -> Vec<naps_core::MonitorReport> {
+                engine
+                    .check_batch(&probes)
+                    .expect("engine is up")
+                    .into_iter()
+                    .map(|r| r.report)
+                    .collect()
+            };
             // Warm-up pass (thread spawn, allocator) excluded from timing.
-            let mut identical = engine.check_batch(&probes) == reference;
+            let mut identical = served(&engine) == reference;
             let start = Instant::now();
             for _ in 0..repeats {
-                identical &= engine.check_batch(&probes) == reference;
+                identical &= served(&engine) == reference;
             }
             let qps = (repeats * probes.len()) as f64 / start.elapsed().as_secs_f64();
             let stats = engine.shutdown();

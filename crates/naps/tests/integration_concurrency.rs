@@ -138,9 +138,9 @@ fn serve_engine_replaces_the_rwlock_deployment() {
         },
     )
     .expect("mlp replicates");
-    let served = engine.check_batch(&xs);
+    let served = engine.check_batch(&xs).expect("engine is up");
     for (x, served) in xs.iter().zip(&served) {
-        assert_eq!(&monitor.check(&mut net, x), served);
+        assert_eq!(monitor.check(&mut net, x), served.report);
     }
     let stats = engine.shutdown();
     assert_eq!(stats.processed, xs.len() as u64);

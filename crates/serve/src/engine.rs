@@ -20,6 +20,11 @@
 //!   (`Arc`; per-class zones are `Arc<FrozenZone>` snapshots) — reads
 //!   take no lock.  The only mutable state per worker is its own model
 //!   replica (forward passes cache activations, hence `&mut`).
+//! * **Live updates.** The served snapshot sits in a read-mostly publish
+//!   slot; [`MonitorEngine::publish`] hot-swaps an enriched replacement,
+//!   workers adopt it at their next micro-batch boundary, and every
+//!   verdict carries the epoch of the snapshot that judged it
+//!   ([`EpochReport`]).
 //! * **Batching.** A worker drains up to `max_batch` requests in one
 //!   lock acquisition — its own queue first, then stealing from the
 //!   most-loaded sibling — and runs **one** forward pass for the whole
@@ -87,6 +92,11 @@ pub enum EngineError {
         /// Provided model replicas.
         actual: usize,
     },
+    /// [`MonitorEngine::publish`] got a monitor that cannot replace the
+    /// one being served (different layer, neuron selection or class
+    /// count): its verdicts would not be comparable across epochs, and
+    /// the worker model replicas would be observing the wrong layer.
+    IncompatibleMonitor(&'static str),
 }
 
 impl fmt::Display for EngineError {
@@ -96,6 +106,9 @@ impl fmt::Display for EngineError {
             EngineError::InvalidConfig(what) => write!(f, "invalid engine config: {what}"),
             EngineError::ReplicaCountMismatch { expected, actual } => {
                 write!(f, "need {expected} model replicas, got {actual}")
+            }
+            EngineError::IncompatibleMonitor(what) => {
+                write!(f, "published monitor incompatible with served one: {what}")
             }
         }
     }
@@ -152,9 +165,33 @@ pub struct EngineStats {
     pub stolen: u64,
     /// Largest micro-batch packed into one forward pass.
     pub largest_batch: u64,
+    /// Zone snapshots hot-swapped in via [`MonitorEngine::publish`].
+    pub swaps: u64,
 }
 
-type Callback = Box<dyn FnOnce(MonitorReport) + Send + 'static>;
+/// A [`MonitorReport`] stamped with the **epoch** of the zone snapshot
+/// that produced it.
+///
+/// The engine hot-swaps enriched [`FrozenMonitor`]s while requests are in
+/// flight; the stamp makes every verdict attributable to exactly one zone
+/// set — a verdict with epoch `e` is bit-identical to what sequential
+/// checking against the epoch-`e` monitor returns, no matter how the
+/// request interleaved with the swap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochReport {
+    /// Epoch of the [`FrozenMonitor`] that judged the request.
+    pub epoch: u64,
+    /// The verdict itself.
+    pub report: MonitorReport,
+}
+
+impl naps_core::MonitorOutcome for EpochReport {
+    fn out_of_pattern(&self) -> bool {
+        naps_core::MonitorOutcome::out_of_pattern(&self.report)
+    }
+}
+
+type Callback = Box<dyn FnOnce(EpochReport) + Send + 'static>;
 
 struct Request {
     input: Tensor,
@@ -183,17 +220,26 @@ struct Shared {
     /// The model's input dimension, when derivable (MLP-style stacks):
     /// submissions of any other width are rejected up front.
     input_len: Option<usize>,
+    /// The read-mostly publish slot: the monitor snapshot currently being
+    /// served.  Workers hold their own `Arc` clone and only touch this
+    /// mutex when [`Shared::epoch`] tells them a newer snapshot exists —
+    /// the verdict hot path itself stays lock-free.
+    published: Mutex<Arc<FrozenMonitor>>,
+    /// Epoch of the snapshot in [`Shared::published`].  Workers poll this
+    /// atomic (one relaxed-cost load) at every micro-batch boundary.
+    epoch: AtomicU64,
     processed: AtomicU64,
     batches: AtomicU64,
     stolen: AtomicU64,
     largest_batch: AtomicUsize,
+    swaps: AtomicU64,
 }
 
 /// A handle to one in-flight submission; redeem with
 /// [`VerdictTicket::wait`].
 #[derive(Debug)]
 pub struct VerdictTicket {
-    rx: mpsc::Receiver<MonitorReport>,
+    rx: mpsc::Receiver<EpochReport>,
 }
 
 impl VerdictTicket {
@@ -203,7 +249,7 @@ impl VerdictTicket {
     ///
     /// Panics if the serving worker died before answering (a worker
     /// panic — an engine bug, not a monitoring verdict).
-    pub fn wait(self) -> MonitorReport {
+    pub fn wait(self) -> EpochReport {
         self.rx
             .recv()
             .expect("engine worker dropped the request without answering")
@@ -217,7 +263,7 @@ impl VerdictTicket {
     /// Panics if the serving worker died before answering — the same
     /// loud failure as [`VerdictTicket::wait`], rather than reading as
     /// "not ready yet" forever.
-    pub fn try_wait(&self) -> Option<MonitorReport> {
+    pub fn try_wait(&self) -> Option<EpochReport> {
         match self.rx.try_recv() {
             Ok(report) => Some(report),
             Err(mpsc::TryRecvError::Empty) => None,
@@ -236,12 +282,13 @@ impl VerdictTicket {
 /// for convolutional models), submit with
 /// [`submit`](MonitorEngine::submit) /
 /// [`submit_with`](MonitorEngine::submit_with) /
-/// [`check_batch`](MonitorEngine::check_batch), and stop with
-/// [`shutdown`](MonitorEngine::shutdown) (or just drop it — remaining
-/// queued requests are drained first either way).
+/// [`check_batch`](MonitorEngine::check_batch), hot-swap enriched zone
+/// snapshots with [`publish`](MonitorEngine::publish), and stop with
+/// [`shutdown`](MonitorEngine::shutdown) (or [`stop`](MonitorEngine::stop)
+/// from a shared reference, or just drop it — remaining queued requests
+/// are drained first in every case).
 pub struct MonitorEngine {
     shared: Arc<Shared>,
-    monitor: Arc<FrozenMonitor>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -298,6 +345,7 @@ impl MonitorEngine {
                 actual: replicas.len(),
             });
         }
+        let initial_epoch = monitor.epoch();
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queues: (0..config.workers).map(|_| VecDeque::new()).collect(),
@@ -310,34 +358,92 @@ impl MonitorEngine {
             max_batch: config.max_batch,
             queue_capacity: config.queue_capacity,
             input_len: model_input_len(&replicas[0]),
+            published: Mutex::new(Arc::new(monitor)),
+            epoch: AtomicU64::new(initial_epoch),
             processed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             stolen: AtomicU64::new(0),
             largest_batch: AtomicUsize::new(0),
+            swaps: AtomicU64::new(0),
         });
-        let monitor = Arc::new(monitor);
         let workers = replicas
             .into_iter()
             .enumerate()
             .map(|(id, model)| {
                 let shared = Arc::clone(&shared);
-                let monitor = Arc::clone(&monitor);
                 std::thread::Builder::new()
                     .name(format!("naps-serve-{id}"))
-                    .spawn(move || worker_loop(id, &shared, &monitor, model))
+                    .spawn(move || worker_loop(id, &shared, model))
                     .expect("spawn engine worker")
             })
             .collect();
-        Ok(MonitorEngine {
-            shared,
-            monitor,
-            workers,
-        })
+        Ok(MonitorEngine { shared, workers })
     }
 
-    /// The frozen monitor being served.
-    pub fn monitor(&self) -> &FrozenMonitor {
-        &self.monitor
+    /// The monitor snapshot currently being served (the publish slot's
+    /// content at the time of the call — a subsequent
+    /// [`MonitorEngine::publish`] does not invalidate the returned `Arc`,
+    /// it just stops serving from it).
+    pub fn monitor(&self) -> Arc<FrozenMonitor> {
+        Arc::clone(
+            &self
+                .shared
+                .published
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        )
+    }
+
+    /// Epoch of the snapshot currently being served.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Hot-swaps `monitor` in as the snapshot to serve, returning the
+    /// epoch stamped onto it (previous epoch + 1).
+    ///
+    /// The swap is **non-disruptive and exact**: no request is lost,
+    /// rejected or re-run.  Workers pick the new snapshot up at their
+    /// next micro-batch boundary — each in-flight micro-batch finishes
+    /// wholly under the snapshot it started with, and every verdict
+    /// carries the epoch of the snapshot that judged it
+    /// ([`EpochReport`]), so "which zone set said this?" is always
+    /// answerable.  Publishing never blocks the verdict hot path; the
+    /// slot mutex is touched by workers only on an epoch change.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::IncompatibleMonitor`] when `monitor` watches a
+    /// different layer or neuron selection, or has a different class
+    /// count, than the snapshot being replaced — swapping it in would
+    /// make cross-epoch verdicts incomparable.  The engine keeps serving
+    /// the old snapshot.
+    pub fn publish(&self, mut monitor: FrozenMonitor) -> Result<u64, EngineError> {
+        let mut slot = self
+            .shared
+            .published
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if monitor.layer() != slot.layer() {
+            return Err(EngineError::IncompatibleMonitor("monitored layer differs"));
+        }
+        if monitor.selection() != slot.selection() {
+            return Err(EngineError::IncompatibleMonitor("neuron selection differs"));
+        }
+        if monitor.num_classes() != slot.num_classes() {
+            return Err(EngineError::IncompatibleMonitor("class count differs"));
+        }
+        let epoch = self.shared.epoch.load(Ordering::Acquire) + 1;
+        monitor.set_epoch(epoch);
+        *slot = Arc::new(monitor);
+        // Publish the new epoch only after the slot holds the snapshot
+        // (workers re-read the slot under its mutex when they see the
+        // epoch move, so they can never pair the old snapshot with the
+        // new stamp).
+        self.shared.epoch.store(epoch, Ordering::Release);
+        drop(slot);
+        self.shared.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(epoch)
     }
 
     /// Number of worker threads.
@@ -356,7 +462,7 @@ impl MonitorEngine {
     /// the model.
     pub fn submit_with<F>(&self, input: Tensor, complete: F) -> Result<(), SubmitError>
     where
-        F: FnOnce(MonitorReport) + Send + 'static,
+        F: FnOnce(EpochReport) + Send + 'static,
     {
         self.enqueue(input, Box::new(complete), true)
     }
@@ -404,51 +510,66 @@ impl MonitorEngine {
 
     /// Checks one input synchronously through the pool.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a wrong-width input (mirroring the sequential
-    /// [`Monitor::check`] contract).
-    pub fn check(&self, input: &Tensor) -> MonitorReport {
-        self.submit(input.clone())
-            .unwrap_or_else(|e| panic!("check: {e}"))
-            .wait()
+    /// [`SubmitError::ShutDown`] after shutdown began,
+    /// [`SubmitError::WidthMismatch`] on a wrong-width input.  Never
+    /// panics and never deadlocks: a shut-down engine answers with an
+    /// error, not a hang.
+    pub fn check(&self, input: &Tensor) -> Result<EpochReport, SubmitError> {
+        Ok(self.submit(input.clone())?.wait())
     }
 
     /// Checks a batch synchronously, preserving input order.  The batch
     /// is fanned out across the pool as individual requests, so workers
     /// micro-batch and steal freely; results are reassembled by index.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a wrong-width input (mirroring the sequential
-    /// [`Monitor::check_batch`] contract).
-    pub fn check_batch(&self, inputs: &[Tensor]) -> Vec<MonitorReport> {
+    /// [`SubmitError::ShutDown`] after shutdown began,
+    /// [`SubmitError::WidthMismatch`] when an input width is wrong for
+    /// the model.  On error, inputs submitted before the failing one are
+    /// still served (and drained) but their verdicts are discarded; the
+    /// call never panics or deadlocks.
+    pub fn check_batch(&self, inputs: &[Tensor]) -> Result<Vec<EpochReport>, SubmitError> {
         let (tx, rx) = mpsc::channel();
         for (i, input) in inputs.iter().enumerate() {
             let tx = tx.clone();
             self.submit_with(input.clone(), move |report| {
                 let _ = tx.send((i, report));
-            })
-            .unwrap_or_else(|e| panic!("check_batch: {e}"));
+            })?;
         }
         drop(tx);
-        let mut out: Vec<Option<MonitorReport>> = vec![None; inputs.len()];
+        let mut out: Vec<Option<EpochReport>> = vec![None; inputs.len()];
         for (i, report) in rx {
             out[i] = Some(report);
         }
-        out.into_iter()
+        Ok(out
+            .into_iter()
             .map(|r| r.expect("one report per input"))
-            .collect()
+            .collect())
     }
 
-    /// Lifetime counters (throughput, batching and stealing behaviour).
+    /// Lifetime counters (throughput, batching, stealing and swap
+    /// behaviour).
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             processed: self.shared.processed.load(Ordering::Relaxed),
             batches: self.shared.batches.load(Ordering::Relaxed),
             stolen: self.shared.stolen.load(Ordering::Relaxed),
             largest_batch: self.shared.largest_batch.load(Ordering::Relaxed) as u64,
+            swaps: self.shared.swaps.load(Ordering::Relaxed),
         }
+    }
+
+    /// Begins a graceful shutdown from a shared reference: new
+    /// submissions fail with [`SubmitError::ShutDown`] (including blocked
+    /// ones — they are woken and answered with the error, never left
+    /// hanging), while already-queued requests are still drained and
+    /// answered.  Idempotent.  Unlike [`MonitorEngine::shutdown`] this
+    /// does not join the workers; dropping the engine does.
+    pub fn stop(&self) {
+        self.begin_shutdown();
     }
 
     /// Stops accepting submissions, drains the queues, joins the
@@ -597,8 +718,19 @@ fn next_batch(id: usize, shared: &Shared) -> Option<Vec<Request>> {
     }
 }
 
-fn worker_loop(id: usize, shared: &Shared, monitor: &FrozenMonitor, mut model: Sequential) {
+fn worker_loop(id: usize, shared: &Shared, mut model: Sequential) {
+    // Each worker serves from its own Arc onto the published snapshot and
+    // re-reads the publish slot only at micro-batch boundaries where the
+    // epoch atomic says a newer snapshot exists: a batch is judged wholly
+    // by one snapshot, and the hot path takes no lock in steady state.
+    let mut monitor: Arc<FrozenMonitor> =
+        Arc::clone(&shared.published.lock().unwrap_or_else(|e| e.into_inner()));
+    let mut epoch = monitor.epoch();
     while let Some(batch) = next_batch(id, shared) {
+        if shared.epoch.load(Ordering::Acquire) != epoch {
+            monitor = Arc::clone(&shared.published.lock().unwrap_or_else(|e| e.into_inner()));
+            epoch = monitor.epoch();
+        }
         let (inputs, callbacks): (Vec<Tensor>, Vec<Callback>) =
             batch.into_iter().map(|r| (r.input, r.complete)).unzip();
         let reports = monitor.check_batch(&mut model, &inputs);
@@ -606,7 +738,7 @@ fn worker_loop(id: usize, shared: &Shared, monitor: &FrozenMonitor, mut model: S
             .processed
             .fetch_add(reports.len() as u64, Ordering::Relaxed);
         for (complete, report) in callbacks.into_iter().zip(reports) {
-            complete(report);
+            complete(EpochReport { epoch, report });
         }
     }
 }

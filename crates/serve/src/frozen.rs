@@ -16,15 +16,24 @@
 //! each node of a distributed deployment) ownership of a disjoint class
 //! subset while any worker can still resolve any predicted class.
 
-use naps_bdd::BddSnapshot;
+use naps_bdd::{BddError, BddSnapshot};
 use naps_core::batch::{forward_observe_packed, pack_batch};
 use naps_core::{BddZone, Monitor, MonitorReport, NeuronSelection, Pattern, Verdict};
 use naps_nn::Sequential;
 use naps_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
+use std::{fs, io};
 
 /// One class's comfort zone, frozen for lock-free concurrent queries.
-#[derive(Debug, Clone)]
+///
+/// Serializable: the two [`BddSnapshot`]s are `naps-bdd`'s wire format,
+/// so a frozen zone persists exactly as it serves
+/// (see [`FrozenMonitor::save`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FrozenZone {
     zone: BddSnapshot,
     seeds: BddSnapshot,
@@ -75,7 +84,7 @@ impl FrozenZone {
 ///
 /// Shard `i` of `n` owns every class `c` with `c % n == i`.  The zones
 /// are shared (`Arc`) with the parent monitor and its other shards.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MonitorShard {
     index: usize,
     num_shards: usize,
@@ -149,15 +158,79 @@ impl MonitorShard {
 /// [`FrozenMonitor::shard_by_class`]) it for the engine.  A frozen
 /// monitor deliberately does **not** implement
 /// [`naps_core::ActivationMonitor`]: that trait includes `enlarge_to`,
-/// and a frozen zone cannot grow — rebuild and re-freeze instead.
-#[derive(Debug, Clone)]
+/// and a frozen zone cannot grow — enrich the live [`Monitor`]
+/// ([`Monitor::enrich`]), re-freeze, and hot-swap the new snapshot in
+/// via `MonitorEngine::publish`.
+///
+/// Every frozen monitor carries an **epoch** — the version stamp of the
+/// zone set it was cut from.  The serving engine stamps each verdict
+/// with the epoch of the snapshot that judged it, so results stay
+/// attributable across live updates, and [`FrozenMonitor::save`] /
+/// [`FrozenMonitor::load`] persist the epoch alongside the zones for
+/// warm restarts.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrozenMonitor {
     layer: usize,
     gamma: u32,
     selection: NeuronSelection,
     num_classes: usize,
     shards: Vec<MonitorShard>,
+    epoch: u64,
 }
+
+/// Why a [`FrozenMonitor::save`] / [`FrozenMonitor::load`] failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// Reading or writing the file failed.
+    Io(io::Error),
+    /// The bytes are not the JSON shape this version writes.
+    Format(serde_json::Error),
+    /// A zone snapshot inside the file is structurally invalid (truncated
+    /// or tampered); loading it would make queries walk out of bounds.
+    Corrupt(BddError),
+    /// The file is well-formed but describes a monitor this build cannot
+    /// serve (unknown format version, inconsistent widths, zero shards).
+    Incompatible(&'static str),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "monitor persistence i/o error: {e}"),
+            PersistError::Format(e) => write!(f, "monitor file is not valid JSON: {e}"),
+            PersistError::Corrupt(e) => write!(f, "monitor file holds a corrupt zone: {e}"),
+            PersistError::Incompatible(what) => write!(f, "monitor file incompatible: {what}"),
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(e) => Some(e),
+            PersistError::Corrupt(e) => Some(e),
+            PersistError::Incompatible(_) => None,
+        }
+    }
+}
+
+/// On-disk shape of a [`FrozenMonitor`]: one record per class (shards are
+/// re-cut on load), plus the metadata needed to re-attach to a model.
+#[derive(Debug, Serialize, Deserialize)]
+struct PersistedMonitor {
+    format: u32,
+    epoch: u64,
+    layer: usize,
+    gamma: u32,
+    selection: NeuronSelection,
+    num_shards: usize,
+    zones: Vec<Option<FrozenZone>>,
+}
+
+/// Version tag of [`PersistedMonitor`]; bump on breaking layout changes.
+const PERSIST_FORMAT: u32 = 1;
 
 impl FrozenMonitor {
     /// Freezes a monitor into a single shard (no class partitioning).
@@ -168,22 +241,44 @@ impl FrozenMonitor {
     /// Freezes a monitor and splits its classes round-robin into
     /// `num_shards` disjoint shards (class `c` goes to shard
     /// `c % num_shards`).  Zones are `Arc`-shared, so this is cheap in
-    /// memory no matter how many shards are cut.
+    /// memory no matter how many shards are cut.  The epoch starts at 0;
+    /// see [`FrozenMonitor::with_epoch`].
     ///
     /// # Panics
     ///
     /// Panics if `num_shards` is zero.
     pub fn shard_by_class(monitor: &Monitor<BddZone>, num_shards: usize) -> Self {
-        assert!(num_shards > 0, "need at least one shard");
         let num_classes = monitor.num_classes();
         let frozen: Vec<Option<Arc<FrozenZone>>> = (0..num_classes)
             .map(|c| monitor.zone(c).map(|z| Arc::new(FrozenZone::freeze(z))))
             .collect();
+        Self::from_class_zones(
+            frozen,
+            num_shards,
+            monitor.layer(),
+            monitor.gamma(),
+            monitor.selection().clone(),
+            0,
+        )
+    }
+
+    /// Assembles a monitor from per-class frozen zones (slot `c` = class
+    /// `c`), cutting `num_shards` round-robin shards over them.
+    fn from_class_zones(
+        zones: Vec<Option<Arc<FrozenZone>>>,
+        num_shards: usize,
+        layer: usize,
+        gamma: u32,
+        selection: NeuronSelection,
+        epoch: u64,
+    ) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        let num_classes = zones.len();
         let shards = (0..num_shards)
             .map(|index| MonitorShard {
                 index,
                 num_shards,
-                zones: frozen
+                zones: zones
                     .iter()
                     .skip(index)
                     .step_by(num_shards)
@@ -193,12 +288,102 @@ impl FrozenMonitor {
             })
             .collect();
         FrozenMonitor {
-            layer: monitor.layer(),
-            gamma: monitor.gamma(),
-            selection: monitor.selection().clone(),
+            layer,
+            gamma,
+            selection,
             num_classes,
             shards,
+            epoch,
         }
+    }
+
+    /// The same monitor stamped with `epoch` (builder style).  Epochs are
+    /// ordinarily assigned by the serving engine's publish path; set one
+    /// manually only when managing versions yourself.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The zone-set version this snapshot was cut from.  Verdicts served
+    /// from this snapshot carry this value.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Persists every class snapshot plus metadata (layer, γ, selection,
+    /// shard count, epoch) as JSON through `naps-bdd`'s serializer, for
+    /// warm restarts: a restarted service [`FrozenMonitor::load`]s and
+    /// serves without retraining, re-observing or re-dilating anything.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the file cannot be written.
+    pub fn save(&self, path: &Path) -> Result<(), PersistError> {
+        let persisted = PersistedMonitor {
+            format: PERSIST_FORMAT,
+            epoch: self.epoch,
+            layer: self.layer,
+            gamma: self.gamma,
+            selection: self.selection.clone(),
+            num_shards: self.shards.len(),
+            zones: (0..self.num_classes)
+                .map(|c| self.zone(c).cloned())
+                .collect(),
+        };
+        let json = serde_json::to_string(&persisted).map_err(PersistError::Format)?;
+        fs::write(path, json).map_err(PersistError::Io)
+    }
+
+    /// Restores a monitor saved by [`FrozenMonitor::save`]: the exact
+    /// same snapshots (zone-for-zone, epoch included), re-cut into the
+    /// saved shard layout.
+    ///
+    /// Every zone snapshot is structurally validated
+    /// ([`BddSnapshot::validate`]) before it is accepted — the serving
+    /// hot path walks snapshots without bounds checks, so corrupt bytes
+    /// must be rejected here, not discovered mid-query.
+    ///
+    /// # Errors
+    ///
+    /// See [`PersistError`].
+    pub fn load(path: &Path) -> Result<Self, PersistError> {
+        let text = fs::read_to_string(path).map_err(PersistError::Io)?;
+        let persisted: PersistedMonitor =
+            serde_json::from_str(&text).map_err(PersistError::Format)?;
+        if persisted.format != PERSIST_FORMAT {
+            return Err(PersistError::Incompatible("unknown format version"));
+        }
+        if persisted.num_shards == 0 {
+            return Err(PersistError::Incompatible("zero shards"));
+        }
+        let width = persisted.selection.len();
+        for z in persisted.zones.iter().flatten() {
+            z.zone.validate().map_err(PersistError::Corrupt)?;
+            z.seeds.validate().map_err(PersistError::Corrupt)?;
+            if z.zone.num_vars() != width || z.seeds.num_vars() != width {
+                return Err(PersistError::Incompatible(
+                    "zone width differs from selection width",
+                ));
+            }
+        }
+        Ok(Self::from_class_zones(
+            persisted
+                .zones
+                .into_iter()
+                .map(|z| z.map(Arc::new))
+                .collect(),
+            persisted.num_shards,
+            persisted.layer,
+            persisted.gamma,
+            persisted.selection,
+            persisted.epoch,
+        ))
     }
 
     /// Index of the monitored layer in the [`Sequential`] model.
@@ -386,6 +571,75 @@ mod tests {
     fn wrong_shard_routing_panics() {
         let frozen = FrozenMonitor::shard_by_class(&sample_monitor(4), 2);
         let _ = frozen.shards()[0].zone(1);
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("naps_serve_persist_tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn save_load_roundtrips_snapshot_for_snapshot() {
+        let frozen = FrozenMonitor::shard_by_class(&sample_monitor(5), 3).with_epoch(42);
+        let path = temp_path("roundtrip.json");
+        frozen.save(&path).expect("save");
+        let restored = FrozenMonitor::load(&path).expect("load");
+        // Structural equality: every shard, every zone, every node array.
+        assert_eq!(restored, frozen);
+        assert_eq!(restored.epoch(), 42);
+        // And behavioural equality on the full query space.
+        for m in 0..64u32 {
+            let bits: Vec<bool> = (0..6).map(|i| (m >> i) & 1 == 1).collect();
+            let pat = Pattern::from_bools(&bits);
+            for c in 0..5 {
+                assert_eq!(restored.report(c, &pat), frozen.report(c, &pat));
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_rejects_corrupt_and_missing_files() {
+        assert!(matches!(
+            FrozenMonitor::load(std::path::Path::new("/nonexistent/naps.json")),
+            Err(PersistError::Io(_))
+        ));
+        let path = temp_path("garbage.json");
+        std::fs::write(&path, "{not json").expect("write");
+        assert!(matches!(
+            FrozenMonitor::load(&path),
+            Err(PersistError::Format(_))
+        ));
+        // A structurally broken zone snapshot must be caught up front:
+        // corrupt a child index in an otherwise valid save.
+        let frozen = FrozenMonitor::freeze(&sample_monitor(4));
+        frozen.save(&path).expect("save");
+        let text = std::fs::read_to_string(&path).expect("read");
+        // Sanity: saved files load before tampering.
+        assert!(FrozenMonitor::load(&path).is_ok());
+        let tampered = text
+            .replacen("\"format\": 1", "\"format\": 99", 1)
+            .replace("\"format\":1", "\"format\":99");
+        std::fs::write(&path, tampered).expect("write");
+        assert!(matches!(
+            FrozenMonitor::load(&path),
+            Err(PersistError::Incompatible(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn epochs_stamp_and_persist() {
+        let monitor = sample_monitor(4);
+        let frozen = FrozenMonitor::freeze(&monitor);
+        assert_eq!(frozen.epoch(), 0);
+        let stamped = frozen.with_epoch(7);
+        assert_eq!(stamped.epoch(), 7);
+        // Epoch participates in equality: same zones, different version.
+        let again = FrozenMonitor::freeze(&monitor);
+        assert_ne!(stamped, again);
+        assert_eq!(again, FrozenMonitor::freeze(&monitor));
     }
 
     #[test]

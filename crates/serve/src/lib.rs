@@ -12,11 +12,13 @@
 //! | Type | Role |
 //! |---|---|
 //! | [`FrozenZone`] | one class's zone + seeds as immutable [`naps_bdd::BddSnapshot`]s |
-//! | [`FrozenMonitor`] / [`MonitorShard`] | a deployable monitor split class-wise into disjoint shards |
-//! | [`MonitorEngine`] | the worker pool: batching, stealing, backpressure |
+//! | [`FrozenMonitor`] / [`MonitorShard`] | a deployable, epoch-versioned monitor split class-wise into disjoint shards |
+//! | [`MonitorEngine`] | the worker pool: batching, stealing, backpressure, hot swap |
 //! | [`EngineConfig`] | workers / `max_batch` / `queue_capacity` knobs |
 //! | [`VerdictTicket`] | handle to one in-flight verdict |
-//! | [`EngineStats`] | processed / batches / stolen / largest-batch counters |
+//! | [`EpochReport`] | a verdict stamped with the zone epoch that produced it |
+//! | [`EngineStats`] | processed / batches / stolen / largest-batch / swaps counters |
+//! | [`PersistError`] | why a [`FrozenMonitor::save`] / [`FrozenMonitor::load`] failed |
 //!
 //! Verdicts are **bit-identical** to sequential
 //! [`naps_core::Monitor::check`] checking: every path reuses the same
@@ -24,6 +26,18 @@
 //! exact parameter copies, and frozen-snapshot queries agree with the
 //! live BDD manager query-for-query (pinned by property tests in
 //! `naps-bdd` and the concurrency suite here).
+//!
+//! ## Live updates
+//!
+//! The engine is not frozen forever: when an operator confirms an
+//! out-of-pattern activation as benign, feed it back with
+//! [`naps_core::Monitor::enrich`], re-freeze, and
+//! [`MonitorEngine::publish`] the new snapshot.  Workers swap at
+//! micro-batch boundaries — no request is lost, no lock is added to the
+//! verdict hot path — and every verdict's [`EpochReport::epoch`] names
+//! the zone set that judged it.  [`FrozenMonitor::save`] /
+//! [`FrozenMonitor::load`] persist snapshots (epoch included) for warm
+//! restarts.
 //!
 //! ## Example
 //!
@@ -55,11 +69,13 @@
 //!     EngineConfig { workers: 2, max_batch: 8, queue_capacity: 64 },
 //! )
 //! .expect("MLPs replicate");
-//! let reports = engine.check_batch(&xs);
+//! let reports = engine.check_batch(&xs).expect("engine is up");
 //! assert_eq!(reports.len(), xs.len());
-//! // Identical to the sequential monitor, input for input.
+//! // Identical to the sequential monitor, input for input, and stamped
+//! // with the zone epoch (0: nothing has been republished yet).
 //! for (x, served) in xs.iter().zip(&reports) {
-//!     assert_eq!(&monitor.check(&mut net, x), served);
+//!     assert_eq!(monitor.check(&mut net, x), served.report);
+//!     assert_eq!(served.epoch, 0);
 //! }
 //! let stats = engine.shutdown();
 //! assert_eq!(stats.processed, 20);
@@ -69,6 +85,6 @@ mod engine;
 mod frozen;
 
 pub use engine::{
-    EngineConfig, EngineError, EngineStats, MonitorEngine, SubmitError, VerdictTicket,
+    EngineConfig, EngineError, EngineStats, EpochReport, MonitorEngine, SubmitError, VerdictTicket,
 };
-pub use frozen::{FrozenMonitor, FrozenZone, MonitorShard};
+pub use frozen::{FrozenMonitor, FrozenZone, MonitorShard, PersistError};

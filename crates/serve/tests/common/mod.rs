@@ -1,0 +1,52 @@
+//! Shared fixture for the `naps-serve` integration suites.
+//!
+//! Lives here (not in `naps-bench`, which hosts the other shared
+//! fixtures) because `naps-bench`'s dev-dependencies include
+//! `naps-serve` — the bench crate cannot be a dependency of this one.
+//! Both the concurrency and the hot-swap suite must exercise the *same*
+//! trained geometry; keeping one definition means any retuning for the
+//! vendored RNG stream (see PR 1's fixture history) happens once.
+
+use naps_core::{BddZone, Monitor, MonitorBuilder};
+use naps_nn::{mlp, Adam, Sequential, TrainConfig, Trainer};
+use naps_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Class count of the fixture classifier.
+pub const CLASSES: usize = 4;
+
+/// A small trained classifier + γ=1 monitor + probe workload mixing the
+/// training inputs with `extra_probes` ring-shaped points, so all three
+/// verdicts occur.
+pub fn fixture(seed: u64, extra_probes: usize) -> (Monitor<BddZone>, Sequential, Vec<Tensor>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = mlp(&[2, 24, CLASSES], &mut rng);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for c in 0..CLASSES {
+        let angle = c as f32 * std::f32::consts::TAU / CLASSES as f32;
+        for k in 0..30 {
+            let jitter = (k as f32 * 0.41).sin() * 0.25;
+            xs.push(Tensor::from_vec(
+                vec![2],
+                vec![2.0 * angle.cos() + jitter, 2.0 * angle.sin() - jitter],
+            ));
+            ys.push(c);
+        }
+    }
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 25,
+        batch_size: 16,
+        verbose: false,
+    });
+    trainer.fit(&mut net, &xs, &ys, &mut Adam::new(0.02), &mut rng);
+    let monitor = MonitorBuilder::new(1, 1).build::<BddZone>(&mut net, &xs, &ys, CLASSES);
+    let mut probes = xs;
+    for i in 0..extra_probes {
+        let r = 0.3 + (i % 7) as f32;
+        let a = i as f32 * 0.7;
+        probes.push(Tensor::from_vec(vec![2], vec![r * a.cos(), r * a.sin()]));
+    }
+    (monitor, net, probes)
+}

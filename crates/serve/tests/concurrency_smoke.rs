@@ -7,49 +7,19 @@
 //! release reordering and the absence of debug asserts surface timing
 //! windows that debug builds hide.
 
-use naps_core::{ActivationMonitor, BddZone, Monitor, MonitorBuilder, MonitorReport};
-use naps_nn::{mlp, Adam, Sequential, TrainConfig, Trainer};
+use naps_core::{ActivationMonitor, BddZone, Monitor, MonitorReport};
+use naps_nn::Sequential;
 use naps_serve::{EngineConfig, MonitorEngine, SubmitError};
 use naps_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-const CLASSES: usize = 4;
+mod common;
 
-/// A small trained classifier + monitor + a probe workload that mixes
-/// in-distribution points, jittered points and far-out novelties, so all
-/// three verdicts occur.
+/// The shared serve fixture with this suite's probe count.
 fn fixture(seed: u64) -> (Monitor<BddZone>, Sequential, Vec<Tensor>) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut net = mlp(&[2, 24, CLASSES], &mut rng);
-    let mut xs = Vec::new();
-    let mut ys = Vec::new();
-    for c in 0..CLASSES {
-        let angle = c as f32 * std::f32::consts::TAU / CLASSES as f32;
-        for k in 0..30 {
-            let jitter = (k as f32 * 0.41).sin() * 0.25;
-            xs.push(Tensor::from_vec(
-                vec![2],
-                vec![2.0 * angle.cos() + jitter, 2.0 * angle.sin() - jitter],
-            ));
-            ys.push(c);
-        }
-    }
-    let trainer = Trainer::new(TrainConfig {
-        epochs: 25,
-        batch_size: 16,
-        verbose: false,
-    });
-    trainer.fit(&mut net, &xs, &ys, &mut Adam::new(0.02), &mut rng);
-    let monitor = MonitorBuilder::new(1, 1).build::<BddZone>(&mut net, &xs, &ys, CLASSES);
-    let mut probes = xs.clone();
-    for i in 0..120 {
-        let r = 0.3 + (i % 7) as f32;
-        let a = i as f32 * 0.7;
-        probes.push(Tensor::from_vec(vec![2], vec![r * a.cos(), r * a.sin()]));
-    }
-    (monitor, net, probes)
+    common::fixture(seed, 120)
 }
 
 fn sequential_reports(
@@ -58,6 +28,17 @@ fn sequential_reports(
     probes: &[Tensor],
 ) -> Vec<MonitorReport> {
     probes.iter().map(|x| monitor.check(model, x)).collect()
+}
+
+/// Serves `probes` through the engine and strips the epoch stamps, for
+/// comparison against a sequential oracle.
+fn served(engine: &MonitorEngine, probes: &[Tensor]) -> Vec<MonitorReport> {
+    engine
+        .check_batch(probes)
+        .expect("engine is up")
+        .into_iter()
+        .map(|r| r.report)
+        .collect()
 }
 
 #[test]
@@ -76,7 +57,7 @@ fn engine_verdicts_are_bit_identical_to_sequential() {
                 },
             )
             .expect("engine");
-            let got = engine.check_batch(&probes);
+            let got = served(&engine, &probes);
             assert_eq!(
                 got, want,
                 "divergence at workers={workers} max_batch={max_batch}"
@@ -127,7 +108,8 @@ fn overlapping_submissions_from_many_threads_match_sequential() {
                     .collect();
                 for (i, ticket) in tickets {
                     let got = ticket.wait();
-                    assert_eq!(got, want[i], "thread {t} round {round} probe {i}");
+                    assert_eq!(got.report, want[i], "thread {t} round {round} probe {i}");
+                    assert_eq!(got.epoch, 0, "nothing was republished");
                 }
             }
         }));
@@ -160,7 +142,7 @@ fn callback_submissions_deliver_every_verdict() {
         let tx = tx.clone();
         engine
             .submit_with(x.clone(), move |report| {
-                let _ = tx.send((i, report));
+                let _ = tx.send((i, report.report));
             })
             .expect("submit_with");
     }
@@ -195,7 +177,7 @@ fn wrong_width_inputs_are_rejected_at_submission() {
     // The pool is unharmed: valid traffic still serves on all workers.
     let mut net = net;
     let want: Vec<_> = probes.iter().map(|x| monitor.check(&mut net, x)).collect();
-    assert_eq!(engine.check_batch(&probes), want);
+    assert_eq!(served(&engine, &probes), want);
     let stats = engine.shutdown();
     assert_eq!(stats.processed, probes.len() as u64);
 }
@@ -271,7 +253,7 @@ fn work_stealing_kicks_in_under_skewed_load() {
     )
     .expect("engine");
     for _ in 0..3 {
-        let got = engine.check_batch(&probes);
+        let got = served(&engine, &probes);
         assert_eq!(got, want);
     }
     let stats = engine.shutdown();
@@ -296,7 +278,10 @@ fn deterministic_across_runs_and_rngs() {
         },
     )
     .expect("engine b");
-    assert_eq!(a.check_batch(&probes), b.check_batch(&probes));
+    assert_eq!(
+        a.check_batch(&probes).expect("a is up"),
+        b.check_batch(&probes).expect("b is up")
+    );
     a.shutdown();
     b.shutdown();
 }
@@ -333,13 +318,13 @@ fn random_interleaving_fuzz() {
                 let i = rng.gen_range(0..probes.len());
                 if rng.gen::<bool>() {
                     let got = engine.submit(probes[i].clone()).expect("submit").wait();
-                    assert_eq!(got, want[i]);
+                    assert_eq!(got.report, want[i]);
                 } else {
                     let tx = tx.clone();
                     let want = Arc::clone(&want);
                     engine
                         .submit_with(probes[i].clone(), move |r| {
-                            assert_eq!(r, want[i]);
+                            assert_eq!(r.report, want[i]);
                             let _ = tx.send(());
                         })
                         .expect("submit_with");
@@ -353,4 +338,96 @@ fn random_interleaving_fuzz() {
     for h in handles {
         h.join().expect("fuzz thread panicked");
     }
+}
+
+#[test]
+fn submitting_to_a_stopped_engine_errors_instead_of_panicking() {
+    // Satellite of ISSUE 3: submit/check/check_batch on a shut-down
+    // engine must be a first-class error — never a panic, never a
+    // deadlock, and never silently dropped queued work.
+    let (monitor, net, probes) = fixture(16);
+    let engine = MonitorEngine::new(&monitor, &net, EngineConfig::default()).expect("engine");
+
+    // Work queued before the stop is still answered...
+    let tickets: Vec<_> = probes
+        .iter()
+        .take(16)
+        .map(|x| engine.submit(x.clone()).expect("submit"))
+        .collect();
+    engine.stop();
+    for t in tickets {
+        let _ = t.wait();
+    }
+    // ...and every submission path afterwards reports ShutDown.
+    assert_eq!(
+        engine.submit(probes[0].clone()).err(),
+        Some(SubmitError::ShutDown)
+    );
+    assert_eq!(
+        engine.try_submit(probes[0].clone()).err(),
+        Some(SubmitError::ShutDown)
+    );
+    assert_eq!(
+        engine.submit_with(probes[0].clone(), |_| {}).err(),
+        Some(SubmitError::ShutDown)
+    );
+    assert_eq!(engine.check(&probes[0]).err(), Some(SubmitError::ShutDown));
+    assert_eq!(
+        engine.check_batch(&probes).err(),
+        Some(SubmitError::ShutDown)
+    );
+    // stop() is idempotent and shutdown() still joins cleanly.
+    engine.stop();
+    let stats = engine.shutdown();
+    assert_eq!(stats.processed, 16);
+}
+
+#[test]
+fn blocked_submitters_are_released_by_stop() {
+    // A submitter blocked on a full queue must be woken by a concurrent
+    // stop() and handed ShutDown — not left waiting forever.
+    let (monitor, net, probes) = fixture(17);
+    let engine = Arc::new(
+        MonitorEngine::with_replicas(
+            naps_serve::FrozenMonitor::freeze(&monitor),
+            vec![naps_nn::ModelSnapshot::capture(&net)
+                .expect("mlp")
+                .restore()],
+            EngineConfig {
+                workers: 1,
+                max_batch: 1,
+                queue_capacity: 1,
+            },
+        )
+        .expect("engine"),
+    );
+    let flooder = {
+        let engine = Arc::clone(&engine);
+        let probes = probes.clone();
+        std::thread::spawn(move || {
+            // Tickets are dropped unwaited: the queue stays full, so
+            // most submissions genuinely block on the space condvar.
+            // The flood is unbounded — it can only end by observing
+            // ShutDown, so termination *is* the wake-up property under
+            // test (a stop() that fails to wake a blocked submitter
+            // hangs the join below).
+            for x in probes.iter().cycle() {
+                match engine.submit(x.clone()) {
+                    Ok(_ticket) => {}
+                    Err(SubmitError::ShutDown) => return 1usize,
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            unreachable!("cycle() never ends")
+        })
+    };
+    // Let the flood establish, then stop the engine out from under it.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    engine.stop();
+    let shutdowns = flooder.join().expect("flooder must terminate");
+    assert_eq!(shutdowns, 1, "flooder ended without observing ShutDown");
+    let stats = Arc::try_unwrap(engine)
+        .unwrap_or_else(|_| panic!("flooder joined"))
+        .shutdown();
+    assert!(stats.processed > 0);
 }
