@@ -329,6 +329,39 @@ proptest! {
         }
     }
 
+    /// The budget-bounded distance DP is the unbounded one truncated at
+    /// the budget, on BOTH query paths: whenever the true distance is
+    /// within the budget the bounded query returns it exactly, and
+    /// beyond the budget it returns `None` — manager recursion and
+    /// lock-free snapshot search alike, through a dilation.
+    #[test]
+    fn bounded_distance_is_truncated_unbounded(
+        pats in pattern_set(),
+        gamma in 0u32..3,
+        budget in 0u32..((VARS as u32) + 2),
+    ) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build_set(&mut bdd, &pats);
+        let z = bdd.dilate(f, gamma);
+        for root in [f, z] {
+            let snap = BddSnapshot::capture(&bdd, root);
+            for probe in all_assignments_again() {
+                let exact = bdd.min_hamming_distance(root, &probe);
+                let expect = exact.filter(|&d| d <= budget);
+                prop_assert_eq!(
+                    bdd.min_hamming_distance_within(root, &probe, budget),
+                    expect,
+                    "manager path, probe {:?} budget {}", probe, budget
+                );
+                prop_assert_eq!(
+                    snap.min_hamming_distance_within(&probe, budget),
+                    expect,
+                    "snapshot path, probe {:?} budget {}", probe, budget
+                );
+            }
+        }
+    }
+
     /// Terminal snapshots answer queries like the constant functions.
     #[test]
     fn snapshot_terminal_queries(probe in pattern()) {

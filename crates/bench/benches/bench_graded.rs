@@ -1,0 +1,145 @@
+//! Benchmarks for the graded-verdict distance machinery: the
+//! budget-bounded early-exit DP against the unbounded full-array sweep,
+//! on both the manager and the lock-free snapshot path, plus the
+//! end-to-end graded pattern judgement.
+//!
+//! The bounded DP's advantage grows with the diagram size and shrinks
+//! with the budget: in-zone probes exit after one `eval` walk, and
+//! far-from-everything probes exhaust the budget near the root instead
+//! of sweeping every node.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naps_bench::{clustered_patterns, zone_from_patterns};
+use naps_core::{BddZone, GradedQuery, Monitor, NeuronSelection, Pattern, Zone};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+const WIDTH: usize = 48;
+const GAMMA: u32 = 2;
+
+/// A dilated zone plus three probe mixes: in-zone, near (a few flips
+/// out) and far (another cluster entirely).
+fn fixture() -> (BddZone, Vec<Pattern>, Vec<Pattern>, Vec<Pattern>) {
+    let seeds = clustered_patterns(300, WIDTH, 1, 7);
+    let zone: BddZone = zone_from_patterns(&seeds, GAMMA);
+    let inside: Vec<Pattern> = seeds.iter().take(64).cloned().collect();
+    let near: Vec<Pattern> = seeds
+        .iter()
+        .take(64)
+        .map(|p| {
+            let mut bits = p.to_bools();
+            for b in bits.iter_mut().take(GAMMA as usize + 2) {
+                *b = !*b;
+            }
+            Pattern::from_bools(&bits)
+        })
+        .collect();
+    let far = clustered_patterns(64, WIDTH, 6, 99);
+    (zone, inside, near, far)
+}
+
+/// Snapshot path: bounded DP vs unbounded sweep per probe mix.
+fn snapshot_bounded_vs_unbounded(c: &mut Criterion) {
+    let (zone, inside, near, far) = fixture();
+    let snap = zone.zone_snapshot();
+    let mut group = c.benchmark_group("snapshot_zone_distance");
+    for (mix, probes) in [("inside", &inside), ("near", &near), ("far", &far)] {
+        let bools: Vec<Vec<bool>> = probes.iter().map(Pattern::to_bools).collect();
+        group.bench_with_input(BenchmarkId::new("unbounded", mix), &mix, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % bools.len();
+                black_box(snap.min_hamming_distance(&bools[i]))
+            });
+        });
+        for budget in [GAMMA, GAMMA + 2] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("bounded_b{budget}"), mix),
+                &mix,
+                |b, _| {
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        i = (i + 1) % bools.len();
+                        black_box(snap.min_hamming_distance_within(&bools[i], budget))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Manager path: bounded recursion vs unbounded memoised recursion.
+fn manager_bounded_vs_unbounded(c: &mut Criterion) {
+    let (zone, _, near, far) = fixture();
+    let mut group = c.benchmark_group("manager_zone_distance");
+    for (mix, probes) in [("near", &near), ("far", &far)] {
+        group.bench_with_input(BenchmarkId::new("unbounded", mix), &mix, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                black_box(zone.distance_to_zone(&probes[i]))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bounded", mix), &mix, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                black_box(zone.distance_to_zone_within(&probes[i], GAMMA + 2))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end graded judgement of an already-extracted pattern: binary
+/// verdict vs graded verdict (distance + nearest-class ranking over all
+/// classes) at two budgets.
+fn graded_pattern_judgement(c: &mut Criterion) {
+    let classes = 6usize;
+    let zones: Vec<Option<BddZone>> = (0..classes)
+        .map(|cls| {
+            let seeds = clustered_patterns(150, WIDTH, cls as u64, 17);
+            Some(zone_from_patterns(&seeds, GAMMA))
+        })
+        .collect();
+    let monitor = Monitor::from_zones(zones, 1, NeuronSelection::all(WIDTH), GAMMA);
+    let probes = clustered_patterns(64, WIDTH, 2, 31);
+    let mut group = c.benchmark_group("graded_pattern");
+    group.bench_function("binary_check_pattern", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            black_box(monitor.check_pattern(0, &probes[i]))
+        });
+    });
+    for budget in [GAMMA, GAMMA + 2] {
+        group.bench_with_input(
+            BenchmarkId::new("check_graded_pattern", budget),
+            &budget,
+            |b, &budget| {
+                let query = GradedQuery::new(budget, 3);
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % probes.len();
+                    black_box(monitor.check_graded_pattern(0, &probes[i], query))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = snapshot_bounded_vs_unbounded, manager_bounded_vs_unbounded, graded_pattern_judgement
+}
+criterion_main!(benches);

@@ -31,6 +31,7 @@
 //! # let _ = warning_rate::<naps_core::Monitor>;
 //! ```
 
+use crate::graded::{GradedQuery, GradedReport};
 use naps_nn::Sequential;
 use naps_tensor::Tensor;
 
@@ -82,6 +83,34 @@ pub trait ActivationMonitor {
     /// pass across the batch.
     fn check_batch(&self, model: &mut Sequential, inputs: &[Tensor]) -> Vec<Self::Report> {
         inputs.iter().map(|x| self.check(model, x)).collect()
+    }
+
+    /// Graded counterpart of [`ActivationMonitor::check`]: instead of
+    /// the binary in/out-of-pattern verdict, report **how far** the
+    /// observed activation pattern is from the predicted class's
+    /// enlarged comfort zone and **which other classes'** zones are
+    /// nearest, within the query's distance budget (see
+    /// [`GradedReport`] for the full payload and
+    /// [`crate::Triage`] for the derived classification:
+    /// distance 0 to another class ⇒ misclassification candidate,
+    /// beyond the budget everywhere ⇒ novelty).
+    ///
+    /// Returns `None` for monitors without a per-class Hamming-zone
+    /// distance path — the provided default.  [`crate::Monitor`]
+    /// overrides it with the real graded query (budget-bounded
+    /// early-exit DP over the zone diagrams), and
+    /// [`crate::RefinedMonitor`] grades through its underlying binary
+    /// monitor.  When implemented, the embedded
+    /// [`GradedReport::report`] must be bit-identical to what
+    /// [`ActivationMonitor::check`] returns for the same input.
+    fn check_graded(
+        &self,
+        model: &mut Sequential,
+        input: &Tensor,
+        query: GradedQuery,
+    ) -> Option<GradedReport> {
+        let _ = (model, input, query);
+        None
     }
 
     /// Grows every comfort zone to Hamming radius `gamma` (Section III's

@@ -23,8 +23,12 @@ pub struct DriftConfig {
     /// Out-of-pattern rate expected under no shift — the validation-set
     /// rate of the deployed γ (e.g. 0.6 % for MNIST at γ = 2 in Table II).
     pub baseline_rate: f64,
-    /// Rate above which the input stream is considered shifted.  Must be
-    /// greater than `baseline_rate`; a common choice is 3–10× baseline.
+    /// Rate at or above which the input stream is considered shifted.
+    /// Must be greater than `baseline_rate`; a common choice is 3–10×
+    /// baseline.  The comparison is **inclusive** (`rate >= alarm_rate`
+    /// counts toward the alarm streak) so a windowed rate landing
+    /// exactly on the threshold — or `alarm_rate = 1.0` on an
+    /// all-out-of-pattern stream — still alarms.
     pub alarm_rate: f64,
     /// Sliding-window length (number of recent verdicts) for the windowed
     /// rate estimate.
@@ -56,7 +60,8 @@ pub enum DriftStatus {
     Warmup,
     /// Out-of-pattern rate consistent with the validation baseline.
     Stable,
-    /// Both rate estimates have exceeded the alarm rate for at least
+    /// Both rate estimates have been **at or above** the alarm rate for
+    /// at least
     /// `patience` consecutive observations: the deployed network is likely
     /// operating outside the training distribution and "may need to be
     /// updated" (paper, Section I).
@@ -165,9 +170,14 @@ impl DriftDetector {
         let x = if hit { 1.0 } else { 0.0 };
         self.ewma += self.config.ewma_alpha * (x - self.ewma);
 
+        // Inclusive comparisons: a rate landing exactly on `alarm_rate`
+        // is alarming evidence.  With strict `>`, `alarm_rate = 1.0`
+        // could never alarm (the windowed rate cannot exceed 1), and a
+        // windowed rate sitting precisely on the threshold would reset
+        // the streak forever.
         if self.recent.len() >= self.config.window
-            && self.windowed_rate() > self.config.alarm_rate
-            && self.ewma > self.config.alarm_rate
+            && self.windowed_rate() >= self.config.alarm_rate
+            && self.ewma >= self.config.alarm_rate
         {
             self.streak += 1;
         } else {
@@ -402,6 +412,65 @@ mod tests {
         assert_eq!(det.observed(), 0);
         assert_eq!(det.alarm_count(), 0);
         assert_eq!(det.ewma_rate(), det.config().baseline_rate);
+    }
+
+    #[test]
+    fn windowed_rate_exactly_on_threshold_alarms() {
+        // A period-4 stream with 3 hits pins the 20-wide windowed rate
+        // to exactly 15/20 = 0.75 = alarm_rate at every phase.  The
+        // EWMA oscillates around 0.75 and is above it right after the
+        // third hit of each period, so with patience 1 the boundary
+        // step must alarm — under the old strict `>` the windowed test
+        // `0.75 > 0.75` failed forever and this stream never alarmed.
+        let mut det = DriftDetector::new(DriftConfig {
+            baseline_rate: 0.1,
+            alarm_rate: 0.75,
+            window: 20,
+            ewma_alpha: 0.05,
+            patience: 1,
+        });
+        let mut drifted = false;
+        for i in 0..400 {
+            let v = if i % 4 == 3 {
+                Verdict::InPattern
+            } else {
+                Verdict::OutOfPattern
+            };
+            drifted |= det.observe(v) == DriftStatus::Drifting;
+            if i >= 20 {
+                // Once the window saturates it spans 5 whole periods:
+                // the rate sits exactly on the boundary, never above.
+                assert!(
+                    (det.windowed_rate() - det.config().alarm_rate).abs() < 1e-12,
+                    "stream must sit exactly on the boundary"
+                );
+            }
+        }
+        assert!(
+            drifted,
+            "rate exactly on the threshold never alarmed (windowed {}, ewma {})",
+            det.windowed_rate(),
+            det.ewma_rate()
+        );
+    }
+
+    #[test]
+    fn alarm_rate_one_alarms_on_all_out_of_pattern_stream() {
+        // alarm_rate = 1.0 is satisfiable only inclusively: the windowed
+        // rate tops out at exactly 1.0.  ewma_alpha = 1.0 makes the EWMA
+        // track the newest observation exactly.
+        let mut det = DriftDetector::new(DriftConfig {
+            baseline_rate: 0.0,
+            alarm_rate: 1.0,
+            window: 10,
+            ewma_alpha: 1.0,
+            patience: 3,
+        });
+        for _ in 0..20 {
+            det.observe(Verdict::OutOfPattern);
+        }
+        assert_eq!(det.status(), DriftStatus::Drifting);
+        assert_eq!(det.alarm_count(), 1);
     }
 
     #[test]

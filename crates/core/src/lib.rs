@@ -27,6 +27,7 @@
 //! | [`Monitor`] | Definition 3 + the deployment-time query of Figure 1 |
 //! | [`NeuronSelection`] | gradient-based neuron selection (Section II) |
 //! | [`GammaSweep`], [`choose_gamma`] | controlling the abstraction (Section III, Figure 2) |
+//! | [`GradedReport`], [`GradedQuery`], [`Triage`] | graded distance verdicts: how far out, which class is nearest (extension) |
 //! | [`MonitorStats`] | the Table II columns |
 //! | [`IntervalZone`], [`DbmZone`], [`RefinedMonitor`] | Section V item (2): numeric-domain refinement (box and difference-bound matrix) |
 //! | [`DriftDetector`] | Section I: out-of-pattern rate as a distribution-shift indicator |
@@ -69,6 +70,7 @@ mod builder;
 mod dbm;
 mod drift;
 mod error;
+pub mod graded;
 mod grid;
 mod interval;
 mod monitor;
@@ -86,6 +88,7 @@ pub use builder::MonitorBuilder;
 pub use dbm::DbmZone;
 pub use drift::{DriftConfig, DriftDetector, DriftStatus};
 pub use error::MonitorError;
+pub use graded::{GradedQuery, GradedReport, NearestZone, Triage};
 pub use grid::{GridMonitor, GridReport};
 pub use interval::IntervalZone;
 pub use monitor::{Monitor, MonitorReport, MonitorSnapshot, Verdict};

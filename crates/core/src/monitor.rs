@@ -3,6 +3,7 @@
 use crate::activation::{ActivationMonitor, MonitorOutcome};
 use crate::batch::{forward_observe_packed, pack_batch};
 use crate::error::MonitorError;
+use crate::graded::{grade, GradedQuery, GradedReport, NearestZone};
 use crate::pattern::Pattern;
 use crate::selection::NeuronSelection;
 use crate::zone::{BddZone, Zone};
@@ -242,6 +243,60 @@ impl<Z: Zone> Monitor<Z> {
         }
     }
 
+    /// Judges an already-extracted `(predicted, pattern)` pair with full
+    /// graded detail: the binary report plus the bounded distance to the
+    /// predicted class's zone and the ranked nearest other-class zones
+    /// within the query budget (see [`crate::GradedReport`]).
+    ///
+    /// The ranking and triage logic is shared with `naps-serve`'s frozen
+    /// path through [`crate::graded::grade`], and the distances come
+    /// from the same budget-bounded DP on both sides, so graded verdicts
+    /// are bit-identical between sequential and served checking.
+    pub fn check_graded_pattern(
+        &self,
+        predicted: usize,
+        pattern: &Pattern,
+        query: GradedQuery,
+    ) -> GradedReport {
+        let report = MonitorReport {
+            predicted,
+            verdict: self.check_pattern(predicted, pattern),
+            distance_to_seeds: self
+                .zone(predicted)
+                .and_then(|z| z.distance_to_seeds(pattern)),
+        };
+        let distance_to_zone = self
+            .zone(predicted)
+            .and_then(|z| z.distance_to_zone_within(pattern, query.budget));
+        let others: Vec<NearestZone> = self
+            .zones
+            .iter()
+            .enumerate()
+            .filter(|&(c, _)| c != predicted)
+            .filter_map(|(c, z)| {
+                let z = z.as_ref()?;
+                let distance = z.distance_to_zone_within(pattern, query.budget)?;
+                Some(NearestZone { class: c, distance })
+            })
+            .collect();
+        grade(report, distance_to_zone, others, query)
+    }
+
+    /// Batched graded judgement sharing one forward pass: the graded
+    /// counterpart of [`ActivationMonitor::check_batch`].  Element `i`
+    /// equals `check_graded` on input `i`.
+    pub fn check_graded_batch(
+        &self,
+        model: &mut Sequential,
+        inputs: &[Tensor],
+        query: GradedQuery,
+    ) -> Vec<GradedReport> {
+        self.observe_batch(model, inputs)
+            .into_iter()
+            .map(|(predicted, pattern)| self.check_graded_pattern(predicted, &pattern, query))
+            .collect()
+    }
+
     /// Extracts the (predicted class, monitored pattern) pair for one input
     /// without judging it — the [`crate::MonitorBuilder`] and diagnostics
     /// path.
@@ -298,6 +353,19 @@ impl<Z: Zone> ActivationMonitor for Monitor<Z> {
                 }
             })
             .collect()
+    }
+
+    /// Graded judgement: distance to the predicted class's zone plus a
+    /// ranked nearest-other-class list — always `Some`; see
+    /// [`Monitor::check_graded_pattern`].
+    fn check_graded(
+        &self,
+        model: &mut Sequential,
+        input: &Tensor,
+        query: GradedQuery,
+    ) -> Option<GradedReport> {
+        self.check_graded_batch(model, std::slice::from_ref(input), query)
+            .pop()
     }
 
     /// Grows every zone to Hamming radius `gamma` (Section III's gradual
@@ -693,6 +761,85 @@ mod tests {
 
     fn p(bits: &[u8]) -> Pattern {
         Pattern::from_bools(&bits.iter().map(|&b| b == 1).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn graded_report_embeds_the_binary_report() {
+        use crate::graded::{GradedQuery, Triage};
+        let (mut net, xs, ys) = two_blob_problem();
+        let monitor: Monitor<BddZone> = build_manual(&mut net, &xs, &ys, 1);
+        let query = GradedQuery::new(3, 2);
+        let binary = monitor.check_batch(&mut net, &xs);
+        let graded = monitor.check_graded_batch(&mut net, &xs, query);
+        for (b, g) in binary.iter().zip(&graded) {
+            assert_eq!(&g.report, b, "graded must embed the binary verdict");
+            match b.verdict {
+                Verdict::InPattern => {
+                    assert_eq!(g.distance_to_zone, Some(0));
+                    assert_eq!(g.triage, Triage::InPattern);
+                }
+                Verdict::OutOfPattern => {
+                    assert_ne!(g.distance_to_zone, Some(0));
+                    assert_ne!(g.triage, Triage::InPattern);
+                }
+                Verdict::Unmonitored => assert_eq!(g.triage, Triage::Unmonitored),
+            }
+            // The ranking never includes the predicted class and is
+            // sorted ascending within the budget.
+            assert!(g.nearest.iter().all(|n| n.class != b.predicted));
+            assert!(g.nearest.windows(2).all(|w| w[0].distance <= w[1].distance));
+            assert!(g.nearest.iter().all(|n| n.distance <= query.budget));
+            assert!(g.nearest.len() <= query.top_k);
+        }
+        // The trait method agrees with the batched path.
+        use crate::activation::ActivationMonitor as _;
+        let via_trait = monitor
+            .check_graded(&mut net, &xs[0], query)
+            .expect("Monitor grades");
+        assert_eq!(via_trait, graded[0]);
+    }
+
+    #[test]
+    fn graded_zone_distance_matches_seed_distance_minus_gamma() {
+        use crate::graded::GradedQuery;
+        let (mut net, xs, ys) = two_blob_problem();
+        let gamma = 1;
+        let monitor: Monitor<BddZone> = build_manual(&mut net, &xs, &ys, gamma);
+        for x in &xs {
+            let (predicted, pattern) = monitor.observe(&mut net, x);
+            let g = monitor.check_graded_pattern(predicted, &pattern, GradedQuery::new(8, 2));
+            if let (Some(dz), Some(ds)) = (g.distance_to_zone, g.report.distance_to_seeds) {
+                assert_eq!(dz, ds.saturating_sub(gamma), "ball-union geometry");
+            }
+        }
+    }
+
+    #[test]
+    fn misclassification_candidate_when_pattern_sits_in_another_zone() {
+        use crate::graded::{GradedQuery, Triage};
+        // Hand-built zones: class 0 owns {0000}, class 1 owns {1100}.
+        let mut z0 = BddZone::empty(4);
+        z0.insert(&p(&[0, 0, 0, 0]));
+        let mut z1 = BddZone::empty(4);
+        z1.insert(&p(&[1, 1, 0, 0]));
+        let monitor = Monitor::from_zones(vec![Some(z0), Some(z1)], 1, NeuronSelection::all(4), 0);
+        // Predicted class 0, but the observed pattern is class 1's seed.
+        let g = monitor.check_graded_pattern(0, &p(&[1, 1, 0, 0]), GradedQuery::new(2, 3));
+        assert_eq!(g.report.verdict, Verdict::OutOfPattern);
+        assert_eq!(g.triage, Triage::MisclassificationCandidate);
+        assert_eq!(
+            g.nearest,
+            vec![crate::NearestZone {
+                class: 1,
+                distance: 0
+            }]
+        );
+        assert_eq!(g.distance_to_zone, Some(2));
+        // A pattern beyond the budget from both zones is a novelty.
+        let g = monitor.check_graded_pattern(0, &p(&[1, 1, 1, 1]), GradedQuery::new(1, 3));
+        assert_eq!(g.triage, Triage::Novelty);
+        assert_eq!(g.distance_to_zone, None);
+        assert!(g.nearest.is_empty());
     }
 
     #[test]

@@ -182,6 +182,19 @@ impl<Z: Zone> ActivationMonitor for RefinedMonitor<Z> {
             .collect()
     }
 
+    /// Graded judgement through the **binary** monitor: the numeric
+    /// envelopes refine the in/out verdict but carry no Hamming
+    /// distance, so the graded payload is the wrapped
+    /// [`Monitor::check_graded_pattern`] query.
+    fn check_graded(
+        &self,
+        model: &mut Sequential,
+        input: &Tensor,
+        query: crate::GradedQuery,
+    ) -> Option<crate::GradedReport> {
+        self.monitor.check_graded(model, input, query)
+    }
+
     /// Grows the **binary** monitor's zones to radius `gamma`.  The
     /// numeric envelopes have their own coarseness knob,
     /// [`RefinedMonitor::set_slack`], and are left untouched.

@@ -57,6 +57,18 @@ pub trait Zone: std::fmt::Debug + Send + Sync {
     /// exact pattern was visited in training.
     fn distance_to_seeds(&self, pattern: &Pattern) -> Option<u32>;
 
+    /// Minimum Hamming distance from `pattern` to the **enlarged** zone
+    /// `Z^γ_c`, but only when it is at most `budget` — `None` when the
+    /// zone is empty or further than the budget.  `Some(0)` iff
+    /// [`Zone::contains`] holds.  This is the graded monitor's query:
+    /// implementations prune the search at the budget instead of
+    /// computing the full distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width differs from the zone width.
+    fn distance_to_zone_within(&self, pattern: &Pattern, budget: u32) -> Option<u32>;
+
     /// Number of distinct seed patterns inserted.  Implementations whose
     /// counting can exceed `usize` (e.g. diagram-based counting over very
     /// wide patterns) saturate at `usize::MAX` instead of wrapping.
@@ -197,6 +209,12 @@ impl Zone for BddZone {
             .min_hamming_distance(self.seeds, &pattern.to_bools())
     }
 
+    fn distance_to_zone_within(&self, pattern: &Pattern, budget: u32) -> Option<u32> {
+        assert_eq!(pattern.len(), self.width(), "pattern width mismatch");
+        self.bdd
+            .min_hamming_distance_within(self.zone, &pattern.to_bools(), budget)
+    }
+
     /// Counted on the diagram via [`naps_bdd::Bdd::sat_count`], which
     /// returns `f64`; counts at or above `usize::MAX` (reachable only for
     /// astronomically large seed sets, or any non-empty set over > 1023
@@ -227,6 +245,16 @@ impl Zone for BddZone {
 }
 
 impl BddZone {
+    /// Minimum Hamming distance from `pattern` to the **enlarged** zone
+    /// `Z^γ_c` without a budget — the full memoised sweep, kept as the
+    /// reference [`Zone::distance_to_zone_within`] is verified and
+    /// benchmarked against.  `Some(0)` ⇔ [`Zone::contains`].
+    pub fn distance_to_zone(&self, pattern: &Pattern) -> Option<u32> {
+        assert_eq!(pattern.len(), self.width(), "pattern width mismatch");
+        self.bdd
+            .min_hamming_distance(self.zone, &pattern.to_bools())
+    }
+
     /// Fraction of the full pattern space `{0,1}^d` covered by the
     /// enlarged zone — the quantitative "coarseness of abstraction" of
     /// Figure 2 (α1 ≈ 0, α3 ≈ 1).
@@ -336,6 +364,17 @@ impl Zone for ExactZone {
         self.seeds.iter().map(|s| s.hamming(pattern)).min()
     }
 
+    /// The enlarged zone is a union of radius-γ balls around the seeds,
+    /// so the distance to it is `max(0, distance_to_seeds − γ)`.
+    fn distance_to_zone_within(&self, pattern: &Pattern, budget: u32) -> Option<u32> {
+        assert_eq!(pattern.len(), self.width, "pattern width mismatch");
+        self.seeds
+            .iter()
+            .map(|s| s.hamming(pattern).saturating_sub(self.gamma))
+            .min()
+            .filter(|&d| d <= budget)
+    }
+
     fn seed_count(&self) -> usize {
         self.seeds.len()
     }
@@ -419,6 +458,68 @@ mod tests {
                     "gamma={gamma} probe={probe}"
                 );
                 assert_eq!(b.distance_to_seeds(&probe), e.distance_to_seeds(&probe));
+            }
+        }
+    }
+
+    fn zone_distance_contract<Z: Zone>() {
+        let mut z = Z::empty(5);
+        assert_eq!(z.distance_to_zone_within(&p(&[0, 0, 0, 0, 0]), 5), None);
+        z.insert(&p(&[1, 1, 0, 0, 0]));
+        z.insert(&p(&[0, 0, 0, 1, 1]));
+        z.enlarge_to(1);
+        // Inside the enlarged zone: distance 0, regardless of budget.
+        assert_eq!(z.distance_to_zone_within(&p(&[1, 1, 0, 0, 1]), 0), Some(0));
+        // One flip outside the zone (two from the nearest seed).
+        let probe = p(&[1, 1, 1, 0, 1]);
+        assert!(!z.contains(&probe));
+        assert_eq!(z.distance_to_zone_within(&probe, 1), Some(1));
+        assert_eq!(z.distance_to_zone_within(&probe, 0), None, "beyond budget");
+        // Distance to the zone is seed distance minus gamma, floored at 0.
+        let far = p(&[1, 0, 1, 0, 1]);
+        let d_seeds = z.distance_to_seeds(&far).unwrap();
+        assert_eq!(
+            z.distance_to_zone_within(&far, 5),
+            Some(d_seeds.saturating_sub(1))
+        );
+    }
+
+    #[test]
+    fn bdd_zone_bounded_zone_distance() {
+        zone_distance_contract::<BddZone>();
+    }
+
+    #[test]
+    fn exact_zone_bounded_zone_distance() {
+        zone_distance_contract::<ExactZone>();
+    }
+
+    #[test]
+    fn backends_agree_on_bounded_zone_distance() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for gamma in 0..3u32 {
+            let mut b = BddZone::empty(8);
+            let mut e = ExactZone::empty(8);
+            for _ in 0..10 {
+                let bits: Vec<bool> = (0..8).map(|_| rng.gen()).collect();
+                let pat = Pattern::from_bools(&bits);
+                b.insert(&pat);
+                e.insert(&pat);
+            }
+            b.enlarge_to(gamma);
+            e.enlarge_to(gamma);
+            for _ in 0..100 {
+                let bits: Vec<bool> = (0..8).map(|_| rng.gen()).collect();
+                let probe = Pattern::from_bools(&bits);
+                for budget in 0..5u32 {
+                    assert_eq!(
+                        b.distance_to_zone_within(&probe, budget),
+                        e.distance_to_zone_within(&probe, budget),
+                        "gamma={gamma} budget={budget} probe={probe}"
+                    );
+                }
             }
         }
     }

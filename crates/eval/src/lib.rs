@@ -11,6 +11,7 @@
 //! | `selection` | Section II ablation — gradient saliency vs variance vs random neuron selection |
 //! | `throughput` | ROADMAP north star — parallel `MonitorEngine` QPS vs sequential checking, with verdict-equivalence verification |
 //! | `online_adaptation` | Section IV deployment loop — drift stream, operator-confirmed enrichment, hot snapshot swap, persistence (`results/online.json`; exits non-zero when the out-of-pattern rate fails to drop) |
+//! | `graded` | graded distance verdicts — per-stream distance histograms, nearest-class misclassification attribution, bounded-vs-unbounded DP speedup, per-class drift (`results/graded.json`; exits non-zero when the bounded DP disagrees, serving diverges from sequential grading, or attribution fails to beat the baseline) |
 //!
 //! Each binary prints the paper-format rows and writes machine-readable
 //! JSON under `results/`.  Run with `--full` for paper-scale workloads
@@ -27,6 +28,7 @@ pub mod case_study;
 pub mod config;
 pub mod drift;
 pub mod fig2;
+pub mod graded;
 pub mod online;
 pub mod refinement;
 pub mod report;

@@ -402,6 +402,7 @@ mod tests {
                 verdict,
                 distance_to_seeds: None,
             },
+            graded: None,
         }
     }
 

@@ -41,7 +41,10 @@
 //!   interleave (asserted by the crate's concurrency tests).
 
 use crate::frozen::FrozenMonitor;
-use naps_core::{BddZone, Monitor, MonitorReport};
+use naps_core::{
+    BddZone, DriftConfig, DriftDetector, DriftStatus, GradedQuery, GradedReport, Monitor,
+    MonitorReport,
+};
 use naps_nn::{ModelSnapshot, Sequential, SnapshotError};
 use naps_tensor::Tensor;
 use serde::Serialize;
@@ -183,6 +186,17 @@ pub struct EpochReport {
     pub epoch: u64,
     /// The verdict itself.
     pub report: MonitorReport,
+    /// The graded payload, for requests submitted through a graded API
+    /// ([`MonitorEngine::check_graded`] /
+    /// [`MonitorEngine::check_graded_batch`] /
+    /// [`MonitorEngine::submit_graded`]): distance to the predicted
+    /// class's zone plus the ranked nearest other-class zones, judged by
+    /// the **same** snapshot as [`EpochReport::report`] (whose fields it
+    /// embeds verbatim) and bit-identical to sequential
+    /// [`Monitor::check_graded_batch`] at this epoch.  `None` for
+    /// binary submissions — grading costs extra per-class distance
+    /// queries, so it is opt-in per request.
+    pub graded: Option<GradedReport>,
 }
 
 impl naps_core::MonitorOutcome for EpochReport {
@@ -195,6 +209,8 @@ type Callback = Box<dyn FnOnce(EpochReport) + Send + 'static>;
 
 struct Request {
     input: Tensor,
+    /// `Some` = the submitter asked for a graded verdict at this query.
+    graded: Option<GradedQuery>,
     complete: Callback,
 }
 
@@ -233,6 +249,83 @@ struct Shared {
     stolen: AtomicU64,
     largest_batch: AtomicUsize,
     swaps: AtomicU64,
+    /// Per-class drift tracking (`None` until
+    /// [`MonitorEngine::enable_drift`]).  Workers fold each micro-batch's
+    /// verdicts in under one short lock acquisition — off the lock-free
+    /// verdict hot path, and skipped entirely while disabled.
+    drift: Mutex<Option<DriftState>>,
+}
+
+/// Per-class drift detectors plus the epoch their evidence was gathered
+/// under.
+struct DriftState {
+    config: DriftConfig,
+    detectors: Vec<DriftDetector>,
+    /// EWMA of `distance_to_seeds` per class (same smoothing factor as
+    /// the rate EWMA) — the quantitative "how far out, on average"
+    /// companion to the out-of-pattern-rate detectors.
+    distance_ewma: Vec<Option<f64>>,
+    /// Epoch of the zone set the detectors gather evidence for.  Reset
+    /// (with the detectors) on every publish; workers skip whole batches
+    /// judged under any other epoch, so sustained rates under an old
+    /// zone set are never folded in as evidence against a new one.
+    epoch: u64,
+}
+
+impl DriftState {
+    fn new(config: DriftConfig, num_classes: usize, epoch: u64) -> Self {
+        DriftState {
+            detectors: (0..num_classes)
+                .map(|_| DriftDetector::new(config.clone()))
+                .collect(),
+            distance_ewma: vec![None; num_classes],
+            config,
+            epoch,
+        }
+    }
+
+    fn observe(&mut self, report: &MonitorReport) {
+        let Some(det) = self.detectors.get_mut(report.predicted) else {
+            return; // out-of-range prediction: no class to charge
+        };
+        det.observe(report.verdict);
+        if let Some(d) = report.distance_to_seeds {
+            let alpha = self.config.ewma_alpha;
+            let slot = &mut self.distance_ewma[report.predicted];
+            *slot = Some(match *slot {
+                None => f64::from(d),
+                Some(e) => e + alpha * (f64::from(d) - e),
+            });
+        }
+    }
+}
+
+/// One class's drift posture, epoch-stamped (see
+/// [`MonitorEngine::drift_status`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDriftStatus {
+    /// The class the evidence belongs to (verdicts are charged to the
+    /// **predicted** class).
+    pub class: usize,
+    /// The persistence-filtered alarm state.
+    pub status: DriftStatus,
+    /// Epoch of the zone set the evidence was gathered under: drift
+    /// flagged at epoch `e` indicts the epoch-`e` zones, and a
+    /// subsequent enrich → publish starts the detectors fresh at the new
+    /// epoch.
+    pub epoch: u64,
+    /// Out-of-pattern rate over the detector's sliding window.
+    pub windowed_rate: f64,
+    /// Exponentially weighted out-of-pattern rate.
+    pub ewma_rate: f64,
+    /// EWMA of the distance-to-seeds column (`None` before the first
+    /// distance-carrying verdict): rising distance under a stable rate
+    /// is early drift evidence.
+    pub mean_distance: Option<f64>,
+    /// Monitored verdicts folded in.
+    pub observed: usize,
+    /// Distinct alarm episodes since (re)arming.
+    pub alarms: usize,
 }
 
 /// A handle to one in-flight submission; redeem with
@@ -365,6 +458,7 @@ impl MonitorEngine {
             stolen: AtomicU64::new(0),
             largest_batch: AtomicUsize::new(0),
             swaps: AtomicU64::new(0),
+            drift: Mutex::new(None),
         });
         let workers = replicas
             .into_iter()
@@ -443,7 +537,69 @@ impl MonitorEngine {
         self.shared.epoch.store(epoch, Ordering::Release);
         drop(slot);
         self.shared.swaps.fetch_add(1, Ordering::Relaxed);
+        // Re-arm drift tracking for the new zone set: sustained
+        // out-of-pattern rates measured under the replaced epoch are not
+        // evidence against the zones that just went live.
+        let mut drift = self.shared.drift.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(state) = drift.as_mut() {
+            *state = DriftState::new(state.config.clone(), state.detectors.len(), epoch);
+        }
         Ok(epoch)
+    }
+
+    /// Arms per-class drift tracking: from now on every verdict the
+    /// engine produces also feeds a [`DriftDetector`] for its
+    /// **predicted** class (plus a distance-to-seeds EWMA), so a
+    /// sustained out-of-pattern elevation on any class surfaces as an
+    /// epoch-stamped [`DriftStatus::Drifting`] in
+    /// [`MonitorEngine::drift_status`] — the trigger for the
+    /// enrich → re-freeze → [`MonitorEngine::publish`] loop, which
+    /// re-arms the detectors at the new epoch automatically.
+    ///
+    /// Detectors live off the verdict hot path: workers fold a whole
+    /// micro-batch in under one short lock.  Calling this again replaces
+    /// any existing tracking state (fresh detectors, current epoch).
+    pub fn enable_drift(&self, config: DriftConfig) {
+        let num_classes = self.monitor().num_classes();
+        let epoch = self.epoch();
+        let mut drift = self.shared.drift.lock().unwrap_or_else(|e| e.into_inner());
+        *drift = Some(DriftState::new(config, num_classes, epoch));
+    }
+
+    /// The per-class drift posture, `None` unless
+    /// [`MonitorEngine::enable_drift`] armed tracking.  Classes are
+    /// reported in ascending order; each entry is stamped with the epoch
+    /// its evidence was gathered under.
+    pub fn drift_status(&self) -> Option<Vec<ClassDriftStatus>> {
+        let drift = self.shared.drift.lock().unwrap_or_else(|e| e.into_inner());
+        drift.as_ref().map(|state| {
+            state
+                .detectors
+                .iter()
+                .enumerate()
+                .map(|(class, det)| ClassDriftStatus {
+                    class,
+                    status: det.status(),
+                    epoch: state.epoch,
+                    windowed_rate: det.windowed_rate(),
+                    ewma_rate: det.ewma_rate(),
+                    mean_distance: state.distance_ewma[class],
+                    observed: det.observed(),
+                    alarms: det.alarm_count(),
+                })
+                .collect()
+        })
+    }
+
+    /// Clears drift evidence while keeping tracking armed (e.g. after an
+    /// operator acknowledges an alarm without republishing).  No-op when
+    /// tracking was never enabled.
+    pub fn reset_drift(&self) {
+        let epoch = self.epoch();
+        let mut drift = self.shared.drift.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(state) = drift.as_mut() {
+            *state = DriftState::new(state.config.clone(), state.detectors.len(), epoch);
+        }
     }
 
     /// Number of worker threads.
@@ -464,7 +620,49 @@ impl MonitorEngine {
     where
         F: FnOnce(EpochReport) + Send + 'static,
     {
-        self.enqueue(input, Box::new(complete), true)
+        self.enqueue(input, None, Box::new(complete), true)
+    }
+
+    /// Graded [`MonitorEngine::submit_with`]: the verdict arrives with
+    /// [`EpochReport::graded`] populated at `query`.
+    ///
+    /// # Errors
+    ///
+    /// As [`MonitorEngine::submit_with`].
+    pub fn submit_graded_with<F>(
+        &self,
+        input: Tensor,
+        query: GradedQuery,
+        complete: F,
+    ) -> Result<(), SubmitError>
+    where
+        F: FnOnce(EpochReport) + Send + 'static,
+    {
+        self.enqueue(input, Some(query), Box::new(complete), true)
+    }
+
+    /// Graded [`MonitorEngine::submit`]: queues `input` for a verdict
+    /// with the graded payload ([`EpochReport::graded`]) computed at
+    /// `query` by the same snapshot that judges the binary verdict.
+    ///
+    /// # Errors
+    ///
+    /// As [`MonitorEngine::submit`].
+    pub fn submit_graded(
+        &self,
+        input: Tensor,
+        query: GradedQuery,
+    ) -> Result<VerdictTicket, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(
+            input,
+            Some(query),
+            Box::new(move |report| {
+                let _ = tx.send(report);
+            }),
+            true,
+        )?;
+        Ok(VerdictTicket { rx })
     }
 
     /// Queues `input`, blocking while the queue is full, and returns a
@@ -479,6 +677,7 @@ impl MonitorEngine {
         let (tx, rx) = mpsc::channel();
         self.enqueue(
             input,
+            None,
             Box::new(move |report| {
                 let _ = tx.send(report);
             }),
@@ -500,6 +699,7 @@ impl MonitorEngine {
         let (tx, rx) = mpsc::channel();
         self.enqueue(
             input,
+            None,
             Box::new(move |report| {
                 let _ = tx.send(report);
             }),
@@ -520,24 +720,80 @@ impl MonitorEngine {
         Ok(self.submit(input.clone())?.wait())
     }
 
+    /// Graded [`MonitorEngine::check`]: the returned report carries the
+    /// graded payload at `query`.
+    ///
+    /// # Errors
+    ///
+    /// As [`MonitorEngine::check`].
+    pub fn check_graded(
+        &self,
+        input: &Tensor,
+        query: GradedQuery,
+    ) -> Result<EpochReport, SubmitError> {
+        Ok(self.submit_graded(input.clone(), query)?.wait())
+    }
+
     /// Checks a batch synchronously, preserving input order.  The batch
     /// is fanned out across the pool as individual requests, so workers
     /// micro-batch and steal freely; results are reassembled by index.
+    ///
+    /// Submission is **all-or-nothing**: every input's width is
+    /// validated before anything is queued, so a malformed input at any
+    /// index means no request is enqueued and no verdict is computed
+    /// only to be thrown away.
     ///
     /// # Errors
     ///
     /// [`SubmitError::ShutDown`] after shutdown began,
     /// [`SubmitError::WidthMismatch`] when an input width is wrong for
-    /// the model.  On error, inputs submitted before the failing one are
-    /// still served (and drained) but their verdicts are discarded; the
-    /// call never panics or deadlocks.
+    /// the model (nothing submitted).  A shutdown racing the submission
+    /// loop can still cut a batch short — requests queued before the
+    /// error are drained and their verdicts discarded.  The call never
+    /// panics or deadlocks.
     pub fn check_batch(&self, inputs: &[Tensor]) -> Result<Vec<EpochReport>, SubmitError> {
+        self.check_batch_inner(inputs, None)
+    }
+
+    /// Graded [`MonitorEngine::check_batch`]: every report carries the
+    /// graded payload at `query`, order-preserving and all-or-nothing
+    /// like the binary path.  Element `i` is bit-identical to sequential
+    /// [`Monitor::check_graded_batch`] under the snapshot of the epoch
+    /// stamped on it.
+    ///
+    /// # Errors
+    ///
+    /// As [`MonitorEngine::check_batch`].
+    pub fn check_graded_batch(
+        &self,
+        inputs: &[Tensor],
+        query: GradedQuery,
+    ) -> Result<Vec<EpochReport>, SubmitError> {
+        self.check_batch_inner(inputs, Some(query))
+    }
+
+    fn check_batch_inner(
+        &self,
+        inputs: &[Tensor],
+        query: Option<GradedQuery>,
+    ) -> Result<Vec<EpochReport>, SubmitError> {
+        // Validate the whole batch up front: a width error at index k
+        // must not leave k requests in flight whose verdicts nobody will
+        // read.
+        for input in inputs {
+            self.validate_width(input)?;
+        }
         let (tx, rx) = mpsc::channel();
         for (i, input) in inputs.iter().enumerate() {
             let tx = tx.clone();
-            self.submit_with(input.clone(), move |report| {
-                let _ = tx.send((i, report));
-            })?;
+            self.enqueue(
+                input.clone(),
+                query,
+                Box::new(move |report| {
+                    let _ = tx.send((i, report));
+                }),
+                true,
+            )?;
         }
         drop(tx);
         let mut out: Vec<Option<EpochReport>> = vec![None; inputs.len()];
@@ -590,7 +846,9 @@ impl MonitorEngine {
         self.shared.space.notify_all();
     }
 
-    fn enqueue(&self, input: Tensor, complete: Callback, block: bool) -> Result<(), SubmitError> {
+    /// Rejects an input whose width the model cannot take, when the
+    /// model's input dimension is derivable (see [`Shared::input_len`]).
+    fn validate_width(&self, input: &Tensor) -> Result<(), SubmitError> {
         if let Some(expected) = self.shared.input_len {
             if input.len() != expected {
                 return Err(SubmitError::WidthMismatch {
@@ -599,6 +857,17 @@ impl MonitorEngine {
                 });
             }
         }
+        Ok(())
+    }
+
+    fn enqueue(
+        &self,
+        input: Tensor,
+        graded: Option<GradedQuery>,
+        complete: Callback,
+        block: bool,
+    ) -> Result<(), SubmitError> {
+        self.validate_width(&input)?;
         let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if state.shutdown {
@@ -618,7 +887,11 @@ impl MonitorEngine {
         }
         let slot = state.next % state.queues.len();
         state.next = state.next.wrapping_add(1);
-        state.queues[slot].push_back(Request { input, complete });
+        state.queues[slot].push_back(Request {
+            input,
+            graded,
+            complete,
+        });
         state.pending += 1;
         drop(state);
         // Any worker may serve it: idle workers steal from `slot`.
@@ -731,14 +1004,55 @@ fn worker_loop(id: usize, shared: &Shared, mut model: Sequential) {
             monitor = Arc::clone(&shared.published.lock().unwrap_or_else(|e| e.into_inner()));
             epoch = monitor.epoch();
         }
-        let (inputs, callbacks): (Vec<Tensor>, Vec<Callback>) =
-            batch.into_iter().map(|r| (r.input, r.complete)).unzip();
-        let reports = monitor.check_batch(&mut model, &inputs);
+        let mut inputs = Vec::with_capacity(batch.len());
+        let mut metas = Vec::with_capacity(batch.len());
+        for r in batch {
+            inputs.push(r.input);
+            metas.push((r.graded, r.complete));
+        }
+        // One forward pass for the micro-batch, then per-request
+        // judgement: binary for plain submissions, binary + graded (one
+        // computation — the graded report embeds the binary one) for
+        // graded submissions.  Mixed batches are fine; the snapshot is
+        // the same either way.
+        let observed = monitor.observe_batch(&mut model, &inputs);
         shared
             .processed
-            .fetch_add(reports.len() as u64, Ordering::Relaxed);
-        for (complete, report) in callbacks.into_iter().zip(reports) {
-            complete(EpochReport { epoch, report });
+            .fetch_add(observed.len() as u64, Ordering::Relaxed);
+        let mut results = Vec::with_capacity(observed.len());
+        for ((query, complete), (predicted, pattern)) in metas.into_iter().zip(observed) {
+            let (report, graded) = match query {
+                None => (monitor.report(predicted, &pattern), None),
+                Some(q) => {
+                    let g = monitor.check_graded_pattern(predicted, &pattern, q);
+                    (g.report.clone(), Some(g))
+                }
+            };
+            results.push((complete, report, graded));
+        }
+        // Fold the batch's verdicts into the drift detectors (when
+        // armed) before answering: one short lock per micro-batch, off
+        // the per-request path.  A batch judged under a different epoch
+        // than the detectors are armed for is skipped wholesale — a
+        // publish racing this batch must not contaminate the freshly
+        // re-armed detectors with old-zone evidence (nor stamp them
+        // with the old epoch).
+        {
+            let mut drift = shared.drift.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(state) = drift.as_mut() {
+                if state.epoch == epoch {
+                    for (_, report, _) in &results {
+                        state.observe(report);
+                    }
+                }
+            }
+        }
+        for (complete, report, graded) in results {
+            complete(EpochReport {
+                epoch,
+                report,
+                graded,
+            });
         }
     }
 }

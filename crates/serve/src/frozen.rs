@@ -18,7 +18,11 @@
 
 use naps_bdd::{BddError, BddSnapshot};
 use naps_core::batch::{forward_observe_packed, pack_batch};
-use naps_core::{BddZone, Monitor, MonitorReport, NeuronSelection, Pattern, Verdict};
+use naps_core::graded::grade;
+use naps_core::{
+    BddZone, GradedQuery, GradedReport, Monitor, MonitorReport, NearestZone, NeuronSelection,
+    Pattern, Verdict,
+};
 use naps_nn::Sequential;
 use naps_tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -74,6 +78,25 @@ impl FrozenZone {
         self.seeds.min_hamming_distance(&pattern.to_bools())
     }
 
+    /// Minimum Hamming distance to the **enlarged** zone `Z^γ_c`
+    /// (`Some(0)` ⇔ [`FrozenZone::contains`]), `None` for an empty zone
+    /// — the unbounded full-array sweep, kept as the reference the
+    /// bounded query is benchmarked and verified against.
+    pub fn distance_to_zone(&self, pattern: &Pattern) -> Option<u32> {
+        self.zone.min_hamming_distance(&pattern.to_bools())
+    }
+
+    /// Budget-bounded [`FrozenZone::distance_to_zone`]: `None` when the
+    /// zone is empty **or** further than `budget`.  Runs the early-exit
+    /// DP ([`BddSnapshot::min_hamming_distance_within`]), so in-zone
+    /// patterns cost one walk and far patterns prune without sweeping
+    /// the node array — bit-identical to
+    /// [`naps_core::Zone::distance_to_zone_within`] on the source zone.
+    pub fn distance_to_zone_within(&self, pattern: &Pattern, budget: u32) -> Option<u32> {
+        self.zone
+            .min_hamming_distance_within(&pattern.to_bools(), budget)
+    }
+
     /// Decision-node count of the frozen (enlarged) zone.
     pub fn node_count(&self) -> usize {
         self.zone.node_count()
@@ -105,9 +128,31 @@ impl MonitorShard {
     }
 
     /// The classes this shard owns, in ascending order.
+    ///
+    /// Filtered against the monitor's class count: the slot formula
+    /// alone would let a tail shard with a padded `zones` vec report a
+    /// phantom class `>= num_classes` that [`MonitorShard::owns`]
+    /// disclaims (and [`MonitorShard::zone`] would panic on).
     pub fn classes(&self) -> Vec<usize> {
         (0..self.zones.len())
             .map(|s| s * self.num_shards + self.index)
+            .filter(|&c| c < self.num_classes)
+            .collect()
+    }
+
+    /// Bounded distances from `pattern` to every **monitored** zone this
+    /// shard owns: one [`NearestZone`] per owned class whose enlarged
+    /// zone lies within `budget`, in ascending class order (unranked —
+    /// the caller merges shards and sorts).  This is the shard-local
+    /// piece of a graded query: each shard resolves its own classes, so
+    /// a distributed deployment can fan the ranking out shard-per-node.
+    pub fn nearest_within(&self, pattern: &Pattern, budget: u32) -> Vec<NearestZone> {
+        self.classes()
+            .into_iter()
+            .filter_map(|class| {
+                let distance = self.zone(class)?.distance_to_zone_within(pattern, budget)?;
+                Some(NearestZone { class, distance })
+            })
             .collect()
     }
 
@@ -452,11 +497,48 @@ impl FrozenMonitor {
         self.shard_for(predicted).report(predicted, pattern)
     }
 
-    /// Batched judgement sharing one forward pass — the same packed path
-    /// as [`Monitor::check_batch`] (`pack_batch` →
-    /// `forward_observe_packed` → per-row verdicts), so verdicts are
-    /// bit-identical to the live monitor's.
-    pub fn check_batch(&self, model: &mut Sequential, inputs: &[Tensor]) -> Vec<MonitorReport> {
+    /// Judges an already-extracted `(predicted, pattern)` pair with full
+    /// graded detail: the frozen counterpart of
+    /// [`Monitor::check_graded_pattern`], and **bit-identical** to it —
+    /// the per-shard bounded distances ([`MonitorShard::nearest_within`])
+    /// feed the same shared ranking/triage implementation
+    /// ([`naps_core::graded::grade`]), and the snapshot DP agrees with
+    /// the manager DP query-for-query (pinned by `naps-bdd`'s property
+    /// tests).
+    pub fn check_graded_pattern(
+        &self,
+        predicted: usize,
+        pattern: &Pattern,
+        query: GradedQuery,
+    ) -> GradedReport {
+        let report = self.report(predicted, pattern);
+        // One bounded DP query per monitored class, total: the predicted
+        // class's entry is split out of the per-shard rankings rather
+        // than queried a second time.
+        let mut distance_to_zone = None;
+        let mut others: Vec<NearestZone> = Vec::new();
+        for shard in &self.shards {
+            for n in shard.nearest_within(pattern, query.budget) {
+                if n.class == predicted {
+                    distance_to_zone = Some(n.distance);
+                } else {
+                    others.push(n);
+                }
+            }
+        }
+        grade(report, distance_to_zone, others, query)
+    }
+
+    /// Extracts `(predicted class, monitored pattern)` pairs for a batch
+    /// with one shared forward pass — the frozen counterpart of
+    /// [`Monitor::observe_batch`], and the common front half of
+    /// [`FrozenMonitor::check_batch`] /
+    /// [`FrozenMonitor::check_graded_batch`].
+    pub fn observe_batch(
+        &self,
+        model: &mut Sequential,
+        inputs: &[Tensor],
+    ) -> Vec<(usize, Pattern)> {
         if inputs.is_empty() {
             return Vec::new();
         }
@@ -465,10 +547,34 @@ impl FrozenMonitor {
         predicted
             .into_iter()
             .enumerate()
-            .map(|(r, p)| {
-                let pattern = self.selection.pattern_from(monitored.row(r));
-                self.report(p, &pattern)
-            })
+            .map(|(r, p)| (p, self.selection.pattern_from(monitored.row(r))))
+            .collect()
+    }
+
+    /// Batched judgement sharing one forward pass — the same packed path
+    /// as [`Monitor::check_batch`] (`pack_batch` →
+    /// `forward_observe_packed` → per-row verdicts), so verdicts are
+    /// bit-identical to the live monitor's.
+    pub fn check_batch(&self, model: &mut Sequential, inputs: &[Tensor]) -> Vec<MonitorReport> {
+        self.observe_batch(model, inputs)
+            .into_iter()
+            .map(|(p, pattern)| self.report(p, &pattern))
+            .collect()
+    }
+
+    /// Batched graded judgement sharing one forward pass — element `i`
+    /// equals [`FrozenMonitor::check_graded_pattern`] on row `i`, and is
+    /// bit-identical to [`Monitor::check_graded_batch`] on the source
+    /// monitor.
+    pub fn check_graded_batch(
+        &self,
+        model: &mut Sequential,
+        inputs: &[Tensor],
+        query: GradedQuery,
+    ) -> Vec<GradedReport> {
+        self.observe_batch(model, inputs)
+            .into_iter()
+            .map(|(p, pattern)| self.check_graded_pattern(p, &pattern, query))
             .collect()
     }
 
@@ -530,6 +636,84 @@ mod tests {
                     assert_eq!(rep.distance_to_seeds, live_dist);
                     assert_eq!(rep.predicted, c);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn classes_never_report_a_phantom_class() {
+        // Non-divisible class/shard combinations, including more shards
+        // than classes: every class a shard reports must be one it owns
+        // and must exist, and the union across shards must be exactly
+        // 0..num_classes.
+        for num_classes in 1..=7usize {
+            let monitor = sample_monitor(num_classes);
+            for shards in 1..=9usize {
+                let frozen = FrozenMonitor::shard_by_class(&monitor, shards);
+                let mut seen = vec![0usize; num_classes];
+                for shard in frozen.shards() {
+                    for c in shard.classes() {
+                        assert!(
+                            c < num_classes,
+                            "shard {}/{shards} reported phantom class {c} of {num_classes}",
+                            shard.index()
+                        );
+                        assert!(shard.owns(c));
+                        // Owned classes must be resolvable, not panic.
+                        let _ = shard.zone(c);
+                        seen[c] += 1;
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&n| n == 1),
+                    "classes not partitioned ({num_classes} classes, {shards} shards): {seen:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_graded_verdicts_match_live_monitor() {
+        use naps_core::GradedQuery;
+        let monitor = sample_monitor(5);
+        for shards in [1, 2, 3, 5, 8] {
+            let frozen = FrozenMonitor::shard_by_class(&monitor, shards);
+            for budget in 0..4u32 {
+                let query = GradedQuery::new(budget, 3);
+                for m in 0..64u32 {
+                    let bits: Vec<bool> = (0..6).map(|i| (m >> i) & 1 == 1).collect();
+                    let pat = Pattern::from_bools(&bits);
+                    for c in 0..5 {
+                        assert_eq!(
+                            frozen.check_graded_pattern(c, &pat, query),
+                            monitor.check_graded_pattern(c, &pat, query),
+                            "class {c} pattern {m:06b} shards {shards} budget {budget}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_zone_bounded_distance_truncates_unbounded() {
+        let monitor = sample_monitor(4);
+        let frozen = FrozenMonitor::freeze(&monitor);
+        for c in [0usize, 1, 3] {
+            let zone = frozen.zone(c).expect("monitored");
+            for m in 0..64u32 {
+                let bits: Vec<bool> = (0..6).map(|i| (m >> i) & 1 == 1).collect();
+                let pat = Pattern::from_bools(&bits);
+                let exact = zone.distance_to_zone(&pat);
+                assert!(exact.is_some(), "non-empty zone");
+                for budget in 0..4u32 {
+                    assert_eq!(
+                        zone.distance_to_zone_within(&pat, budget),
+                        exact.filter(|&d| d <= budget)
+                    );
+                }
+                // Zone distance 0 iff membership.
+                assert_eq!(zone.contains(&pat), exact == Some(0));
             }
         }
     }

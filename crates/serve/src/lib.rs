@@ -16,7 +16,8 @@
 //! | [`MonitorEngine`] | the worker pool: batching, stealing, backpressure, hot swap |
 //! | [`EngineConfig`] | workers / `max_batch` / `queue_capacity` knobs |
 //! | [`VerdictTicket`] | handle to one in-flight verdict |
-//! | [`EpochReport`] | a verdict stamped with the zone epoch that produced it |
+//! | [`EpochReport`] | a verdict stamped with the zone epoch that produced it, optionally carrying the graded payload |
+//! | [`ClassDriftStatus`] | one class's epoch-stamped drift posture (see [`MonitorEngine::enable_drift`]) |
 //! | [`EngineStats`] | processed / batches / stolen / largest-batch / swaps counters |
 //! | [`PersistError`] | why a [`FrozenMonitor::save`] / [`FrozenMonitor::load`] failed |
 //!
@@ -38,6 +39,23 @@
 //! the zone set that judged it.  [`FrozenMonitor::save`] /
 //! [`FrozenMonitor::load`] persist snapshots (epoch included) for warm
 //! restarts.
+//!
+//! ## Graded verdicts & drift
+//!
+//! Every query API has a graded twin
+//! ([`MonitorEngine::check_graded`] /
+//! [`MonitorEngine::check_graded_batch`] /
+//! [`MonitorEngine::submit_graded`]): the verdict additionally carries
+//! the bounded Hamming distance to the predicted class's zone and a
+//! ranked top-k of the nearest *other* classes' zones
+//! ([`naps_core::GradedReport`]), computed by the budget-bounded
+//! early-exit DP on the same immutable snapshots — still lock-free, and
+//! bit-identical to sequential [`naps_core::Monitor::check_graded_batch`]
+//! at the stamped epoch.  [`MonitorEngine::enable_drift`] arms per-class
+//! [`naps_core::DriftDetector`]s over everything the engine serves;
+//! sustained out-of-pattern elevation surfaces as an epoch-stamped
+//! [`ClassDriftStatus`], the trigger for the enrich → publish loop
+//! (publishing re-arms the detectors at the new epoch).
 //!
 //! ## Example
 //!
@@ -85,6 +103,7 @@ mod engine;
 mod frozen;
 
 pub use engine::{
-    EngineConfig, EngineError, EngineStats, EpochReport, MonitorEngine, SubmitError, VerdictTicket,
+    ClassDriftStatus, EngineConfig, EngineError, EngineStats, EpochReport, MonitorEngine,
+    SubmitError, VerdictTicket,
 };
 pub use frozen::{FrozenMonitor, FrozenZone, MonitorShard, PersistError};
