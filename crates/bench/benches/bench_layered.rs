@@ -1,0 +1,84 @@
+//! Multi-layer monitoring cost: what does each **extra monitored layer**
+//! add to a batched check, and what does the observation plan save over
+//! the allocate-everything `forward_all` tap?
+//!
+//! Two claims are measured on the shared deep serving fixture
+//! (`[16, 96, 64, 48, classes]`, ReLU taps at layers 5/3/1):
+//!
+//! * `layered/check-Nlayer` — sequential `LayeredMonitor::check_batch`
+//!   with 1, 2 and 3 monitored layers.  The marginal cost of each added
+//!   layer must be per-class shard lookups, **not** another forward
+//!   pass: the deltas between rows are small against the forward-pass
+//!   floor measured by `layered/observe`.
+//! * `layered/observe` — one packed forward pass over the whole
+//!   workload: the 3-layer observation plan versus `forward_all`
+//!   (which materialises every intermediate activation, monitored or
+//!   not).  The `naps-eval` `layered` binary records the same
+//!   comparison with explicit retained-allocation numbers in
+//!   `results/layered.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naps_bench::{deep_serving_fixture, DEEP_RELU_LAYERS};
+use naps_core::batch::{pack_batch, ObservationPlan};
+use naps_core::{ActivationMonitor, BddZone, CombinePolicy, LayeredMonitor, MonitorBuilder};
+
+const CLASSES: usize = 6;
+const PROBES: usize = 192;
+const CHUNK: usize = 64;
+const GAMMA: u32 = 1;
+
+fn monitors_for(
+    model: &mut naps_nn::Sequential,
+    xs: &[naps_tensor::Tensor],
+    ys: &[usize],
+    num_layers: usize,
+) -> LayeredMonitor<BddZone> {
+    let monitors = DEEP_RELU_LAYERS[..num_layers]
+        .iter()
+        .map(|&layer| MonitorBuilder::new(layer, GAMMA).build::<BddZone>(model, xs, ys, CLASSES))
+        .collect();
+    LayeredMonitor::new(monitors, CombinePolicy::Any)
+}
+
+fn bench_marginal_layers(c: &mut Criterion) {
+    let (mut model, xs, ys, workload) = deep_serving_fixture(CLASSES, PROBES, 42);
+    let mut group = c.benchmark_group("layered/check");
+    for num_layers in 1..=DEEP_RELU_LAYERS.len() {
+        let layered = monitors_for(&mut model, &xs, &ys, num_layers);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(num_layers),
+            &num_layers,
+            |b, _| {
+                b.iter(|| {
+                    let mut warned = 0usize;
+                    for chunk in workload.chunks(CHUNK) {
+                        warned += layered
+                            .check_batch(&mut model, chunk)
+                            .iter()
+                            .filter(|r| r.combined == naps_core::Verdict::OutOfPattern)
+                            .count();
+                    }
+                    warned
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_observation_plan(c: &mut Criterion) {
+    let (mut model, _, _, workload) = deep_serving_fixture(CLASSES, PROBES, 42);
+    let batch = pack_batch(&workload);
+    let plan = ObservationPlan::new(DEEP_RELU_LAYERS.to_vec());
+    let mut group = c.benchmark_group("layered/observe");
+    group.bench_function("plan-3layer", |b| {
+        b.iter(|| model.forward_observe_plan(&batch, &plan, false))
+    });
+    group.bench_function("forward-all", |b| {
+        b.iter(|| model.forward_all(&batch, false))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_marginal_layers, bench_observation_plan);
+criterion_main!(benches);

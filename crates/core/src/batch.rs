@@ -2,9 +2,15 @@
 //!
 //! Every `check_batch` implementation follows the same shape — pack the
 //! per-input rows into one `[n, feat]` tensor, run a single forward pass,
-//! argmax the logits per row, read the monitored layer's activations —
+//! argmax the logits per row, read the monitored layers' activations —
 //! and only the final judgement differs.  Keeping the scaffold here means
 //! a fix to the batching logic lands in one place.
+//!
+//! Observation goes through [`ObservationPlan`]s: the forward pass keeps
+//! **only** the planned layers' activations (plus the logits), so a
+//! monitor watching two of a ten-layer network's ReLUs allocates two
+//! intermediate tensors per batch, not ten — see
+//! [`naps_nn::Sequential::forward_observe_plan`].
 //!
 //! The functions are public so serving layers (e.g. `naps-serve`'s
 //! `MonitorEngine` workers) can reuse the exact packing and observation
@@ -12,8 +18,12 @@
 //! parallel, and one-at-a-time checking rests on every caller funnelling
 //! through this one implementation.
 
+use crate::pattern::Pattern;
+use crate::selection::NeuronSelection;
 use naps_nn::Sequential;
 use naps_tensor::Tensor;
+
+pub use naps_nn::ObservationPlan;
 
 /// Packs per-input rows into one `[n, feat]` batch tensor.
 ///
@@ -41,18 +51,80 @@ pub fn argmax(row: &[f32]) -> usize {
     best
 }
 
-/// Runs one forward pass over a packed `[n, feat]` batch and returns the
-/// per-row predicted classes plus the monitored `layer`'s activations
-/// (`[n, width]`).
-pub fn forward_observe_packed(
+/// One observed batch: per-row predicted classes plus the retained
+/// activations of every planned layer.
+#[derive(Debug, Clone)]
+pub struct ObservedBatch {
+    /// Per-row `dec(in)` (argmax of the logits).
+    pub predicted: Vec<usize>,
+    /// `observed[i]` is the `[n, width_i]` output of
+    /// `plan.layers()[i]` — index monitored layers via
+    /// [`ObservationPlan::position`].
+    pub observed: Vec<Tensor>,
+}
+
+/// Runs one forward pass over a packed `[n, feat]` batch, keeping only
+/// the planned layers' activations, and returns them with the per-row
+/// predicted classes.
+///
+/// This is the **only** observation path of the monitor family: every
+/// batch check — single-layer, layered, refined, grid, frozen/served —
+/// funnels through it, so verdict equivalence across deployments rests
+/// on one implementation.
+pub fn forward_observe_plan(
     model: &mut Sequential,
     batch: &Tensor,
-    layer: usize,
-) -> (Vec<usize>, Tensor) {
+    plan: &ObservationPlan,
+) -> ObservedBatch {
     let rows = batch.shape()[0];
-    let mut acts = model.forward_all(batch, false);
-    let logits = acts.last().expect("nonempty activations");
+    let (observed, logits) = model.forward_observe_plan(batch, plan, false);
     let predicted = (0..rows).map(|r| argmax(logits.row(r))).collect();
-    let monitored = acts.swap_remove(layer + 1);
-    (predicted, monitored)
+    ObservedBatch {
+        predicted,
+        observed,
+    }
+}
+
+/// Extracts, for each input, the predicted class plus one pattern per
+/// `(layer, selection)` tap — the shared front half of every
+/// **layered** check, live ([`crate::LayeredMonitor`]) and frozen
+/// (`naps-serve`'s layered family): one plan-observed forward pass,
+/// then per-tap pattern extraction.  Keeping it here means the
+/// engine-vs-sequential bit-identical guarantee rests on a single
+/// extraction implementation.
+///
+/// `plan` must observe every tap's layer (the caller builds both from
+/// the same monitor family).
+///
+/// # Panics
+///
+/// Panics if a tap's layer is not in the plan.
+pub fn observe_layered_batch<'a>(
+    model: &mut Sequential,
+    inputs: &[Tensor],
+    plan: &ObservationPlan,
+    taps: impl Iterator<Item = (usize, &'a NeuronSelection)> + Clone,
+) -> Vec<(usize, Vec<Pattern>)> {
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    let batch = pack_batch(inputs);
+    let ObservedBatch {
+        predicted,
+        observed,
+    } = forward_observe_plan(model, &batch, plan);
+    predicted
+        .into_iter()
+        .enumerate()
+        .map(|(r, p)| {
+            let patterns = taps
+                .clone()
+                .map(|(layer, selection)| {
+                    let slot = plan.position(layer).expect("planned layer");
+                    selection.pattern_from(observed[slot].row(r))
+                })
+                .collect();
+            (p, patterns)
+        })
+        .collect()
 }

@@ -1,5 +1,6 @@
 //! Monitor construction — Algorithm 1 of the paper.
 
+use crate::batch::{forward_observe_plan, ObservationPlan, ObservedBatch};
 use crate::monitor::Monitor;
 use crate::selection::NeuronSelection;
 use crate::zone::Zone;
@@ -103,9 +104,10 @@ impl MonitorBuilder {
         assert!(self.layer < model.len(), "monitored layer out of range");
 
         // Discover the monitored layer width from a first forward pass.
+        let plan = ObservationPlan::single(self.layer);
         let first = Tensor::from_vec(vec![1, samples[0].len()], samples[0].data().to_vec());
-        let acts = model.forward_all(&first, false);
-        let layer_width = acts[self.layer + 1].shape()[1];
+        let (first_obs, _) = model.forward_observe_plan(&first, &plan, false);
+        let layer_width = first_obs[0].shape()[1];
         let selection = self
             .selection
             .clone()
@@ -134,23 +136,18 @@ impl MonitorBuilder {
                 data.extend_from_slice(samples[i].data());
             }
             let batch = Tensor::from_vec(vec![chunk.len(), feat], data);
-            let acts = model.forward_all(&batch, false);
-            let monitored = &acts[self.layer + 1];
-            let logits = acts.last().expect("nonempty activations");
+            let ObservedBatch {
+                predicted,
+                observed,
+            } = forward_observe_plan(model, &batch, &plan);
+            let monitored = &observed[0];
             for (r, &i) in chunk.iter().enumerate() {
                 let label = labels[i];
                 assert!(
                     label < num_classes,
                     "label {label} out of range for {num_classes} classes"
                 );
-                let row = logits.row(r);
-                let mut pred = 0;
-                for (c, &v) in row.iter().enumerate() {
-                    if v > row[pred] {
-                        pred = c;
-                    }
-                }
-                if pred == label {
+                if predicted[r] == label {
                     if let Some(zone) = zones[label].as_mut() {
                         zone.insert(&selection.pattern_from(monitored.row(r)));
                     }

@@ -23,6 +23,19 @@ pub enum MonitorError {
         /// The class whose zone is empty.
         class: usize,
     },
+    /// A layered-monitor family was assembled with no monitors at all:
+    /// there is nothing to observe, and no meaningful combined verdict.
+    EmptyMonitorFamily,
+    /// Monitors wrapped into one layered family disagree on the number of
+    /// classes (the classifier's output width): they were not built over
+    /// one network, and a predicted class could be out of range for some
+    /// of them.
+    ClassCountMismatch {
+        /// Class count of the first monitor in the family.
+        expected: usize,
+        /// The disagreeing monitor's class count.
+        actual: usize,
+    },
     /// An online-enrichment request targeted a class with no comfort zone
     /// (out of range, or deliberately unmonitored): there is nothing to
     /// enrich, and silently dropping confirmed patterns would lose
@@ -44,6 +57,13 @@ impl fmt::Display for MonitorError {
             MonitorError::EmptyZone { class } => {
                 write!(f, "comfort zone for class {class} is empty")
             }
+            MonitorError::EmptyMonitorFamily => {
+                write!(f, "layered monitor needs at least one monitor")
+            }
+            MonitorError::ClassCountMismatch { expected, actual } => write!(
+                f,
+                "monitors disagree on the number of classes ({expected} vs {actual})"
+            ),
             MonitorError::UnmonitoredClass { class } => {
                 write!(f, "class {class} has no comfort zone to enrich")
             }

@@ -10,7 +10,7 @@
 //! cell-wise in a single call.
 
 use crate::activation::{ActivationMonitor, MonitorOutcome};
-use crate::batch::{forward_observe_packed, pack_batch};
+use crate::batch::{forward_observe_plan, pack_batch, ObservationPlan, ObservedBatch};
 use crate::builder::MonitorBuilder;
 use crate::monitor::{Monitor, MonitorReport, Verdict};
 use crate::zone::{BddZone, Zone};
@@ -159,7 +159,11 @@ impl<Z: Zone> GridMonitor<Z> {
     /// cells share layer and selection (checked in
     /// [`GridMonitor::from_cells`]), so the pass can be shared.
     fn judge_packed(&self, head: &mut Sequential, batch: &Tensor) -> GridReport {
-        let (predictions, monitored) = forward_observe_packed(head, batch, self.cells[0].layer());
+        let ObservedBatch {
+            predicted: predictions,
+            observed,
+        } = forward_observe_plan(head, batch, &ObservationPlan::single(self.cells[0].layer()));
+        let monitored = &observed[0];
         let selection = self.cells[0].selection();
         let cells: Vec<MonitorReport> = predictions
             .into_iter()

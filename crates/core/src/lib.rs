@@ -92,7 +92,9 @@ pub use graded::{GradedQuery, GradedReport, NearestZone, Triage};
 pub use grid::{GridMonitor, GridReport};
 pub use interval::IntervalZone;
 pub use monitor::{Monitor, MonitorReport, MonitorSnapshot, Verdict};
-pub use multilayer::{CombinePolicy, LayeredMonitor, LayeredReport};
+pub use multilayer::{
+    validate_monitor_family, CombinePolicy, LayeredGradedReport, LayeredMonitor, LayeredReport,
+};
 pub use ordering::{order_by_bias, order_by_saliency};
 pub use pattern::Pattern;
 pub use refined::{NumericDomain, RefinedMonitor, RefinedReport};

@@ -1,7 +1,7 @@
 //! The runtime monitor (Definition 3 + the deployment query of Figure 1).
 
 use crate::activation::{ActivationMonitor, MonitorOutcome};
-use crate::batch::{forward_observe_packed, pack_batch};
+use crate::batch::{forward_observe_plan, pack_batch, ObservationPlan, ObservedBatch};
 use crate::error::MonitorError;
 use crate::graded::{grade, GradedQuery, GradedReport, NearestZone};
 use crate::pattern::Pattern;
@@ -316,7 +316,11 @@ impl<Z: Zone> Monitor<Z> {
             return Vec::new();
         }
         let batch = pack_batch(inputs);
-        let (predicted, monitored) = forward_observe_packed(model, &batch, self.layer);
+        let ObservedBatch {
+            predicted,
+            observed,
+        } = forward_observe_plan(model, &batch, &ObservationPlan::single(self.layer));
+        let monitored = &observed[0];
         predicted
             .into_iter()
             .enumerate()

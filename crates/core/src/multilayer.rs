@@ -6,21 +6,52 @@
 //! layers encode higher-level features, earlier layers coarser ones, and
 //! an input can be familiar to one abstraction level yet alien to another.
 //! [`LayeredMonitor`] wraps any number of [`Monitor`]s over the same
-//! network and evaluates them with a **single forward pass** per query.
+//! network and evaluates them with a **single forward pass** per query
+//! that, via [`ObservationPlan`], retains **only** the monitored layers'
+//! activations — adding a monitored layer costs one extra pattern lookup,
+//! never an extra forward pass or an unobserved layer's allocation.
 
 use crate::activation::{ActivationMonitor, MonitorOutcome};
-use crate::batch::{argmax, pack_batch};
+use crate::batch::{observe_layered_batch, ObservationPlan};
+use crate::error::MonitorError;
+use crate::graded::{GradedQuery, GradedReport};
 use crate::monitor::{Monitor, Verdict};
+use crate::pattern::Pattern;
 use crate::zone::{BddZone, Zone};
 use naps_nn::Sequential;
 use naps_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Validates a layered monitor family from its per-monitor class counts
+/// — the **single** validation shared by the live [`LayeredMonitor`] and
+/// `naps-serve`'s frozen layered family.
+///
+/// # Errors
+///
+/// [`MonitorError::EmptyMonitorFamily`] on an empty family;
+/// [`MonitorError::ClassCountMismatch`] when the monitors disagree on
+/// the number of classes — the classifier's output width — which means
+/// they were not built over one network.
+pub fn validate_monitor_family(
+    class_counts: impl IntoIterator<Item = usize>,
+) -> Result<(), MonitorError> {
+    let mut counts = class_counts.into_iter();
+    let Some(expected) = counts.next() else {
+        return Err(MonitorError::EmptyMonitorFamily);
+    };
+    if let Some(actual) = counts.find(|&c| c != expected) {
+        return Err(MonitorError::ClassCountMismatch { expected, actual });
+    }
+    Ok(())
+}
 
 /// How per-layer verdicts are combined into one.
 ///
 /// [`Verdict::Unmonitored`] layers (the predicted class has no zone
 /// there) abstain; the policy is applied to the remaining verdicts.  If
-/// every layer abstains the combined verdict is `Unmonitored`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// every layer abstains the combined verdict is `Unmonitored` — an
+/// abstention, never a warning (pinned by the exhaustive policy tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CombinePolicy {
     /// Warn when **any** monitored layer is out of pattern — maximal
     /// sensitivity (union of warnings), at the cost of a higher false
@@ -29,13 +60,22 @@ pub enum CombinePolicy {
     /// Warn only when **every** monitored layer is out of pattern —
     /// maximal precision.
     All,
-    /// Warn when a strict majority of monitored layers are out of
-    /// pattern.
+    /// Warn when a **strict** majority of the non-abstaining layers are
+    /// out of pattern.  Tie-break: an exact tie (e.g. 2 layers judged, 1
+    /// out) does **not** warn — `Majority` resolves doubt toward the
+    /// network, so it always warns at most as often as `Any` and at
+    /// least as often as `All`.
     Majority,
 }
 
 impl CombinePolicy {
     /// Folds per-layer verdicts into one.
+    ///
+    /// `Unmonitored` entries abstain and are excluded from the count; if
+    /// every entry abstains (or `verdicts` is empty) the result is
+    /// `Unmonitored`.  `Majority` requires a *strict* majority of the
+    /// judged layers — exact ties stay `InPattern` (see the variant
+    /// docs).
     pub fn combine(self, verdicts: &[Verdict]) -> Verdict {
         let (mut out, mut judged) = (0usize, 0usize);
         for v in verdicts {
@@ -81,6 +121,30 @@ impl MonitorOutcome for LayeredReport {
     }
 }
 
+/// Graded report of one jointly monitored classification: the layered
+/// counterpart of [`GradedReport`], carrying one full graded ranking per
+/// wrapped monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayeredGradedReport {
+    /// The network's decision.
+    pub predicted: usize,
+    /// One graded report per wrapped monitor, in construction order.
+    /// Entry `i` is bit-identical to
+    /// [`Monitor::check_graded_pattern`] on monitor `i`'s observed
+    /// pattern.
+    pub per_layer: Vec<GradedReport>,
+    /// The policy-combined **binary** verdict over the embedded per-layer
+    /// reports — identical to [`LayeredReport::combined`] for the same
+    /// input.
+    pub combined: Verdict,
+}
+
+impl MonitorOutcome for LayeredGradedReport {
+    fn out_of_pattern(&self) -> bool {
+        self.combined == Verdict::OutOfPattern
+    }
+}
+
 /// Several [`Monitor`]s over one network, queried with a single forward
 /// pass and combined by a [`CombinePolicy`].
 ///
@@ -98,7 +162,7 @@ impl MonitorOutcome for LayeredReport {
 /// let ys = vec![0];
 /// let shallow = MonitorBuilder::new(1, 0).build::<ExactZone>(&mut net, &xs, &ys, 2);
 /// let deep = MonitorBuilder::new(3, 0).build::<ExactZone>(&mut net, &xs, &ys, 2);
-/// let joint = LayeredMonitor::new(vec![shallow, deep], CombinePolicy::Any);
+/// let joint = LayeredMonitor::try_new(vec![shallow, deep], CombinePolicy::Any).unwrap();
 /// let report = joint.check(&mut net, &xs[0]);
 /// assert_eq!(report.per_layer.len(), 2);
 /// ```
@@ -106,23 +170,47 @@ impl MonitorOutcome for LayeredReport {
 pub struct LayeredMonitor<Z: Zone = BddZone> {
     monitors: Vec<Monitor<Z>>,
     policy: CombinePolicy,
+    /// Cached plan over the (deduplicated) monitored layer indices: the
+    /// forward pass retains exactly these layers' activations.
+    plan: ObservationPlan,
 }
 
 impl<Z: Zone> LayeredMonitor<Z> {
-    /// Wraps the given monitors.
+    /// Wraps the given monitors, validating the family.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::EmptyMonitorFamily`] when `monitors` is empty;
+    /// [`MonitorError::ClassCountMismatch`] when the monitors disagree on
+    /// the number of classes — the classifier's output width — which
+    /// means they were not built over one network.
+    pub fn try_new(monitors: Vec<Monitor<Z>>, policy: CombinePolicy) -> Result<Self, MonitorError> {
+        validate_monitor_family(monitors.iter().map(|m| m.num_classes()))?;
+        let plan = ObservationPlan::new(monitors.iter().map(Monitor::layer).collect());
+        Ok(LayeredMonitor {
+            monitors,
+            policy,
+            plan,
+        })
+    }
+
+    /// Wraps the given monitors — the panicking convenience over
+    /// [`LayeredMonitor::try_new`] for construction sites where the
+    /// family is known-good by construction (builders, tests).
     ///
     /// # Panics
     ///
     /// Panics if `monitors` is empty or the monitors disagree on the
     /// number of classes.
     pub fn new(monitors: Vec<Monitor<Z>>, policy: CombinePolicy) -> Self {
-        assert!(!monitors.is_empty(), "need at least one monitor");
-        let classes = monitors[0].num_classes();
-        assert!(
-            monitors.iter().all(|m| m.num_classes() == classes),
-            "monitors disagree on the number of classes"
-        );
-        LayeredMonitor { monitors, policy }
+        match Self::try_new(monitors, policy) {
+            Ok(m) => m,
+            Err(MonitorError::EmptyMonitorFamily) => panic!("need at least one monitor"),
+            Err(MonitorError::ClassCountMismatch { .. }) => {
+                panic!("monitors disagree on the number of classes")
+            }
+            Err(e) => panic!("invalid monitor family: {e}"),
+        }
     }
 
     /// The wrapped monitors, in construction order.
@@ -135,9 +223,63 @@ impl<Z: Zone> LayeredMonitor<Z> {
         self.policy
     }
 
+    /// The observation plan: the deduplicated, ascending set of layer
+    /// indices one batched forward pass must retain for this family.
+    pub fn plan(&self) -> &ObservationPlan {
+        &self.plan
+    }
+
     /// Number of classes of the underlying classifier.
     pub fn num_classes(&self) -> usize {
         self.monitors[0].num_classes()
+    }
+
+    /// Extracts, for each input, the predicted class and one observed
+    /// pattern per wrapped monitor (construction order) — a single
+    /// forward pass retaining only the planned layers, the common front
+    /// half of [`LayeredMonitor::check_batch`] /
+    /// [`LayeredMonitor::check_graded_batch`].
+    pub fn observe_batch(
+        &self,
+        model: &mut Sequential,
+        inputs: &[Tensor],
+    ) -> Vec<(usize, Vec<Pattern>)> {
+        observe_layered_batch(
+            model,
+            inputs,
+            &self.plan,
+            self.monitors.iter().map(|m| (m.layer(), m.selection())),
+        )
+    }
+
+    /// Batched graded joint check: one forward pass, then per layer the
+    /// full graded ranking ([`Monitor::check_graded_pattern`]) — element
+    /// `i` of each report is bit-identical to grading monitor `i` alone
+    /// on the same input.
+    pub fn check_graded_batch(
+        &self,
+        model: &mut Sequential,
+        inputs: &[Tensor],
+        query: GradedQuery,
+    ) -> Vec<LayeredGradedReport> {
+        self.observe_batch(model, inputs)
+            .into_iter()
+            .map(|(predicted, patterns)| {
+                let per_layer: Vec<GradedReport> = self
+                    .monitors
+                    .iter()
+                    .zip(&patterns)
+                    .map(|(m, pattern)| m.check_graded_pattern(predicted, pattern, query))
+                    .collect();
+                let verdicts: Vec<Verdict> = per_layer.iter().map(|g| g.report.verdict).collect();
+                let combined = self.policy.combine(&verdicts);
+                LayeredGradedReport {
+                    predicted,
+                    per_layer,
+                    combined,
+                }
+            })
+            .collect()
     }
 }
 
@@ -152,25 +294,17 @@ impl<Z: Zone> ActivationMonitor for LayeredMonitor<Z> {
     }
 
     /// Batched joint check: one forward pass for the whole batch,
-    /// regardless of how many layers are monitored.
+    /// regardless of how many layers are monitored, retaining only the
+    /// planned layers' activations.
     fn check_batch(&self, model: &mut Sequential, inputs: &[Tensor]) -> Vec<LayeredReport> {
-        if inputs.is_empty() {
-            return Vec::new();
-        }
-        let batch = pack_batch(inputs);
-        let acts = model.forward_all(&batch, false);
-        let logits = acts.last().expect("nonempty activations");
-        (0..inputs.len())
-            .map(|r| {
-                let predicted = argmax(logits.row(r));
+        self.observe_batch(model, inputs)
+            .into_iter()
+            .map(|(predicted, patterns)| {
                 let per_layer: Vec<Verdict> = self
                     .monitors
                     .iter()
-                    .map(|m| {
-                        let monitored = &acts[m.layer() + 1];
-                        let pattern = m.selection().pattern_from(monitored.row(r));
-                        m.check_pattern(predicted, &pattern)
-                    })
+                    .zip(&patterns)
+                    .map(|(m, pattern)| m.check_pattern(predicted, pattern))
                     .collect();
                 let combined = self.policy.combine(&per_layer);
                 LayeredReport {
@@ -256,6 +390,65 @@ mod tests {
         assert_eq!(CombinePolicy::Any.combine(&[]), Unmonitored);
     }
 
+    /// Exhaustive pin of every policy over every verdict **multiset** of
+    /// up to 4 layers (order cannot matter — asserted too), against a
+    /// counting oracle.  This nails the documented edge cases forever:
+    /// `Majority` does not warn on an exact tie (2 judged, 1 out), and
+    /// all-`Unmonitored` abstains as `Unmonitored` under every policy.
+    #[test]
+    fn policies_pinned_over_all_multisets() {
+        use Verdict::*;
+        let policies = [
+            CombinePolicy::Any,
+            CombinePolicy::All,
+            CombinePolicy::Majority,
+        ];
+        // Multisets as counts (out, in, unmonitored) with 0 < total <= 4,
+        // plus the empty multiset.
+        for out in 0..=4usize {
+            for inp in 0..=4 - out {
+                for un in 0..=4 - out - inp {
+                    let mut verdicts = Vec::new();
+                    verdicts.extend(std::iter::repeat_n(OutOfPattern, out));
+                    verdicts.extend(std::iter::repeat_n(InPattern, inp));
+                    verdicts.extend(std::iter::repeat_n(Unmonitored, un));
+                    let judged = out + inp;
+                    for policy in policies {
+                        let want = if judged == 0 {
+                            Unmonitored
+                        } else {
+                            let warn = match policy {
+                                CombinePolicy::Any => out >= 1,
+                                CombinePolicy::All => out == judged,
+                                CombinePolicy::Majority => 2 * out > judged,
+                            };
+                            if warn {
+                                OutOfPattern
+                            } else {
+                                InPattern
+                            }
+                        };
+                        assert_eq!(
+                            policy.combine(&verdicts),
+                            want,
+                            "{policy:?} over {out} out / {inp} in / {un} unmonitored"
+                        );
+                        // Order independence: the reverse folds identically.
+                        let mut rev = verdicts.clone();
+                        rev.reverse();
+                        assert_eq!(policy.combine(&rev), want);
+                    }
+                }
+            }
+        }
+        // The documented tie-break, spelled out.
+        assert_eq!(
+            CombinePolicy::Majority.combine(&[OutOfPattern, InPattern]),
+            InPattern,
+            "an exact tie must not warn"
+        );
+    }
+
     #[test]
     fn training_inputs_pass_all_layers() {
         let (mut net, xs, ys) = trained_two_layer_net();
@@ -328,11 +521,74 @@ mod tests {
     }
 
     #[test]
+    fn graded_batch_matches_per_monitor_grading() {
+        let (mut net, xs, ys) = trained_two_layer_net();
+        let jm = joint(&mut net, &xs, &ys, 1, CombinePolicy::Any);
+        let query = GradedQuery::new(2, 2);
+        let graded = jm.check_graded_batch(&mut net, &xs[..12], query);
+        let binary = jm.check_batch(&mut net, &xs[..12]);
+        for ((g, b), x) in graded.iter().zip(&binary).zip(&xs[..12]) {
+            assert_eq!(g.predicted, b.predicted);
+            assert_eq!(g.combined, b.combined);
+            assert_eq!(g.per_layer.len(), jm.monitors().len());
+            // Per-layer grading is bit-identical to grading each wrapped
+            // monitor alone.
+            for (m, got) in jm.monitors().iter().zip(&g.per_layer) {
+                let (predicted, pattern) = m.observe(&mut net, x);
+                assert_eq!(predicted, g.predicted);
+                assert_eq!(got, &m.check_graded_pattern(predicted, &pattern, query));
+            }
+        }
+        assert!(jm.check_graded_batch(&mut net, &[], query).is_empty());
+    }
+
+    #[test]
+    fn plan_covers_each_layer_once() {
+        let (mut net, xs, ys) = trained_two_layer_net();
+        let a = MonitorBuilder::new(1, 0).build::<ExactZone>(&mut net, &xs, &ys, 2);
+        let b = MonitorBuilder::new(3, 0).build::<ExactZone>(&mut net, &xs, &ys, 2);
+        let c = MonitorBuilder::new(3, 1).build::<ExactZone>(&mut net, &xs, &ys, 2);
+        // Two monitors share layer 3: the plan observes it once.
+        let jm = LayeredMonitor::new(vec![a, b, c], CombinePolicy::Any);
+        assert_eq!(jm.plan().layers(), &[1, 3]);
+        let rep = jm.check(&mut net, &xs[0]);
+        assert_eq!(rep.per_layer.len(), 3);
+    }
+
+    #[test]
     fn enlarge_to_propagates_to_all_layers() {
         let (mut net, xs, ys) = trained_two_layer_net();
         let mut jm = joint(&mut net, &xs, &ys, 0, CombinePolicy::Any);
         jm.enlarge_to(2);
         assert!(jm.monitors().iter().all(|m| m.gamma() == 2));
+    }
+
+    #[test]
+    fn try_new_surfaces_family_errors() {
+        use crate::selection::NeuronSelection;
+        assert_eq!(
+            LayeredMonitor::<ExactZone>::try_new(Vec::new(), CombinePolicy::Any).err(),
+            Some(MonitorError::EmptyMonitorFamily)
+        );
+        let a = Monitor::<ExactZone>::from_zones(
+            vec![Some(ExactZone::empty(4)), None],
+            1,
+            NeuronSelection::all(4),
+            0,
+        );
+        let b = Monitor::<ExactZone>::from_zones(
+            vec![Some(ExactZone::empty(4))],
+            1,
+            NeuronSelection::all(4),
+            0,
+        );
+        assert_eq!(
+            LayeredMonitor::try_new(vec![a, b], CombinePolicy::Any).err(),
+            Some(MonitorError::ClassCountMismatch {
+                expected: 2,
+                actual: 1
+            })
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! monitor: a combined `InPattern` requires both abstractions to accept.
 
 use crate::activation::{ActivationMonitor, MonitorOutcome};
-use crate::batch::{forward_observe_packed, pack_batch};
+use crate::batch::{forward_observe_plan, pack_batch, ObservationPlan, ObservedBatch};
 use crate::builder::MonitorBuilder;
 use crate::dbm::DbmZone;
 use crate::interval::IntervalZone;
@@ -153,7 +153,15 @@ impl<Z: Zone> ActivationMonitor for RefinedMonitor<Z> {
             return Vec::new();
         }
         let batch = pack_batch(inputs);
-        let (predictions, monitored) = forward_observe_packed(model, &batch, self.monitor.layer());
+        let ObservedBatch {
+            predicted: predictions,
+            observed,
+        } = forward_observe_plan(
+            model,
+            &batch,
+            &ObservationPlan::single(self.monitor.layer()),
+        );
+        let monitored = &observed[0];
         let selection = self.monitor.selection();
         predictions
             .into_iter()
@@ -244,17 +252,13 @@ impl MonitorBuilder {
                 data.extend_from_slice(samples[i].data());
             }
             let batch = Tensor::from_vec(vec![chunk.len(), feat], data);
-            let acts = model.forward_all(&batch, false);
-            let monitored = &acts[monitor.layer() + 1];
-            let logits = acts.last().expect("nonempty activations");
+            let ObservedBatch {
+                predicted,
+                observed,
+            } = forward_observe_plan(model, &batch, &ObservationPlan::single(monitor.layer()));
+            let monitored = &observed[0];
             for (r, &i) in chunk.iter().enumerate() {
-                let row = logits.row(r);
-                let mut pred = 0;
-                for (c, &v) in row.iter().enumerate() {
-                    if v > row[pred] {
-                        pred = c;
-                    }
-                }
+                let pred = predicted[r];
                 if pred == labels[i] {
                     let full = monitored.row(r);
                     let values: Vec<f32> = selection.indices().iter().map(|&k| full[k]).collect();

@@ -1,0 +1,36 @@
+//! Multi-layer monitoring end to end: Any/All/Majority detection-vs-FPR
+//! on clean/corrupted/novelty streams versus the single-layer baseline,
+//! layered-engine ≡ sequential verdict equivalence, and the marginal
+//! cost of each extra monitored layer (`results/layered.json`).  Exits
+//! non-zero when the layered subsystem fails its purpose — served
+//! layered verdicts must be bit-identical to sequential layered
+//! checking, the `Any` policy must detect at least as many corrupted
+//! inputs as the single-layer baseline, and adding monitored layers must
+//! not add forward passes (measured by the model's own pass counter) —
+//! so CI can gate on it.
+//! Usage: `cargo run --release -p naps-eval --bin layered [--full]`.
+fn main() {
+    let cfg = naps_eval::RunConfig::from_env();
+    let result = naps_eval::layered::run(&cfg);
+    let mut failures = Vec::new();
+    if !result.engine_matches_sequential {
+        failures.push("engine layered verdicts diverge from sequential checking".to_string());
+    }
+    if !result.any_beats_baseline_on_corrupted {
+        failures.push(format!(
+            "Any-policy layered detection ({:.4}) fell below the single-layer baseline ({:.4}) \
+             on the corrupted stream",
+            result.rows[1].corrupted_rate, result.rows[0].corrupted_rate
+        ));
+    }
+    if !result.marginal.no_extra_forward_pass {
+        failures
+            .push("adding monitored layers changed the measured forward-pass count".to_string());
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

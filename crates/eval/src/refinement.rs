@@ -21,6 +21,7 @@
 use crate::config::RunConfig;
 use crate::report::{pct, rule, write_json};
 use crate::trained::{train_mnist, TrainedClassifier};
+use naps_core::batch::{forward_observe_plan, ObservationPlan, ObservedBatch};
 use naps_core::{BddZone, DbmZone, IntervalZone, MonitorBuilder, NeuronSelection, Verdict};
 use naps_tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -60,13 +61,8 @@ struct NumericZones {
 }
 
 /// Projects the monitored layer's raw activations of one batch row.
-fn monitored_values(
-    acts: &[Tensor],
-    layer: usize,
-    selection: &NeuronSelection,
-    row: usize,
-) -> Vec<f32> {
-    let full = acts[layer + 1].row(row);
+fn monitored_values(monitored: &Tensor, selection: &NeuronSelection, row: usize) -> Vec<f32> {
+    let full = monitored.row(row);
     selection.indices().iter().map(|&i| full[i]).collect()
 }
 
@@ -93,20 +89,16 @@ fn record_numeric_zones(
             data.extend_from_slice(samples[i].data());
         }
         let batch = Tensor::from_vec(vec![chunk.len(), feat], data);
-        let acts = trained.model.forward_all(&batch, false);
-        let logits = acts.last().expect("nonempty activations");
+        let ObservedBatch {
+            predicted,
+            observed,
+        } = forward_observe_plan(&mut trained.model, &batch, &ObservationPlan::single(layer));
         for (r, &i) in chunk.iter().enumerate() {
-            let row = logits.row(r);
-            let mut pred = 0;
-            for (c, &v) in row.iter().enumerate() {
-                if v > row[pred] {
-                    pred = c;
-                }
-            }
+            let pred = predicted[r];
             // Algorithm 1's filter: only correctly classified inputs shape
             // the comfort zone, numeric or binary alike.
             if pred == labels[i] {
-                let values = monitored_values(&acts, layer, selection, r);
+                let values = monitored_values(&observed[0], selection, r);
                 zones.boxes[pred].insert(&values);
                 zones.dbms[pred].insert(&values);
             }
@@ -195,18 +187,14 @@ pub fn run(cfg: &RunConfig) -> Refinement {
             data.extend_from_slice(val_x[i].data());
         }
         let batch = Tensor::from_vec(vec![chunk.len(), feat], data);
-        let acts = trained.model.forward_all(&batch, false);
-        let logits = acts.last().expect("nonempty activations");
+        let ObservedBatch {
+            predicted,
+            observed,
+        } = forward_observe_plan(&mut trained.model, &batch, &ObservationPlan::single(layer));
         for (r, &i) in chunk.iter().enumerate() {
-            let row = logits.row(r);
-            let mut pred = 0;
-            for (c, &v) in row.iter().enumerate() {
-                if v > row[pred] {
-                    pred = c;
-                }
-            }
-            let pattern = selection.pattern_from(acts[layer + 1].row(r));
-            let values = monitored_values(&acts, layer, &selection, r);
+            let pred = predicted[r];
+            let pattern = selection.pattern_from(observed[0].row(r));
+            let values = monitored_values(&observed[0], &selection, r);
             observations.push(Observation {
                 miscls: pred != val_y[i],
                 binary_warn: monitor.check_pattern(pred, &pattern) == Verdict::OutOfPattern,

@@ -12,7 +12,7 @@
 use naps::data::corrupt::{shift_dataset, Corruption};
 use naps::data::digits;
 use naps::monitor::{evaluate, BddZone, IntervalZone, MonitorBuilder};
-use naps::nn::{mlp, Adam, TrainConfig, Trainer};
+use naps::nn::{mlp, Adam, ObservationPlan, TrainConfig, Trainer};
 use naps::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,12 +46,14 @@ fn main() {
     );
 
     // Numeric refinement: record the real-valued envelope of the monitored
-    // activations over the training set.
+    // activations over the training set.  The observation plan keeps only
+    // the monitored layer's activations from each forward pass.
+    let plan = ObservationPlan::single(monitored_layer);
     let mut envelope = IntervalZone::empty(32);
     for s in &train.samples {
         let batch = Tensor::from_vec(vec![1, s.len()], s.data().to_vec());
-        let acts = net.forward_all(&batch, false);
-        envelope.insert(acts[monitored_layer + 1].row(0));
+        let (observed, _) = net.forward_observe_plan(&batch, &plan, false);
+        envelope.insert(observed[0].row(0));
     }
 
     println!("[exposing the monitor to shifted deployment distributions]");
@@ -73,8 +75,8 @@ fn main() {
         let mut violations = 0usize;
         for s in &shifted.samples {
             let batch = Tensor::from_vec(vec![1, s.len()], s.data().to_vec());
-            let acts = net.forward_all(&batch, false);
-            if !envelope.contains(acts[monitored_layer + 1].row(0), 0.5) {
+            let (observed, _) = net.forward_observe_plan(&batch, &plan, false);
+            if !envelope.contains(observed[0].row(0), 0.5) {
                 violations += 1;
             }
         }

@@ -8,9 +8,11 @@
 //! * trainable layers — [`Dense`], [`Conv2d`], [`MaxPool2d`],
 //!   [`BatchNorm2d`], [`Relu`], [`Flatten`] — composed with [`Sequential`];
 //! * softmax cross-entropy loss and [`Sgd`] / [`Adam`] optimizers;
-//! * **activation taps**: [`Sequential::forward_all`] exposes every
-//!   intermediate activation so a monitor can read the output of the layer
-//!   it watches;
+//! * **activation taps**: [`Sequential::forward_observe_plan`] runs one
+//!   forward pass that retains exactly the layers an [`ObservationPlan`]
+//!   names (plus the logits) — the monitor family's only observation
+//!   path — while [`Sequential::forward_all`] remains as the
+//!   whole-depth diagnostics tap;
 //! * **gradient saliency** (`∂n_c/∂n_i`, Section II of the paper) for
 //!   selecting the most decision-relevant neurons to monitor, including the
 //!   special case where the monitored layer feeds a linear output layer.
@@ -44,6 +46,7 @@ mod leaky;
 mod loss;
 mod models;
 mod norm;
+mod observe;
 mod optim;
 mod pool;
 mod relu;
@@ -66,6 +69,7 @@ pub use models::{
     MNIST_MONITOR_WIDTH,
 };
 pub use norm::BatchNorm2d;
+pub use observe::ObservationPlan;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use pool::MaxPool2d;
 pub use relu::Relu;

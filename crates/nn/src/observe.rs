@@ -1,0 +1,332 @@
+//! Observation plans: which layers' activations a forward pass must keep.
+//!
+//! The monitor family reads the output of one or more ReLU layers per
+//! query.  The original tap,
+//! [`forward_all`](crate::Sequential::forward_all), materialises **every**
+//! intermediate activation of the batch — fine for diagnostics, wasteful
+//! on a serving hot path where only the monitored layers matter.  An
+//! [`ObservationPlan`] names the layers to keep, and
+//! [`Sequential::forward_observe_plan`](crate::Sequential::forward_observe_plan)
+//! /
+//! [`ModelSnapshot::forward_observe_plan`](crate::ModelSnapshot::forward_observe_plan)
+//! run one packed forward pass that retains **only** those layers'
+//! outputs (plus the logits): no unobserved layer's activation is ever
+//! retained, so the live set is the planned layers plus the one tensor
+//! currently flowing — not the whole depth of the network.
+
+use crate::sequential::Sequential;
+use crate::serialize::{LayerSnapshot, ModelSnapshot};
+use naps_tensor::Tensor;
+
+/// A sorted, deduplicated set of layer indices whose activations a
+/// forward pass must retain.
+///
+/// Layer indices follow the [`Sequential`] convention: the plan entry `l`
+/// keeps the **output** of layer `l` (what `forward_all(..)[l + 1]`
+/// returns), which is the tensor a monitor built for layer `l` observes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservationPlan {
+    layers: Vec<usize>,
+}
+
+impl ObservationPlan {
+    /// A plan observing `layers` (in any order, duplicates allowed —
+    /// stored sorted and deduplicated).
+    pub fn new(mut layers: Vec<usize>) -> Self {
+        layers.sort_unstable();
+        layers.dedup();
+        ObservationPlan { layers }
+    }
+
+    /// The single-layer plan — the paper's default of one
+    /// close-to-output layer.
+    pub fn single(layer: usize) -> Self {
+        ObservationPlan {
+            layers: vec![layer],
+        }
+    }
+
+    /// The observed layer indices, ascending.
+    pub fn layers(&self) -> &[usize] {
+        &self.layers
+    }
+
+    /// Number of observed layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when nothing is observed (the forward pass then keeps only
+    /// the logits).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Position of `layer` in the observed-output list returned by the
+    /// `forward_observe_plan` methods, `None` when the layer is not in
+    /// the plan.
+    pub fn position(&self, layer: usize) -> Option<usize> {
+        self.layers.binary_search(&layer).ok()
+    }
+
+    /// `true` when `layer`'s output is retained by this plan.
+    pub fn observes(&self, layer: usize) -> bool {
+        self.position(layer).is_some()
+    }
+
+    /// The deepest observed layer, `None` for an empty plan.
+    pub fn max_layer(&self) -> Option<usize> {
+        self.layers.last().copied()
+    }
+}
+
+impl Sequential {
+    /// Runs the network on a batch and keeps only the activations the
+    /// plan asks for: returns `(observed, logits)`, where `observed[i]`
+    /// is the output of `plan.layers()[i]`.
+    ///
+    /// Agrees with [`Sequential::forward_all`] entry-for-entry on the
+    /// planned layers and the logits, while retaining no unobserved
+    /// layer's activation: at any moment the live set is the planned
+    /// outputs kept so far plus the one tensor currently flowing,
+    /// instead of the network's whole depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan names a layer `>= self.len()`.
+    pub fn forward_observe_plan(
+        &mut self,
+        x: &Tensor,
+        plan: &ObservationPlan,
+        train: bool,
+    ) -> (Vec<Tensor>, Tensor) {
+        if let Some(deepest) = plan.max_layer() {
+            assert!(
+                deepest < self.len(),
+                "plan observes layer {deepest} of a {}-layer model",
+                self.len()
+            );
+        }
+        self.count_pass();
+        if self.is_empty() {
+            return (Vec::new(), x.clone());
+        }
+        let mut observed: Vec<Tensor> = Vec::with_capacity(plan.len());
+        // The current activation lives either in `carry` (not observed:
+        // dropped as soon as the next layer consumes it) or as the tail
+        // of `observed` (kept for the caller).
+        let mut carry: Option<Tensor> = Some(x.clone());
+        for i in 0..self.len() {
+            let input = carry
+                .as_ref()
+                .or_else(|| observed.last())
+                .expect("current activation");
+            let out = self.layer_mut(i).forward(input, train);
+            if plan.observes(i) {
+                carry = None;
+                observed.push(out);
+            } else {
+                carry = Some(out);
+            }
+        }
+        let logits = match carry {
+            Some(t) => t,
+            // The last layer itself is observed: the logits are the final
+            // observed entry (one extra clone, only in that rare plan).
+            None => observed.last().cloned().expect("observed last layer"),
+        };
+        (observed, logits)
+    }
+}
+
+impl ModelSnapshot {
+    /// The stateless counterpart of
+    /// [`Sequential::forward_observe_plan`]: runs the snapshotted
+    /// network on a batch through `&self` — no activation caches are
+    /// written, so one snapshot can serve any number of threads without
+    /// replication — and keeps only the planned layers' outputs plus the
+    /// logits.
+    ///
+    /// Inference-time semantics are bit-identical to restoring the
+    /// snapshot and calling the `Sequential` path with `train = false`
+    /// (dropout is inert, so the layer is an identity here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan names a layer `>= self.layers.len()`.
+    pub fn forward_observe_plan(
+        &self,
+        x: &Tensor,
+        plan: &ObservationPlan,
+    ) -> (Vec<Tensor>, Tensor) {
+        if let Some(deepest) = plan.max_layer() {
+            assert!(
+                deepest < self.layers.len(),
+                "plan observes layer {deepest} of a {}-layer snapshot",
+                self.layers.len()
+            );
+        }
+        if self.layers.is_empty() {
+            return (Vec::new(), x.clone());
+        }
+        let mut observed: Vec<Tensor> = Vec::with_capacity(plan.len());
+        let mut carry: Option<Tensor> = Some(x.clone());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let input = carry
+                .as_ref()
+                .or_else(|| observed.last())
+                .expect("current activation");
+            let out = snapshot_layer_forward(layer, input);
+            if plan.observes(i) {
+                carry = None;
+                observed.push(out);
+            } else {
+                carry = Some(out);
+            }
+        }
+        let logits = match carry {
+            Some(t) => t,
+            None => observed.last().cloned().expect("observed last layer"),
+        };
+        (observed, logits)
+    }
+}
+
+/// Inference-mode forward of one snapshotted layer, matching the live
+/// layer's `forward(.., train = false)` arithmetic exactly.
+fn snapshot_layer_forward(layer: &LayerSnapshot, x: &Tensor) -> Tensor {
+    match layer {
+        LayerSnapshot::Dense { w, b } => {
+            let mut y = x.matmul(w);
+            let out = w.shape()[1];
+            let bias = b.data();
+            for r in 0..y.shape()[0] {
+                let row = &mut y.data_mut()[r * out..(r + 1) * out];
+                for (v, &bv) in row.iter_mut().zip(bias) {
+                    *v += bv;
+                }
+            }
+            y
+        }
+        LayerSnapshot::Relu => x.map(|v| v.max(0.0)),
+        LayerSnapshot::LeakyRelu { slope } => {
+            let slope = *slope;
+            x.map(move |v| if v > 0.0 { v } else { slope * v })
+        }
+        // Dropout is inert at inference; Flatten never reshapes (data is
+        // already flat `[batch, features]`).
+        LayerSnapshot::Dropout { .. } | LayerSnapshot::Flatten { .. } => x.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(11);
+        mlp(&[3, 7, 5, 2], &mut rng)
+    }
+
+    #[test]
+    fn plan_sorts_and_dedups() {
+        let plan = ObservationPlan::new(vec![3, 1, 3, 1]);
+        assert_eq!(plan.layers(), &[1, 3]);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.position(3), Some(1));
+        assert_eq!(plan.position(2), None);
+        assert!(plan.observes(1) && !plan.observes(0));
+        assert_eq!(plan.max_layer(), Some(3));
+        assert!(ObservationPlan::new(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn plan_agrees_with_forward_all() {
+        let mut net = net();
+        let x = Tensor::from_vec(vec![2, 3], vec![0.3, -1.2, 0.5, 2.0, 0.1, -0.4]);
+        let all = net.forward_all(&x, false);
+        for layers in [vec![], vec![1], vec![3], vec![1, 3], vec![0, 2, 4]] {
+            let plan = ObservationPlan::new(layers.clone());
+            let (observed, logits) = net.forward_observe_plan(&x, &plan, false);
+            assert_eq!(observed.len(), plan.len());
+            for (got, &l) in observed.iter().zip(plan.layers()) {
+                assert_eq!(got, &all[l + 1], "layer {l}");
+            }
+            assert_eq!(&logits, all.last().expect("nonempty"), "{layers:?}");
+        }
+    }
+
+    #[test]
+    fn observing_the_last_layer_yields_the_logits_twice() {
+        let mut net = net();
+        let last = net.len() - 1;
+        let x = Tensor::ones(vec![1, 3]);
+        let (observed, logits) =
+            net.forward_observe_plan(&x, &ObservationPlan::single(last), false);
+        assert_eq!(observed.len(), 1);
+        assert_eq!(observed[0], logits);
+    }
+
+    #[test]
+    fn snapshot_plan_matches_live_model() {
+        let mut net = net();
+        let snap = ModelSnapshot::capture(&net).expect("MLP captures");
+        let x = Tensor::from_vec(vec![2, 3], vec![1.0, -0.5, 0.25, -2.0, 0.75, 0.0]);
+        for layers in [vec![1], vec![1, 3], vec![0, 4]] {
+            let plan = ObservationPlan::new(layers);
+            let (live_obs, live_logits) = net.forward_observe_plan(&x, &plan, false);
+            let (snap_obs, snap_logits) = snap.forward_observe_plan(&x, &plan);
+            assert_eq!(live_obs, snap_obs);
+            assert_eq!(live_logits, snap_logits);
+        }
+    }
+
+    #[test]
+    fn snapshot_plan_covers_every_layer_variant() {
+        use crate::dense::Dense;
+        use crate::dropout::Dropout;
+        use crate::layer::{Flatten, Layer};
+        use crate::leaky::LeakyRelu;
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Flatten::new(2)),
+            Box::new(Dense::from_parts(
+                Tensor::from_vec(vec![2, 3], vec![1., -1., 0.5, 0.25, 2., -0.75]),
+                Tensor::from_vec(vec![3], vec![0.1, -0.2, 0.3]),
+            )),
+            Box::new(LeakyRelu::new(0.1)),
+            Box::new(Dropout::new(0.4, 3)),
+            Box::new(Dense::from_parts(
+                Tensor::from_vec(vec![3, 2], vec![1., 0., -1., 2., 0.5, 0.5]),
+                Tensor::zeros(vec![2]),
+            )),
+        ];
+        let mut net = Sequential::new(layers);
+        let snap = ModelSnapshot::capture(&net).expect("captures");
+        let x = Tensor::from_vec(vec![2, 2], vec![0.6, -1.4, 2.2, 0.0]);
+        let plan = ObservationPlan::new(vec![0, 1, 2, 3, 4]);
+        let (live_obs, live_logits) = net.forward_observe_plan(&x, &plan, false);
+        let (snap_obs, snap_logits) = snap.forward_observe_plan(&x, &plan);
+        assert_eq!(live_obs, snap_obs);
+        assert_eq!(live_logits, snap_logits);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan observes layer 9")]
+    fn out_of_range_plan_panics() {
+        let mut net = net();
+        let x = Tensor::ones(vec![1, 3]);
+        let _ = net.forward_observe_plan(&x, &ObservationPlan::single(9), false);
+    }
+
+    #[test]
+    fn empty_model_returns_input_as_logits() {
+        let mut net = Sequential::new(Vec::new());
+        let x = Tensor::ones(vec![1, 3]);
+        let (obs, logits) = net.forward_observe_plan(&x, &ObservationPlan::new(vec![]), false);
+        assert!(obs.is_empty());
+        assert_eq!(logits, x);
+    }
+}

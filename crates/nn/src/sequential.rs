@@ -7,19 +7,44 @@ use naps_tensor::Tensor;
 /// A feed-forward stack of layers, applied in order.
 ///
 /// Besides plain [`forward`](Sequential::forward), the container exposes
-/// [`forward_all`](Sequential::forward_all), which returns **every**
-/// intermediate activation: the runtime monitor reads the output of the
-/// layer it watches from that list, exactly like a forward hook in the
-/// paper's PyTorch implementation.
+/// two activation taps: [`forward_observe_plan`](Sequential::forward_observe_plan)
+/// retains exactly the layers an [`crate::ObservationPlan`] names (the
+/// runtime monitors' hot path — like a forward hook in the paper's
+/// PyTorch implementation, without materialising unobserved layers),
+/// and [`forward_all`](Sequential::forward_all) returns **every**
+/// intermediate activation for diagnostics and training-time tooling.
 #[derive(Debug)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    /// Whole-network forward passes executed (batched or not), see
+    /// [`Sequential::forward_passes`].
+    passes: u64,
 }
 
 impl Sequential {
     /// Composes `layers` front to back.
     pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
-        Sequential { layers }
+        Sequential { layers, passes: 0 }
+    }
+
+    /// Number of whole-network forward passes this model has executed
+    /// ([`forward`](Sequential::forward),
+    /// [`forward_all`](Sequential::forward_all) and
+    /// [`forward_observe_plan`](Sequential::forward_observe_plan) each
+    /// count one per call, regardless of batch size or how many layers
+    /// were observed).  Lets monitoring harnesses *measure* — not assume
+    /// — that adding monitored layers adds no forward passes.
+    pub fn forward_passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Resets the [`Sequential::forward_passes`] counter.
+    pub fn reset_forward_passes(&mut self) {
+        self.passes = 0;
+    }
+
+    pub(crate) fn count_pass(&mut self) {
+        self.passes += 1;
     }
 
     /// Number of layers.
@@ -45,6 +70,7 @@ impl Sequential {
 
     /// Runs the network on a batch `[batch, features]`, returning logits.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.passes += 1;
         let mut cur = x.clone();
         for layer in &mut self.layers {
             cur = layer.forward(&cur, train);
@@ -56,6 +82,7 @@ impl Sequential {
     /// input, entry `i + 1` is the output of layer `i` (so the last entry
     /// is the logits).
     pub fn forward_all(&mut self, x: &Tensor, train: bool) -> Vec<Tensor> {
+        self.passes += 1;
         let mut acts = Vec::with_capacity(self.layers.len() + 1);
         acts.push(x.clone());
         for layer in &mut self.layers {
@@ -209,6 +236,19 @@ mod tests {
     fn summary_lists_layers() {
         let net = tiny_net(4);
         assert_eq!(net.summary(), "fc(5), relu, fc(2)");
+    }
+
+    #[test]
+    fn forward_pass_counter_counts_whole_passes() {
+        let mut net = tiny_net(5);
+        assert_eq!(net.forward_passes(), 0);
+        let x = Tensor::ones(vec![2, 3]);
+        let _ = net.forward(&x, false);
+        let _ = net.forward_all(&x, false);
+        let _ = net.forward_observe_plan(&x, &crate::observe::ObservationPlan::single(1), false);
+        assert_eq!(net.forward_passes(), 3, "one count per whole pass");
+        net.reset_forward_passes();
+        assert_eq!(net.forward_passes(), 0);
     }
 
     #[test]

@@ -5,26 +5,36 @@
 //!
 //! ```text
 //!  submit / try_submit / check_batch           workers (one thread each)
-//!  ──────────────┐                            ┌───────────────────────────
-//!   round-robin  │   per-worker queues        │ pop own queue ─┐
-//!   push_back ───┼──► [q0] [q1] [q2] [q3] ────┤ steal siblings ┼─► micro-batch
-//!   (bounded:    │         ▲                  │ (back-steal)   ┘     │
-//!    blocks or   │         └── work-stealing ─┘                      ▼
-//!    Saturated)  │                                   pack_batch → forward
-//!                │                                   (own model replica)
-//!                │              Arc<FrozenMonitor> ◄── per-class shard lookup
-//!                └───────────── callbacks/tickets ◄── MonitorReport per row
+//!  submit_layered / check_layered_batch       ┌───────────────────────────
+//!  ──────────────┐                            │ pop own queue ─┐
+//!   round-robin  │   per-worker queues        │ steal siblings ┼─► micro-batch
+//!   push_back ───┼──► [q0] [q1] [q2] [q3] ────┤ (back-steal)   ┘     │
+//!   (bounded:    │         ▲                  │                      ▼
+//!    blocks or   │         └── work-stealing ─┘     pack_batch → one plan-observed
+//!    Saturated)  │                                  forward pass (own replica)
+//!                │                                            │
+//!                │   Arc<FrozenLayeredMonitor> ◄── per-layer, per-class
+//!                │   (one FrozenMonitor per layer)   shard lookups
+//!                └── callbacks/tickets ◄── CombinePolicy fold ◄─┘
+//!                    (LayeredEpochReport; EpochReport = N=1 view)
 //! ```
 //!
-//! * **Thread safety.** Workers share one immutable [`FrozenMonitor`]
-//!   (`Arc`; per-class zones are `Arc<FrozenZone>` snapshots) — reads
-//!   take no lock.  The only mutable state per worker is its own model
-//!   replica (forward passes cache activations, hence `&mut`).
+//! * **Thread safety.** Workers share one immutable
+//!   [`FrozenLayeredMonitor`] (`Arc`; per-class zones are
+//!   `Arc<FrozenZone>` snapshots) — reads take no lock.  The only mutable
+//!   state per worker is its own model replica (forward passes cache
+//!   activations, hence `&mut`).
+//! * **Multi-layer.** The engine always serves the layered family; an
+//!   engine built from a single [`Monitor`] is the `N = 1` special case.
+//!   One [`naps_core::batch::ObservationPlan`]-driven forward pass per
+//!   micro-batch retains exactly the monitored layers' activations:
+//!   every additional monitored layer costs per-class shard lookups,
+//!   never another forward pass.
 //! * **Live updates.** The served snapshot sits in a read-mostly publish
-//!   slot; [`MonitorEngine::publish`] hot-swaps an enriched replacement,
-//!   workers adopt it at their next micro-batch boundary, and every
-//!   verdict carries the epoch of the snapshot that judged it
-//!   ([`EpochReport`]).
+//!   slot; [`MonitorEngine::publish`] / [`MonitorEngine::publish_layered`]
+//!   hot-swap an enriched replacement, workers adopt it at their next
+//!   micro-batch boundary, and every verdict carries the epoch of the
+//!   snapshot that judged it ([`EpochReport`] / [`LayeredEpochReport`]).
 //! * **Batching.** A worker drains up to `max_batch` requests in one
 //!   lock acquisition — its own queue first, then stealing from the
 //!   most-loaded sibling — and runs **one** forward pass for the whole
@@ -35,15 +45,18 @@
 //!   [`MonitorEngine::try_submit`] returns
 //!   [`SubmitError::Saturated`] instead.
 //! * **Equivalence.** Every path funnels through the same
-//!   `pack_batch` → `forward_observe_packed` → shard-lookup pipeline as
-//!   the sequential [`naps_core::Monitor::check_batch`], so verdicts are
+//!   `pack_batch` → `forward_observe_plan` → shard-lookup pipeline as
+//!   the sequential [`naps_core::Monitor::check_batch`] /
+//!   [`naps_core::LayeredMonitor::check_batch`], so verdicts are
 //!   bit-identical to sequential checking regardless of how requests
 //!   interleave (asserted by the crate's concurrency tests).
+//!
+//! [`FrozenZone`]: crate::FrozenZone
 
-use crate::frozen::FrozenMonitor;
+use crate::frozen::{FrozenLayeredMonitor, FrozenMonitor, LayeredVerdict};
 use naps_core::{
-    BddZone, DriftConfig, DriftDetector, DriftStatus, GradedQuery, GradedReport, Monitor,
-    MonitorReport,
+    BddZone, DriftConfig, DriftDetector, DriftStatus, GradedQuery, GradedReport, LayeredMonitor,
+    Monitor, MonitorReport, Verdict,
 };
 use naps_nn::{ModelSnapshot, Sequential, SnapshotError};
 use naps_tensor::Tensor;
@@ -96,9 +109,10 @@ pub enum EngineError {
         actual: usize,
     },
     /// [`MonitorEngine::publish`] got a monitor that cannot replace the
-    /// one being served (different layer, neuron selection or class
-    /// count): its verdicts would not be comparable across epochs, and
-    /// the worker model replicas would be observing the wrong layer.
+    /// one being served (different layer family, neuron selections,
+    /// combine policy or class count): its verdicts would not be
+    /// comparable across epochs, and the worker model replicas would be
+    /// observing the wrong layers.
     IncompatibleMonitor(&'static str),
 }
 
@@ -173,16 +187,21 @@ pub struct EngineStats {
 }
 
 /// A [`MonitorReport`] stamped with the **epoch** of the zone snapshot
-/// that produced it.
+/// that produced it — the single-layer view of a verdict.
 ///
-/// The engine hot-swaps enriched [`FrozenMonitor`]s while requests are in
-/// flight; the stamp makes every verdict attributable to exactly one zone
-/// set — a verdict with epoch `e` is bit-identical to what sequential
-/// checking against the epoch-`e` monitor returns, no matter how the
-/// request interleaved with the swap.
+/// The engine hot-swaps enriched monitors while requests are in flight;
+/// the stamp makes every verdict attributable to exactly one zone set —
+/// a verdict with epoch `e` is bit-identical to what sequential checking
+/// against the epoch-`e` monitor returns, no matter how the request
+/// interleaved with the swap.
+///
+/// Internally every verdict is a [`LayeredEpochReport`]; this is its
+/// [projection](LayeredEpochReport::to_single) onto the **primary**
+/// (first) monitored layer — exact for the `N = 1` engines the
+/// single-layer APIs are built for.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EpochReport {
-    /// Epoch of the [`FrozenMonitor`] that judged the request.
+    /// Epoch of the monitor snapshot that judged the request.
     pub epoch: u64,
     /// The verdict itself.
     pub report: MonitorReport,
@@ -205,7 +224,61 @@ impl naps_core::MonitorOutcome for EpochReport {
     }
 }
 
-type Callback = Box<dyn FnOnce(EpochReport) + Send + 'static>;
+/// A [`LayeredVerdict`] stamped with the epoch of the
+/// [`FrozenLayeredMonitor`] that produced it, optionally carrying one
+/// graded ranking per monitored layer — what every engine verdict
+/// actually is; [`EpochReport`] is its single-layer projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayeredEpochReport {
+    /// Epoch of the layered snapshot that judged the request.
+    pub epoch: u64,
+    /// The network's decision.
+    pub predicted: usize,
+    /// One full report per monitored layer, in the family's construction
+    /// order — bit-identical to sequential layered checking at this
+    /// epoch.
+    pub per_layer: Vec<MonitorReport>,
+    /// The [`naps_core::CombinePolicy`]-combined verdict.
+    pub combined: Verdict,
+    /// One graded ranking per monitored layer for graded submissions
+    /// (same order as [`LayeredEpochReport::per_layer`], whose entries
+    /// the graded reports embed verbatim); `None` for binary
+    /// submissions.
+    pub graded: Option<Vec<GradedReport>>,
+}
+
+impl LayeredEpochReport {
+    /// The single-layer view: the **primary** (first) layer's report and
+    /// graded ranking under the combined verdict's epoch.  For an
+    /// `N = 1` engine this is the whole verdict — the combined verdict
+    /// *is* the lone layer's — so the projection is exact.
+    pub fn to_single(&self) -> EpochReport {
+        EpochReport {
+            epoch: self.epoch,
+            report: self.per_layer[0].clone(),
+            graded: self.graded.as_ref().map(|g| g[0].clone()),
+        }
+    }
+
+    /// Consuming [`LayeredEpochReport::to_single`]: moves the primary
+    /// layer's report and ranking out instead of cloning them — what the
+    /// engine's single-layer API paths use per verdict.
+    pub fn into_single(mut self) -> EpochReport {
+        EpochReport {
+            epoch: self.epoch,
+            report: self.per_layer.swap_remove(0),
+            graded: self.graded.map(|mut g| g.swap_remove(0)),
+        }
+    }
+}
+
+impl naps_core::MonitorOutcome for LayeredEpochReport {
+    fn out_of_pattern(&self) -> bool {
+        self.combined == Verdict::OutOfPattern
+    }
+}
+
+type Callback = Box<dyn FnOnce(LayeredEpochReport) + Send + 'static>;
 
 struct Request {
     input: Tensor,
@@ -240,7 +313,7 @@ struct Shared {
     /// served.  Workers hold their own `Arc` clone and only touch this
     /// mutex when [`Shared::epoch`] tells them a newer snapshot exists —
     /// the verdict hot path itself stays lock-free.
-    published: Mutex<Arc<FrozenMonitor>>,
+    published: Mutex<Arc<FrozenLayeredMonitor>>,
     /// Epoch of the snapshot in [`Shared::published`].  Workers poll this
     /// atomic (one relaxed-cost load) at every micro-batch boundary.
     epoch: AtomicU64,
@@ -249,22 +322,31 @@ struct Shared {
     stolen: AtomicU64,
     largest_batch: AtomicUsize,
     swaps: AtomicU64,
-    /// Per-class drift tracking (`None` until
-    /// [`MonitorEngine::enable_drift`]).  Workers fold each micro-batch's
-    /// verdicts in under one short lock acquisition — off the lock-free
-    /// verdict hot path, and skipped entirely while disabled.
+    /// Drift tracking keyed by (layer, class), plus the combined view
+    /// (`None` until [`MonitorEngine::enable_drift`]).  Workers fold each
+    /// micro-batch's verdicts in under one short lock acquisition — off
+    /// the lock-free verdict hot path, and skipped entirely while
+    /// disabled.
     drift: Mutex<Option<DriftState>>,
 }
 
-/// Per-class drift detectors plus the epoch their evidence was gathered
-/// under.
+/// Drift detectors — combined per class, plus one per (layer, class) —
+/// and the epoch their evidence was gathered under.
 struct DriftState {
     config: DriftConfig,
-    detectors: Vec<DriftDetector>,
-    /// EWMA of `distance_to_seeds` per class (same smoothing factor as
-    /// the rate EWMA) — the quantitative "how far out, on average"
-    /// companion to the out-of-pattern-rate detectors.
+    /// Combined-verdict detectors, one per class (the deployment-level
+    /// "is this class drifting" signal, fed the policy-combined verdict).
+    combined: Vec<DriftDetector>,
+    /// EWMA of the primary layer's `distance_to_seeds` per class (same
+    /// smoothing factor as the rate EWMA) — the quantitative "how far
+    /// out, on average" companion to the out-of-pattern-rate detectors.
     distance_ewma: Vec<Option<f64>>,
+    /// `per_layer[l][c]`: detector of class `c` at layer slot `l`, fed
+    /// that layer's own verdicts — drift can start at one abstraction
+    /// level before it shows in the combined fold.
+    per_layer: Vec<Vec<DriftDetector>>,
+    /// Model layer index of each slot of [`DriftState::per_layer`].
+    layer_indices: Vec<usize>,
     /// Epoch of the zone set the detectors gather evidence for.  Reset
     /// (with the detectors) on every publish; workers skip whole batches
     /// judged under any other epoch, so sustained rates under an old
@@ -273,29 +355,51 @@ struct DriftState {
 }
 
 impl DriftState {
-    fn new(config: DriftConfig, num_classes: usize, epoch: u64) -> Self {
+    fn new(config: DriftConfig, layer_indices: Vec<usize>, num_classes: usize, epoch: u64) -> Self {
         DriftState {
-            detectors: (0..num_classes)
+            combined: (0..num_classes)
                 .map(|_| DriftDetector::new(config.clone()))
                 .collect(),
             distance_ewma: vec![None; num_classes],
+            per_layer: layer_indices
+                .iter()
+                .map(|_| {
+                    (0..num_classes)
+                        .map(|_| DriftDetector::new(config.clone()))
+                        .collect()
+                })
+                .collect(),
+            layer_indices,
             config,
             epoch,
         }
     }
 
-    fn observe(&mut self, report: &MonitorReport) {
-        let Some(det) = self.detectors.get_mut(report.predicted) else {
+    fn rearmed(&self, epoch: u64) -> Self {
+        DriftState::new(
+            self.config.clone(),
+            self.layer_indices.clone(),
+            self.combined.len(),
+            epoch,
+        )
+    }
+
+    fn observe(&mut self, verdict: &LayeredVerdict) {
+        let class = verdict.predicted;
+        if class >= self.combined.len() {
             return; // out-of-range prediction: no class to charge
-        };
-        det.observe(report.verdict);
-        if let Some(d) = report.distance_to_seeds {
+        }
+        self.combined[class].observe(verdict.combined);
+        if let Some(d) = verdict.per_layer[0].distance_to_seeds {
             let alpha = self.config.ewma_alpha;
-            let slot = &mut self.distance_ewma[report.predicted];
+            let slot = &mut self.distance_ewma[class];
             *slot = Some(match *slot {
                 None => f64::from(d),
                 Some(e) => e + alpha * (f64::from(d) - e),
             });
+        }
+        for (dets, report) in self.per_layer.iter_mut().zip(&verdict.per_layer) {
+            dets[class].observe(report.verdict);
         }
     }
 }
@@ -320,7 +424,8 @@ pub struct ClassDriftStatus {
     pub ewma_rate: f64,
     /// EWMA of the distance-to-seeds column (`None` before the first
     /// distance-carrying verdict): rising distance under a stable rate
-    /// is early drift evidence.
+    /// is early drift evidence.  Only tracked for the combined view
+    /// (primary layer's distances); `None` in per-layer statuses.
     pub mean_distance: Option<f64>,
     /// Monitored verdicts folded in.
     pub observed: usize,
@@ -328,7 +433,38 @@ pub struct ClassDriftStatus {
     pub alarms: usize,
 }
 
-/// A handle to one in-flight submission; redeem with
+/// One monitored layer's per-class drift posture (see
+/// [`MonitorEngine::drift_status_by_layer`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDriftStatus {
+    /// The model layer index this slot's evidence belongs to.
+    pub layer: usize,
+    /// Per-class posture at this layer, ascending by class.
+    pub classes: Vec<ClassDriftStatus>,
+}
+
+fn class_statuses(
+    detectors: &[DriftDetector],
+    distance_ewma: Option<&[Option<f64>]>,
+    epoch: u64,
+) -> Vec<ClassDriftStatus> {
+    detectors
+        .iter()
+        .enumerate()
+        .map(|(class, det)| ClassDriftStatus {
+            class,
+            status: det.status(),
+            epoch,
+            windowed_rate: det.windowed_rate(),
+            ewma_rate: det.ewma_rate(),
+            mean_distance: distance_ewma.and_then(|d| d[class]),
+            observed: det.observed(),
+            alarms: det.alarm_count(),
+        })
+        .collect()
+}
+
+/// A handle to one in-flight single-layer-view submission; redeem with
 /// [`VerdictTicket::wait`].
 #[derive(Debug)]
 pub struct VerdictTicket {
@@ -367,16 +503,56 @@ impl VerdictTicket {
     }
 }
 
-/// A parallel monitoring service over a frozen [`Monitor`].
+/// A handle to one in-flight layered submission; redeem with
+/// [`LayeredVerdictTicket::wait`].
+#[derive(Debug)]
+pub struct LayeredVerdictTicket {
+    rx: mpsc::Receiver<LayeredEpochReport>,
+}
+
+impl LayeredVerdictTicket {
+    /// Blocks until the layered verdict is ready.
+    ///
+    /// # Panics
+    ///
+    /// As [`VerdictTicket::wait`].
+    pub fn wait(self) -> LayeredEpochReport {
+        self.rx
+            .recv()
+            .expect("engine worker dropped the request without answering")
+    }
+
+    /// Returns the verdict if it is already available, `None` while the
+    /// request is still queued or in flight.
+    ///
+    /// # Panics
+    ///
+    /// As [`VerdictTicket::try_wait`].
+    pub fn try_wait(&self) -> Option<LayeredEpochReport> {
+        match self.rx.try_recv() {
+            Ok(report) => Some(report),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                panic!("engine worker dropped the request without answering")
+            }
+        }
+    }
+}
+
+/// A parallel monitoring service over a frozen (possibly multi-layer)
+/// monitor.
 ///
 /// See the [module docs](self) for the architecture.  Construct with
-/// [`MonitorEngine::new`] (replicates the model via [`ModelSnapshot`])
-/// or [`MonitorEngine::with_replicas`] (caller-supplied replicas, e.g.
-/// for convolutional models), submit with
+/// [`MonitorEngine::new`] / [`MonitorEngine::new_layered`] (replicates
+/// the model via [`ModelSnapshot`]) or [`MonitorEngine::with_replicas`]
+/// / [`MonitorEngine::with_layered_replicas`] (caller-supplied replicas,
+/// e.g. for convolutional models), submit with
 /// [`submit`](MonitorEngine::submit) /
-/// [`submit_with`](MonitorEngine::submit_with) /
-/// [`check_batch`](MonitorEngine::check_batch), hot-swap enriched zone
-/// snapshots with [`publish`](MonitorEngine::publish), and stop with
+/// [`submit_layered`](MonitorEngine::submit_layered) /
+/// [`check_batch`](MonitorEngine::check_batch) /
+/// [`check_layered_batch`](MonitorEngine::check_layered_batch), hot-swap
+/// enriched zone snapshots with [`publish`](MonitorEngine::publish) /
+/// [`publish_layered`](MonitorEngine::publish_layered), and stop with
 /// [`shutdown`](MonitorEngine::shutdown) (or [`stop`](MonitorEngine::stop)
 /// from a shared reference, or just drop it — remaining queued requests
 /// are drained first in every case).
@@ -386,8 +562,9 @@ pub struct MonitorEngine {
 }
 
 impl MonitorEngine {
-    /// Builds an engine over `monitor`, sharding its classes across
-    /// `config.workers` shards and replicating `model` once per worker.
+    /// Builds an engine over a single-layer `monitor` — the `N = 1`
+    /// layered deployment — sharding its classes across `config.workers`
+    /// shards and replicating `model` once per worker.
     ///
     /// # Errors
     ///
@@ -401,15 +578,54 @@ impl MonitorEngine {
     ) -> Result<Self, EngineError> {
         let snap = ModelSnapshot::capture(model).map_err(EngineError::UnsupportedModel)?;
         let replicas = (0..config.workers).map(|_| snap.restore()).collect();
-        Self::with_replicas(
-            FrozenMonitor::shard_by_class(monitor, config.workers.max(1)),
+        Self::with_layered_replicas(
+            FrozenLayeredMonitor::from_single(FrozenMonitor::shard_by_class(
+                monitor,
+                config.workers.max(1),
+            )),
             replicas,
             config,
         )
     }
 
-    /// Builds an engine from an already-frozen monitor and caller-made
-    /// model replicas (one per worker).  The replicas must be
+    /// Builds an engine over a multi-layer `monitor`, sharding every
+    /// layer's classes across `config.workers` shards and replicating
+    /// `model` once per worker.
+    ///
+    /// # Errors
+    ///
+    /// As [`MonitorEngine::new`].
+    pub fn new_layered(
+        monitor: &LayeredMonitor<BddZone>,
+        model: &Sequential,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let snap = ModelSnapshot::capture(model).map_err(EngineError::UnsupportedModel)?;
+        let replicas = (0..config.workers).map(|_| snap.restore()).collect();
+        Self::with_layered_replicas(
+            FrozenLayeredMonitor::shard_by_class(monitor, config.workers.max(1)),
+            replicas,
+            config,
+        )
+    }
+
+    /// Builds an engine from an already-frozen single-layer monitor
+    /// (lifted to the `N = 1` layered family) and caller-made model
+    /// replicas (one per worker).
+    ///
+    /// # Errors
+    ///
+    /// As [`MonitorEngine::with_layered_replicas`].
+    pub fn with_replicas(
+        monitor: FrozenMonitor,
+        replicas: Vec<Sequential>,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        Self::with_layered_replicas(FrozenLayeredMonitor::from_single(monitor), replicas, config)
+    }
+
+    /// Builds an engine from an already-frozen layered monitor and
+    /// caller-made model replicas (one per worker).  The replicas must be
     /// behaviourally identical — verdict equivalence with sequential
     /// checking is only as good as the replication.
     ///
@@ -418,8 +634,8 @@ impl MonitorEngine {
     /// [`EngineError::InvalidConfig`] on zero-sized knobs,
     /// [`EngineError::ReplicaCountMismatch`] when
     /// `replicas.len() != config.workers`.
-    pub fn with_replicas(
-        monitor: FrozenMonitor,
+    pub fn with_layered_replicas(
+        monitor: FrozenLayeredMonitor,
         replicas: Vec<Sequential>,
         config: EngineConfig,
     ) -> Result<Self, EngineError> {
@@ -474,11 +690,17 @@ impl MonitorEngine {
         Ok(MonitorEngine { shared, workers })
     }
 
-    /// The monitor snapshot currently being served (the publish slot's
-    /// content at the time of the call — a subsequent
+    /// The **primary** (first) layer of the monitor snapshot currently
+    /// being served — the whole monitor for `N = 1` engines (the publish
+    /// slot's content at the time of the call; a subsequent
     /// [`MonitorEngine::publish`] does not invalidate the returned `Arc`,
     /// it just stops serving from it).
     pub fn monitor(&self) -> Arc<FrozenMonitor> {
+        Arc::clone(self.monitor_layered().primary())
+    }
+
+    /// The full layered monitor snapshot currently being served.
+    pub fn monitor_layered(&self) -> Arc<FrozenLayeredMonitor> {
         Arc::clone(
             &self
                 .shared
@@ -493,39 +715,60 @@ impl MonitorEngine {
         self.shared.epoch.load(Ordering::Acquire)
     }
 
-    /// Hot-swaps `monitor` in as the snapshot to serve, returning the
-    /// epoch stamped onto it (previous epoch + 1).
+    /// Hot-swaps a single-layer `monitor` in as the snapshot to serve —
+    /// the `N = 1` form of [`MonitorEngine::publish_layered`], for
+    /// engines built from a single [`Monitor`].  Returns the epoch
+    /// stamped onto it (previous epoch + 1).
+    ///
+    /// # Errors
+    ///
+    /// As [`MonitorEngine::publish_layered`].
+    pub fn publish(&self, monitor: FrozenMonitor) -> Result<u64, EngineError> {
+        self.publish_layered(FrozenLayeredMonitor::from_single(monitor))
+    }
+
+    /// Hot-swaps `monitor` in as the layered snapshot to serve, returning
+    /// the epoch stamped onto it (previous epoch + 1).
     ///
     /// The swap is **non-disruptive and exact**: no request is lost,
     /// rejected or re-run.  Workers pick the new snapshot up at their
     /// next micro-batch boundary — each in-flight micro-batch finishes
     /// wholly under the snapshot it started with, and every verdict
     /// carries the epoch of the snapshot that judged it
-    /// ([`EpochReport`]), so "which zone set said this?" is always
+    /// ([`LayeredEpochReport`]), so "which zone set said this?" is always
     /// answerable.  Publishing never blocks the verdict hot path; the
     /// slot mutex is touched by workers only on an epoch change.
     ///
     /// # Errors
     ///
-    /// [`EngineError::IncompatibleMonitor`] when `monitor` watches a
-    /// different layer or neuron selection, or has a different class
-    /// count, than the snapshot being replaced — swapping it in would
-    /// make cross-epoch verdicts incomparable.  The engine keeps serving
-    /// the old snapshot.
-    pub fn publish(&self, mut monitor: FrozenMonitor) -> Result<u64, EngineError> {
+    /// [`EngineError::IncompatibleMonitor`] when `monitor` has a
+    /// different layer count, watches different layers or neuron
+    /// selections, folds with a different combine policy, or has a
+    /// different class count than the snapshot being replaced — swapping
+    /// it in would make cross-epoch verdicts incomparable.  The engine
+    /// keeps serving the old snapshot.
+    pub fn publish_layered(&self, mut monitor: FrozenLayeredMonitor) -> Result<u64, EngineError> {
         let mut slot = self
             .shared
             .published
             .lock()
             .unwrap_or_else(|e| e.into_inner());
-        if monitor.layer() != slot.layer() {
-            return Err(EngineError::IncompatibleMonitor("monitored layer differs"));
+        if monitor.num_layers() != slot.num_layers() {
+            return Err(EngineError::IncompatibleMonitor("layer count differs"));
         }
-        if monitor.selection() != slot.selection() {
-            return Err(EngineError::IncompatibleMonitor("neuron selection differs"));
+        if monitor.policy() != slot.policy() {
+            return Err(EngineError::IncompatibleMonitor("combine policy differs"));
         }
         if monitor.num_classes() != slot.num_classes() {
             return Err(EngineError::IncompatibleMonitor("class count differs"));
+        }
+        for (new, old) in monitor.layers().iter().zip(slot.layers()) {
+            if new.layer() != old.layer() {
+                return Err(EngineError::IncompatibleMonitor("monitored layer differs"));
+            }
+            if new.selection() != old.selection() {
+                return Err(EngineError::IncompatibleMonitor("neuron selection differs"));
+            }
         }
         let epoch = self.shared.epoch.load(Ordering::Acquire) + 1;
         monitor.set_epoch(epoch);
@@ -542,50 +785,64 @@ impl MonitorEngine {
         // evidence against the zones that just went live.
         let mut drift = self.shared.drift.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(state) = drift.as_mut() {
-            *state = DriftState::new(state.config.clone(), state.detectors.len(), epoch);
+            *state = state.rearmed(epoch);
         }
         Ok(epoch)
     }
 
-    /// Arms per-class drift tracking: from now on every verdict the
-    /// engine produces also feeds a [`DriftDetector`] for its
-    /// **predicted** class (plus a distance-to-seeds EWMA), so a
-    /// sustained out-of-pattern elevation on any class surfaces as an
-    /// epoch-stamped [`DriftStatus::Drifting`] in
-    /// [`MonitorEngine::drift_status`] — the trigger for the
-    /// enrich → re-freeze → [`MonitorEngine::publish`] loop, which
-    /// re-arms the detectors at the new epoch automatically.
+    /// Arms drift tracking: from now on every verdict the engine produces
+    /// feeds a [`DriftDetector`] per **(layer, class)** — verdicts are
+    /// charged to the predicted class, at each monitored layer
+    /// separately — plus a combined-verdict detector per class and a
+    /// distance-to-seeds EWMA, so a sustained out-of-pattern elevation
+    /// on any class surfaces as an epoch-stamped
+    /// [`DriftStatus::Drifting`] in [`MonitorEngine::drift_status`] (or,
+    /// per abstraction level, [`MonitorEngine::drift_status_by_layer`])
+    /// — the trigger for the enrich → re-freeze →
+    /// [`MonitorEngine::publish`] loop, which re-arms the detectors at
+    /// the new epoch automatically.
     ///
     /// Detectors live off the verdict hot path: workers fold a whole
     /// micro-batch in under one short lock.  Calling this again replaces
     /// any existing tracking state (fresh detectors, current epoch).
     pub fn enable_drift(&self, config: DriftConfig) {
-        let num_classes = self.monitor().num_classes();
+        let monitor = self.monitor_layered();
+        let layer_indices: Vec<usize> = monitor.layers().iter().map(|m| m.layer()).collect();
+        let num_classes = monitor.num_classes();
         let epoch = self.epoch();
         let mut drift = self.shared.drift.lock().unwrap_or_else(|e| e.into_inner());
-        *drift = Some(DriftState::new(config, num_classes, epoch));
+        *drift = Some(DriftState::new(config, layer_indices, num_classes, epoch));
     }
 
-    /// The per-class drift posture, `None` unless
-    /// [`MonitorEngine::enable_drift`] armed tracking.  Classes are
-    /// reported in ascending order; each entry is stamped with the epoch
-    /// its evidence was gathered under.
+    /// The per-class drift posture of the **combined** verdicts, `None`
+    /// unless [`MonitorEngine::enable_drift`] armed tracking.  Classes
+    /// are reported in ascending order; each entry is stamped with the
+    /// epoch its evidence was gathered under.  For an `N = 1` engine the
+    /// combined verdict is the lone layer's verdict, so this is exactly
+    /// the single-layer drift signal.
     pub fn drift_status(&self) -> Option<Vec<ClassDriftStatus>> {
+        let drift = self.shared.drift.lock().unwrap_or_else(|e| e.into_inner());
+        drift
+            .as_ref()
+            .map(|state| class_statuses(&state.combined, Some(&state.distance_ewma), state.epoch))
+    }
+
+    /// The drift posture keyed by (layer, class): one
+    /// [`LayerDriftStatus`] per monitored layer (family order), each with
+    /// per-class detectors fed that layer's **own** verdicts.  `None`
+    /// unless tracking is armed.  Drift at one abstraction level — e.g.
+    /// an early layer seeing novel textures while the deep layer still
+    /// folds in-pattern — shows here before the combined view alarms.
+    pub fn drift_status_by_layer(&self) -> Option<Vec<LayerDriftStatus>> {
         let drift = self.shared.drift.lock().unwrap_or_else(|e| e.into_inner());
         drift.as_ref().map(|state| {
             state
-                .detectors
+                .per_layer
                 .iter()
-                .enumerate()
-                .map(|(class, det)| ClassDriftStatus {
-                    class,
-                    status: det.status(),
-                    epoch: state.epoch,
-                    windowed_rate: det.windowed_rate(),
-                    ewma_rate: det.ewma_rate(),
-                    mean_distance: state.distance_ewma[class],
-                    observed: det.observed(),
-                    alarms: det.alarm_count(),
+                .zip(&state.layer_indices)
+                .map(|(dets, &layer)| LayerDriftStatus {
+                    layer,
+                    classes: class_statuses(dets, None, state.epoch),
                 })
                 .collect()
         })
@@ -598,7 +855,7 @@ impl MonitorEngine {
         let epoch = self.epoch();
         let mut drift = self.shared.drift.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(state) = drift.as_mut() {
-            *state = DriftState::new(state.config.clone(), state.detectors.len(), epoch);
+            *state = state.rearmed(epoch);
         }
     }
 
@@ -607,9 +864,10 @@ impl MonitorEngine {
         self.workers.len()
     }
 
-    /// Queues `input` and invokes `complete` with the verdict on a
-    /// worker thread — the callback-style API for event loops that must
-    /// not block.  Blocks only while the bounded queue is full.
+    /// Queues `input` and invokes `complete` with the single-layer-view
+    /// verdict on a worker thread — the callback-style API for event
+    /// loops that must not block.  Blocks only while the bounded queue is
+    /// full.
     ///
     /// # Errors
     ///
@@ -619,6 +877,24 @@ impl MonitorEngine {
     pub fn submit_with<F>(&self, input: Tensor, complete: F) -> Result<(), SubmitError>
     where
         F: FnOnce(EpochReport) + Send + 'static,
+    {
+        self.enqueue(
+            input,
+            None,
+            Box::new(move |report| complete(report.into_single())),
+            true,
+        )
+    }
+
+    /// Layered [`MonitorEngine::submit_with`]: the callback receives the
+    /// full [`LayeredEpochReport`].
+    ///
+    /// # Errors
+    ///
+    /// As [`MonitorEngine::submit_with`].
+    pub fn submit_layered_with<F>(&self, input: Tensor, complete: F) -> Result<(), SubmitError>
+    where
+        F: FnOnce(LayeredEpochReport) + Send + 'static,
     {
         self.enqueue(input, None, Box::new(complete), true)
     }
@@ -638,7 +914,12 @@ impl MonitorEngine {
     where
         F: FnOnce(EpochReport) + Send + 'static,
     {
-        self.enqueue(input, Some(query), Box::new(complete), true)
+        self.enqueue(
+            input,
+            Some(query),
+            Box::new(move |report| complete(report.into_single())),
+            true,
+        )
     }
 
     /// Graded [`MonitorEngine::submit`]: queues `input` for a verdict
@@ -658,7 +939,7 @@ impl MonitorEngine {
             input,
             Some(query),
             Box::new(move |report| {
-                let _ = tx.send(report);
+                let _ = tx.send(report.into_single());
             }),
             true,
         )?;
@@ -666,7 +947,7 @@ impl MonitorEngine {
     }
 
     /// Queues `input`, blocking while the queue is full, and returns a
-    /// ticket to wait on.
+    /// ticket to wait on for the single-layer-view verdict.
     ///
     /// # Errors
     ///
@@ -679,11 +960,35 @@ impl MonitorEngine {
             input,
             None,
             Box::new(move |report| {
-                let _ = tx.send(report);
+                let _ = tx.send(report.into_single());
             }),
             true,
         )?;
         Ok(VerdictTicket { rx })
+    }
+
+    /// Layered [`MonitorEngine::submit`]: the ticket resolves to the full
+    /// [`LayeredEpochReport`].  Pass `query` to also compute the
+    /// per-layer graded rankings.
+    ///
+    /// # Errors
+    ///
+    /// As [`MonitorEngine::submit`].
+    pub fn submit_layered(
+        &self,
+        input: Tensor,
+        query: Option<GradedQuery>,
+    ) -> Result<LayeredVerdictTicket, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(
+            input,
+            query,
+            Box::new(move |report| {
+                let _ = tx.send(report);
+            }),
+            true,
+        )?;
+        Ok(LayeredVerdictTicket { rx })
     }
 
     /// Non-blocking [`MonitorEngine::submit`]: fails with
@@ -701,14 +1006,15 @@ impl MonitorEngine {
             input,
             None,
             Box::new(move |report| {
-                let _ = tx.send(report);
+                let _ = tx.send(report.into_single());
             }),
             false,
         )?;
         Ok(VerdictTicket { rx })
     }
 
-    /// Checks one input synchronously through the pool.
+    /// Checks one input synchronously through the pool (single-layer
+    /// view).
     ///
     /// # Errors
     ///
@@ -718,6 +1024,16 @@ impl MonitorEngine {
     /// error, not a hang.
     pub fn check(&self, input: &Tensor) -> Result<EpochReport, SubmitError> {
         Ok(self.submit(input.clone())?.wait())
+    }
+
+    /// Checks one input synchronously through the pool, returning the
+    /// full per-layer verdict.
+    ///
+    /// # Errors
+    ///
+    /// As [`MonitorEngine::check`].
+    pub fn check_layered(&self, input: &Tensor) -> Result<LayeredEpochReport, SubmitError> {
+        Ok(self.submit_layered(input.clone(), None)?.wait())
     }
 
     /// Graded [`MonitorEngine::check`]: the returned report carries the
@@ -734,9 +1050,24 @@ impl MonitorEngine {
         Ok(self.submit_graded(input.clone(), query)?.wait())
     }
 
-    /// Checks a batch synchronously, preserving input order.  The batch
-    /// is fanned out across the pool as individual requests, so workers
-    /// micro-batch and steal freely; results are reassembled by index.
+    /// Graded [`MonitorEngine::check_layered`]: the returned report
+    /// carries one graded ranking per monitored layer at `query`.
+    ///
+    /// # Errors
+    ///
+    /// As [`MonitorEngine::check`].
+    pub fn check_layered_graded(
+        &self,
+        input: &Tensor,
+        query: GradedQuery,
+    ) -> Result<LayeredEpochReport, SubmitError> {
+        Ok(self.submit_layered(input.clone(), Some(query))?.wait())
+    }
+
+    /// Checks a batch synchronously, preserving input order (single-layer
+    /// view).  The batch is fanned out across the pool as individual
+    /// requests, so workers micro-batch and steal freely; results are
+    /// reassembled by index.
     ///
     /// Submission is **all-or-nothing**: every input's width is
     /// validated before anything is queued, so a malformed input at any
@@ -752,6 +1083,26 @@ impl MonitorEngine {
     /// error are drained and their verdicts discarded.  The call never
     /// panics or deadlocks.
     pub fn check_batch(&self, inputs: &[Tensor]) -> Result<Vec<EpochReport>, SubmitError> {
+        Ok(self
+            .check_batch_inner(inputs, None)?
+            .into_iter()
+            .map(LayeredEpochReport::into_single)
+            .collect())
+    }
+
+    /// Layered [`MonitorEngine::check_batch`]: order-preserving,
+    /// all-or-nothing, one full [`LayeredEpochReport`] per input.
+    /// Element `i` is bit-identical to sequential
+    /// [`LayeredMonitor::check_batch`] under the snapshot of the epoch
+    /// stamped on it.
+    ///
+    /// # Errors
+    ///
+    /// As [`MonitorEngine::check_batch`].
+    pub fn check_layered_batch(
+        &self,
+        inputs: &[Tensor],
+    ) -> Result<Vec<LayeredEpochReport>, SubmitError> {
         self.check_batch_inner(inputs, None)
     }
 
@@ -769,6 +1120,24 @@ impl MonitorEngine {
         inputs: &[Tensor],
         query: GradedQuery,
     ) -> Result<Vec<EpochReport>, SubmitError> {
+        Ok(self
+            .check_batch_inner(inputs, Some(query))?
+            .into_iter()
+            .map(LayeredEpochReport::into_single)
+            .collect())
+    }
+
+    /// Graded [`MonitorEngine::check_layered_batch`]: every report
+    /// carries one graded ranking per monitored layer at `query`.
+    ///
+    /// # Errors
+    ///
+    /// As [`MonitorEngine::check_batch`].
+    pub fn check_layered_graded_batch(
+        &self,
+        inputs: &[Tensor],
+        query: GradedQuery,
+    ) -> Result<Vec<LayeredEpochReport>, SubmitError> {
         self.check_batch_inner(inputs, Some(query))
     }
 
@@ -776,7 +1145,7 @@ impl MonitorEngine {
         &self,
         inputs: &[Tensor],
         query: Option<GradedQuery>,
-    ) -> Result<Vec<EpochReport>, SubmitError> {
+    ) -> Result<Vec<LayeredEpochReport>, SubmitError> {
         // Validate the whole batch up front: a width error at index k
         // must not leave k requests in flight whose verdicts nobody will
         // read.
@@ -796,7 +1165,7 @@ impl MonitorEngine {
             )?;
         }
         drop(tx);
-        let mut out: Vec<Option<EpochReport>> = vec![None; inputs.len()];
+        let mut out: Vec<Option<LayeredEpochReport>> = vec![None; inputs.len()];
         for (i, report) in rx {
             out[i] = Some(report);
         }
@@ -996,7 +1365,7 @@ fn worker_loop(id: usize, shared: &Shared, mut model: Sequential) {
     // re-reads the publish slot only at micro-batch boundaries where the
     // epoch atomic says a newer snapshot exists: a batch is judged wholly
     // by one snapshot, and the hot path takes no lock in steady state.
-    let mut monitor: Arc<FrozenMonitor> =
+    let mut monitor: Arc<FrozenLayeredMonitor> =
         Arc::clone(&shared.published.lock().unwrap_or_else(|e| e.into_inner()));
     let mut epoch = monitor.epoch();
     while let Some(batch) = next_batch(id, shared) {
@@ -1010,25 +1379,26 @@ fn worker_loop(id: usize, shared: &Shared, mut model: Sequential) {
             inputs.push(r.input);
             metas.push((r.graded, r.complete));
         }
-        // One forward pass for the micro-batch, then per-request
-        // judgement: binary for plain submissions, binary + graded (one
-        // computation — the graded report embeds the binary one) for
-        // graded submissions.  Mixed batches are fine; the snapshot is
-        // the same either way.
+        // One plan-observed forward pass for the micro-batch — only the
+        // monitored layers' activations are retained — then per-request
+        // judgement: per-layer shard lookups and the policy fold, plus
+        // the per-layer graded rankings for graded submissions (one
+        // computation — each graded report embeds its binary one).
+        // Mixed batches are fine; the snapshot is the same either way.
         let observed = monitor.observe_batch(&mut model, &inputs);
         shared
             .processed
             .fetch_add(observed.len() as u64, Ordering::Relaxed);
         let mut results = Vec::with_capacity(observed.len());
-        for ((query, complete), (predicted, pattern)) in metas.into_iter().zip(observed) {
-            let (report, graded) = match query {
-                None => (monitor.report(predicted, &pattern), None),
+        for ((query, complete), (predicted, patterns)) in metas.into_iter().zip(observed) {
+            let (verdict, graded) = match query {
+                None => (monitor.report(predicted, &patterns), None),
                 Some(q) => {
-                    let g = monitor.check_graded_pattern(predicted, &pattern, q);
-                    (g.report.clone(), Some(g))
+                    let (verdict, graded) = monitor.check_graded_pattern(predicted, &patterns, q);
+                    (verdict, Some(graded))
                 }
             };
-            results.push((complete, report, graded));
+            results.push((complete, verdict, graded));
         }
         // Fold the batch's verdicts into the drift detectors (when
         // armed) before answering: one short lock per micro-batch, off
@@ -1041,16 +1411,23 @@ fn worker_loop(id: usize, shared: &Shared, mut model: Sequential) {
             let mut drift = shared.drift.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(state) = drift.as_mut() {
                 if state.epoch == epoch {
-                    for (_, report, _) in &results {
-                        state.observe(report);
+                    for (_, verdict, _) in &results {
+                        state.observe(verdict);
                     }
                 }
             }
         }
-        for (complete, report, graded) in results {
-            complete(EpochReport {
+        for (complete, verdict, graded) in results {
+            let LayeredVerdict {
+                predicted,
+                per_layer,
+                combined,
+            } = verdict;
+            complete(LayeredEpochReport {
                 epoch,
-                report,
+                predicted,
+                per_layer,
+                combined,
                 graded,
             });
         }

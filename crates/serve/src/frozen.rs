@@ -17,11 +17,13 @@
 //! subset while any worker can still resolve any predicted class.
 
 use naps_bdd::{BddError, BddSnapshot};
-use naps_core::batch::{forward_observe_packed, pack_batch};
+use naps_core::batch::{
+    forward_observe_plan, observe_layered_batch, pack_batch, ObservationPlan, ObservedBatch,
+};
 use naps_core::graded::grade;
 use naps_core::{
-    BddZone, GradedQuery, GradedReport, Monitor, MonitorReport, NearestZone, NeuronSelection,
-    Pattern, Verdict,
+    BddZone, CombinePolicy, GradedQuery, GradedReport, LayeredMonitor, Monitor, MonitorError,
+    MonitorReport, NearestZone, NeuronSelection, Pattern, Verdict,
 };
 use naps_nn::Sequential;
 use naps_tensor::Tensor;
@@ -370,7 +372,13 @@ impl FrozenMonitor {
     ///
     /// [`PersistError::Io`] when the file cannot be written.
     pub fn save(&self, path: &Path) -> Result<(), PersistError> {
-        let persisted = PersistedMonitor {
+        let json = serde_json::to_string(&self.to_persisted()).map_err(PersistError::Format)?;
+        fs::write(path, json).map_err(PersistError::Io)
+    }
+
+    /// The on-disk record of this monitor (shards are re-cut on load).
+    fn to_persisted(&self) -> PersistedMonitor {
+        PersistedMonitor {
             format: PERSIST_FORMAT,
             epoch: self.epoch,
             layer: self.layer,
@@ -380,27 +388,13 @@ impl FrozenMonitor {
             zones: (0..self.num_classes)
                 .map(|c| self.zone(c).cloned())
                 .collect(),
-        };
-        let json = serde_json::to_string(&persisted).map_err(PersistError::Format)?;
-        fs::write(path, json).map_err(PersistError::Io)
+        }
     }
 
-    /// Restores a monitor saved by [`FrozenMonitor::save`]: the exact
-    /// same snapshots (zone-for-zone, epoch included), re-cut into the
-    /// saved shard layout.
-    ///
-    /// Every zone snapshot is structurally validated
-    /// ([`BddSnapshot::validate`]) before it is accepted — the serving
-    /// hot path walks snapshots without bounds checks, so corrupt bytes
-    /// must be rejected here, not discovered mid-query.
-    ///
-    /// # Errors
-    ///
-    /// See [`PersistError`].
-    pub fn load(path: &Path) -> Result<Self, PersistError> {
-        let text = fs::read_to_string(path).map_err(PersistError::Io)?;
-        let persisted: PersistedMonitor =
-            serde_json::from_str(&text).map_err(PersistError::Format)?;
+    /// Validates and reassembles one persisted per-layer record — the
+    /// shared back half of [`FrozenMonitor::load`] and
+    /// [`FrozenLayeredMonitor::load`].
+    fn from_persisted(persisted: PersistedMonitor) -> Result<Self, PersistError> {
         if persisted.format != PERSIST_FORMAT {
             return Err(PersistError::Incompatible("unknown format version"));
         }
@@ -429,6 +423,25 @@ impl FrozenMonitor {
             persisted.selection,
             persisted.epoch,
         ))
+    }
+
+    /// Restores a monitor saved by [`FrozenMonitor::save`]: the exact
+    /// same snapshots (zone-for-zone, epoch included), re-cut into the
+    /// saved shard layout.
+    ///
+    /// Every zone snapshot is structurally validated
+    /// ([`BddSnapshot::validate`]) before it is accepted — the serving
+    /// hot path walks snapshots without bounds checks, so corrupt bytes
+    /// must be rejected here, not discovered mid-query.
+    ///
+    /// # Errors
+    ///
+    /// See [`PersistError`].
+    pub fn load(path: &Path) -> Result<Self, PersistError> {
+        let text = fs::read_to_string(path).map_err(PersistError::Io)?;
+        let persisted: PersistedMonitor =
+            serde_json::from_str(&text).map_err(PersistError::Format)?;
+        Self::from_persisted(persisted)
     }
 
     /// Index of the monitored layer in the [`Sequential`] model.
@@ -543,7 +556,11 @@ impl FrozenMonitor {
             return Vec::new();
         }
         let batch = pack_batch(inputs);
-        let (predicted, monitored) = forward_observe_packed(model, &batch, self.layer);
+        let ObservedBatch {
+            predicted,
+            observed,
+        } = forward_observe_plan(model, &batch, &ObservationPlan::single(self.layer));
+        let monitored = &observed[0];
         predicted
             .into_iter()
             .enumerate()
@@ -553,7 +570,7 @@ impl FrozenMonitor {
 
     /// Batched judgement sharing one forward pass — the same packed path
     /// as [`Monitor::check_batch`] (`pack_batch` →
-    /// `forward_observe_packed` → per-row verdicts), so verdicts are
+    /// `forward_observe_plan` → per-row verdicts), so verdicts are
     /// bit-identical to the live monitor's.
     pub fn check_batch(&self, model: &mut Sequential, inputs: &[Tensor]) -> Vec<MonitorReport> {
         self.observe_batch(model, inputs)
@@ -585,6 +602,354 @@ impl FrozenMonitor {
             .expect("one report per input")
     }
 }
+
+/// One jointly judged classification from a [`FrozenLayeredMonitor`]:
+/// the frozen counterpart of [`naps_core::LayeredReport`], carrying the
+/// full per-layer [`MonitorReport`]s (verdict **and** seed distance)
+/// rather than bare verdicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayeredVerdict {
+    /// The network's decision.
+    pub predicted: usize,
+    /// One report per monitored layer, in the monitor's layer order.
+    /// `per_layer[i].verdict` equals the corresponding entry of the live
+    /// [`LayeredMonitor`]'s `per_layer`.
+    pub per_layer: Vec<MonitorReport>,
+    /// The [`CombinePolicy`]-combined verdict.
+    pub combined: Verdict,
+}
+
+impl naps_core::MonitorOutcome for LayeredVerdict {
+    fn out_of_pattern(&self) -> bool {
+        self.combined == Verdict::OutOfPattern
+    }
+}
+
+/// An immutable multi-layer monitor snapshot: one class-sharded
+/// [`FrozenMonitor`] per monitored layer plus the [`CombinePolicy`] that
+/// folds their verdicts — the deployable form of
+/// [`naps_core::LayeredMonitor`], and the **only** shape the serving
+/// engine ever holds.  A single-layer deployment is simply the `N = 1`
+/// case ([`FrozenLayeredMonitor::from_single`]); there is no separate
+/// single-layer serving path.
+///
+/// One batched forward pass observes every monitored layer: the
+/// [`ObservationPlan`] retains exactly the monitored layers' activations,
+/// so each additional layer costs shard lookups, never another forward
+/// pass.  The container carries the **epoch**; its per-layer monitors are
+/// stamped with the same value so a layer extracted via
+/// [`FrozenLayeredMonitor::primary`] stays attributable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenLayeredMonitor {
+    /// Per-layer monitors in construction order (`Arc`-shared so the
+    /// primary layer can be handed out without copying zones).
+    layers: Vec<Arc<FrozenMonitor>>,
+    policy: CombinePolicy,
+    plan: ObservationPlan,
+    epoch: u64,
+}
+
+impl FrozenLayeredMonitor {
+    /// Lifts a single-layer monitor into the layered family — the
+    /// `N = 1` special case.  The policy is irrelevant for one layer
+    /// (every policy folds a lone verdict to itself); `Any` is recorded.
+    /// The container adopts the monitor's epoch.
+    pub fn from_single(monitor: FrozenMonitor) -> Self {
+        let plan = ObservationPlan::single(monitor.layer());
+        let epoch = monitor.epoch();
+        FrozenLayeredMonitor {
+            layers: vec![Arc::new(monitor)],
+            policy: CombinePolicy::Any,
+            plan,
+            epoch,
+        }
+    }
+
+    /// Assembles a layered monitor from per-layer frozen monitors.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::EmptyMonitorFamily`] when `monitors` is empty;
+    /// [`MonitorError::ClassCountMismatch`] when the monitors disagree on
+    /// the class count.  The epoch starts at 0
+    /// (see [`FrozenLayeredMonitor::with_epoch`]).
+    pub fn try_from_monitors(
+        monitors: Vec<FrozenMonitor>,
+        policy: CombinePolicy,
+    ) -> Result<Self, MonitorError> {
+        naps_core::validate_monitor_family(monitors.iter().map(|m| m.num_classes()))?;
+        let plan = ObservationPlan::new(monitors.iter().map(|m| m.layer()).collect());
+        let mut layered = FrozenLayeredMonitor {
+            layers: monitors.into_iter().map(Arc::new).collect(),
+            policy,
+            plan,
+            epoch: 0,
+        };
+        layered.set_epoch(0);
+        Ok(layered)
+    }
+
+    /// Freezes a live [`LayeredMonitor`] into a single shard per layer.
+    pub fn freeze(layered: &LayeredMonitor<BddZone>) -> Self {
+        Self::shard_by_class(layered, 1)
+    }
+
+    /// Freezes a live [`LayeredMonitor`], splitting every layer's classes
+    /// round-robin into `num_shards` disjoint shards (like
+    /// [`FrozenMonitor::shard_by_class`], per layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero.
+    pub fn shard_by_class(layered: &LayeredMonitor<BddZone>, num_shards: usize) -> Self {
+        let monitors = layered
+            .monitors()
+            .iter()
+            .map(|m| FrozenMonitor::shard_by_class(m, num_shards))
+            .collect();
+        Self::try_from_monitors(monitors, layered.policy())
+            .expect("a live LayeredMonitor is a valid family by construction")
+    }
+
+    /// The per-layer monitors, in construction order.
+    pub fn layers(&self) -> &[Arc<FrozenMonitor>] {
+        &self.layers
+    }
+
+    /// Number of monitored layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The **primary** layer: the first monitor in construction order.
+    /// Single-layer views of a layered deployment (the engine's
+    /// `EpochReport` projection, `MonitorEngine::monitor`) read this
+    /// layer; builders put the paper's close-to-output monitor first.
+    pub fn primary(&self) -> &Arc<FrozenMonitor> {
+        &self.layers[0]
+    }
+
+    /// The verdict-combination policy.
+    pub fn policy(&self) -> CombinePolicy {
+        self.policy
+    }
+
+    /// The observation plan: deduplicated ascending monitored layer
+    /// indices, the exact set of activations one forward pass retains.
+    pub fn plan(&self) -> &ObservationPlan {
+        &self.plan
+    }
+
+    /// Number of classes (monitored or not).
+    pub fn num_classes(&self) -> usize {
+        self.layers[0].num_classes()
+    }
+
+    /// The zone-set version this snapshot was cut from.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The same monitor stamped with `epoch` (builder style); the stamp
+    /// propagates to every per-layer monitor.  Epochs are ordinarily
+    /// assigned by the serving engine's publish path.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.set_epoch(epoch);
+        self
+    }
+
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        for layer in &mut self.layers {
+            Arc::make_mut(layer).set_epoch(epoch);
+        }
+    }
+
+    /// Extracts, for each input, the predicted class plus one observed
+    /// pattern per monitored layer — **one** forward pass for the whole
+    /// batch retaining only the planned layers' activations, the common
+    /// front half of every layered check.
+    pub fn observe_batch(
+        &self,
+        model: &mut Sequential,
+        inputs: &[Tensor],
+    ) -> Vec<(usize, Vec<Pattern>)> {
+        observe_layered_batch(
+            model,
+            inputs,
+            &self.plan,
+            self.layers.iter().map(|m| (m.layer(), m.selection())),
+        )
+    }
+
+    /// Judges already-extracted per-layer patterns (one per monitored
+    /// layer, in layer order): each layer's shard reports, then the
+    /// policy fold — per-layer verdicts are bit-identical to the live
+    /// [`LayeredMonitor`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns.len() != self.num_layers()`.
+    pub fn report(&self, predicted: usize, patterns: &[Pattern]) -> LayeredVerdict {
+        assert_eq!(
+            patterns.len(),
+            self.layers.len(),
+            "one pattern per monitored layer"
+        );
+        let per_layer: Vec<MonitorReport> = self
+            .layers
+            .iter()
+            .zip(patterns)
+            .map(|(m, pattern)| m.report(predicted, pattern))
+            .collect();
+        let verdicts: Vec<Verdict> = per_layer.iter().map(|r| r.verdict).collect();
+        LayeredVerdict {
+            predicted,
+            per_layer,
+            combined: self.policy.combine(&verdicts),
+        }
+    }
+
+    /// Graded [`FrozenLayeredMonitor::report`]: additionally computes the
+    /// full graded ranking per layer ([`FrozenMonitor::check_graded_pattern`],
+    /// bit-identical to the live monitor's).  The binary half is
+    /// assembled from the reports the graded queries embed, so the two
+    /// halves can never disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns.len() != self.num_layers()`.
+    pub fn check_graded_pattern(
+        &self,
+        predicted: usize,
+        patterns: &[Pattern],
+        query: GradedQuery,
+    ) -> (LayeredVerdict, Vec<GradedReport>) {
+        assert_eq!(
+            patterns.len(),
+            self.layers.len(),
+            "one pattern per monitored layer"
+        );
+        let graded: Vec<GradedReport> = self
+            .layers
+            .iter()
+            .zip(patterns)
+            .map(|(m, pattern)| m.check_graded_pattern(predicted, pattern, query))
+            .collect();
+        let per_layer: Vec<MonitorReport> = graded.iter().map(|g| g.report.clone()).collect();
+        let verdicts: Vec<Verdict> = per_layer.iter().map(|r| r.verdict).collect();
+        (
+            LayeredVerdict {
+                predicted,
+                per_layer,
+                combined: self.policy.combine(&verdicts),
+            },
+            graded,
+        )
+    }
+
+    /// Batched joint judgement sharing one plan-observed forward pass.
+    pub fn check_batch(&self, model: &mut Sequential, inputs: &[Tensor]) -> Vec<LayeredVerdict> {
+        self.observe_batch(model, inputs)
+            .into_iter()
+            .map(|(p, patterns)| self.report(p, &patterns))
+            .collect()
+    }
+
+    /// Batched graded joint judgement sharing one forward pass; element
+    /// `i` equals [`FrozenLayeredMonitor::check_graded_pattern`] on row
+    /// `i`'s observation.
+    pub fn check_graded_batch(
+        &self,
+        model: &mut Sequential,
+        inputs: &[Tensor],
+        query: GradedQuery,
+    ) -> Vec<(LayeredVerdict, Vec<GradedReport>)> {
+        self.observe_batch(model, inputs)
+            .into_iter()
+            .map(|(p, patterns)| self.check_graded_pattern(p, &patterns, query))
+            .collect()
+    }
+
+    /// Single-input judgement (a batch of one).
+    pub fn check(&self, model: &mut Sequential, input: &Tensor) -> LayeredVerdict {
+        self.check_batch(model, std::slice::from_ref(input))
+            .pop()
+            .expect("one report per input")
+    }
+
+    /// Persists the whole family — every layer's class snapshots plus the
+    /// combine policy and epoch — as a versioned JSON container
+    /// (format 2).  [`FrozenLayeredMonitor::load`] restores it; it also
+    /// accepts the pre-layered single-monitor format
+    /// ([`FrozenMonitor::save`], format 1), lifted to `N = 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the file cannot be written.
+    pub fn save(&self, path: &Path) -> Result<(), PersistError> {
+        let persisted = PersistedLayeredMonitor {
+            format: PERSIST_FORMAT_LAYERED,
+            epoch: self.epoch,
+            policy: self.policy,
+            layers: self.layers.iter().map(|m| m.to_persisted()).collect(),
+        };
+        let json = serde_json::to_string(&persisted).map_err(PersistError::Format)?;
+        fs::write(path, json).map_err(PersistError::Io)
+    }
+
+    /// Restores a monitor saved by [`FrozenLayeredMonitor::save`]
+    /// **or** by the pre-layered [`FrozenMonitor::save`] — old
+    /// single-layer files keep loading forever, as the `N = 1` case
+    /// (policy `Any`).  Every zone snapshot of every layer is
+    /// structurally validated before acceptance, exactly as the
+    /// single-layer load does.
+    ///
+    /// # Errors
+    ///
+    /// See [`PersistError`]; a file that parses as neither format
+    /// reports the layered parse failure.
+    pub fn load(path: &Path) -> Result<Self, PersistError> {
+        let text = fs::read_to_string(path).map_err(PersistError::Io)?;
+        match serde_json::from_str::<PersistedLayeredMonitor>(&text) {
+            Ok(container) => {
+                if container.format != PERSIST_FORMAT_LAYERED {
+                    return Err(PersistError::Incompatible("unknown format version"));
+                }
+                let mut monitors = Vec::with_capacity(container.layers.len());
+                for layer in container.layers {
+                    monitors.push(FrozenMonitor::from_persisted(layer)?);
+                }
+                let layered = Self::try_from_monitors(monitors, container.policy)
+                    .map_err(|_| PersistError::Incompatible("invalid layer family"))?;
+                Ok(layered.with_epoch(container.epoch))
+            }
+            Err(layered_err) => {
+                // Not a layered container: the pre-layered single-monitor
+                // format parses as one per-layer record.
+                let persisted: PersistedMonitor =
+                    serde_json::from_str(&text).map_err(|_| PersistError::Format(layered_err))?;
+                Ok(Self::from_single(FrozenMonitor::from_persisted(persisted)?))
+            }
+        }
+    }
+}
+
+/// On-disk shape of a [`FrozenLayeredMonitor`]: the versioned container
+/// around one [`PersistedMonitor`] record per layer.
+#[derive(Debug, Serialize, Deserialize)]
+struct PersistedLayeredMonitor {
+    format: u32,
+    epoch: u64,
+    policy: CombinePolicy,
+    layers: Vec<PersistedMonitor>,
+}
+
+/// Version tag of [`PersistedLayeredMonitor`].  Format 1 is the
+/// pre-layered [`PersistedMonitor`]; bump past 2 on breaking layout
+/// changes.
+const PERSIST_FORMAT_LAYERED: u32 = 2;
 
 #[cfg(test)]
 mod tests {

@@ -12,21 +12,41 @@
 //! | Type | Role |
 //! |---|---|
 //! | [`FrozenZone`] | one class's zone + seeds as immutable [`naps_bdd::BddSnapshot`]s |
-//! | [`FrozenMonitor`] / [`MonitorShard`] | a deployable, epoch-versioned monitor split class-wise into disjoint shards |
+//! | [`FrozenMonitor`] / [`MonitorShard`] | one layer's deployable monitor split class-wise into disjoint shards |
+//! | [`FrozenLayeredMonitor`] / [`LayeredVerdict`] | the epoch-versioned N-layer family the engine serves (single-layer = N = 1) |
 //! | [`MonitorEngine`] | the worker pool: batching, stealing, backpressure, hot swap |
 //! | [`EngineConfig`] | workers / `max_batch` / `queue_capacity` knobs |
-//! | [`VerdictTicket`] | handle to one in-flight verdict |
-//! | [`EpochReport`] | a verdict stamped with the zone epoch that produced it, optionally carrying the graded payload |
-//! | [`ClassDriftStatus`] | one class's epoch-stamped drift posture (see [`MonitorEngine::enable_drift`]) |
+//! | [`VerdictTicket`] / [`LayeredVerdictTicket`] | handles to one in-flight verdict |
+//! | [`EpochReport`] / [`LayeredEpochReport`] | a verdict stamped with the zone epoch that produced it, optionally carrying the graded payload(s) |
+//! | [`ClassDriftStatus`] / [`LayerDriftStatus`] | epoch-stamped drift posture, combined and per (layer, class) |
 //! | [`EngineStats`] | processed / batches / stolen / largest-batch / swaps counters |
-//! | [`PersistError`] | why a [`FrozenMonitor::save`] / [`FrozenMonitor::load`] failed |
+//! | [`PersistError`] | why a frozen-monitor `save` / `load` failed |
 //!
 //! Verdicts are **bit-identical** to sequential
-//! [`naps_core::Monitor::check`] checking: every path reuses the same
-//! `pack_batch` → `forward_observe_packed` pipeline, model replicas are
-//! exact parameter copies, and frozen-snapshot queries agree with the
-//! live BDD manager query-for-query (pinned by property tests in
-//! `naps-bdd` and the concurrency suite here).
+//! [`naps_core::Monitor::check`] /
+//! [`naps_core::LayeredMonitor::check_batch`] checking: every path
+//! reuses the same `pack_batch` → `forward_observe_plan` pipeline (one
+//! forward pass retaining only the monitored layers' activations), model
+//! replicas are exact parameter copies, and frozen-snapshot queries
+//! agree with the live BDD manager query-for-query (pinned by property
+//! tests in `naps-bdd` and the concurrency suite here).
+//!
+//! ## Multi-layer monitoring
+//!
+//! The engine natively serves **N monitored layers per query**: a
+//! [`FrozenLayeredMonitor`] holds one class-sharded [`FrozenMonitor`]
+//! per layer plus the [`naps_core::CombinePolicy`] (`Any` / `All` /
+//! `Majority`) that folds the per-layer verdicts.  One observation-plan
+//! forward pass feeds all layers — adding a monitored layer costs shard
+//! lookups, never another forward pass — and the layered query APIs
+//! ([`MonitorEngine::check_layered_batch`],
+//! [`MonitorEngine::submit_layered`], …) return [`LayeredEpochReport`]s
+//! carrying per-layer reports and, when requested, per-layer graded
+//! rankings.  A single-layer engine is exactly the `N = 1` case; its
+//! [`EpochReport`] API is the [`LayeredEpochReport::to_single`]
+//! projection.  [`FrozenLayeredMonitor::save`] writes a versioned
+//! container that [`FrozenLayeredMonitor::load`] restores — including
+//! files written by the pre-layered [`FrozenMonitor::save`] format.
 //!
 //! ## Live updates
 //!
@@ -103,7 +123,9 @@ mod engine;
 mod frozen;
 
 pub use engine::{
-    ClassDriftStatus, EngineConfig, EngineError, EngineStats, EpochReport, MonitorEngine,
-    SubmitError, VerdictTicket,
+    ClassDriftStatus, EngineConfig, EngineError, EngineStats, EpochReport, LayerDriftStatus,
+    LayeredEpochReport, LayeredVerdictTicket, MonitorEngine, SubmitError, VerdictTicket,
 };
-pub use frozen::{FrozenMonitor, FrozenZone, MonitorShard, PersistError};
+pub use frozen::{
+    FrozenLayeredMonitor, FrozenMonitor, FrozenZone, LayeredVerdict, MonitorShard, PersistError,
+};
