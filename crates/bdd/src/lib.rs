@@ -36,6 +36,7 @@
 //! assert!(!bdd.eval(z1, &[true, true, true]));   // distance 2
 //! ```
 
+mod compiled;
 mod dot;
 mod error;
 mod hamming;
@@ -46,6 +47,9 @@ mod reorder;
 mod sat;
 mod serialize;
 
+pub use compiled::{
+    bit_slice_block, pack_words, CompiledPath, CompiledZone, SMALL_ZONE_MAX_PATTERNS,
+};
 pub use error::BddError;
 pub use manager::{Bdd, BddStats, NodeId, VarId};
 pub use sat::SatIter;

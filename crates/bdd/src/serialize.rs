@@ -98,6 +98,18 @@ impl BddSnapshot {
         self.nodes.len()
     }
 
+    /// Raw topo-ordered node array for the compile-time lowering in
+    /// [`crate::compiled`] (children precede parents; indices shifted by
+    /// 2, with `0`/`1` the terminals).
+    pub(crate) fn raw_nodes(&self) -> &[(VarId, u32, u32)] {
+        &self.nodes
+    }
+
+    /// Raw root entry (same encoding as the node children).
+    pub(crate) fn raw_root(&self) -> u32 {
+        self.root
+    }
+
     /// Evaluates the captured function under a full assignment without
     /// restoring it into a manager: a single root-to-terminal walk over the
     /// immutable node array.

@@ -10,8 +10,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use naps_bench::serving_fixture;
-use naps_core::ActivationMonitor;
-use naps_serve::{EngineConfig, MonitorEngine};
+use naps_core::{ActivationMonitor, MonitorReport, Pattern, Verdict};
+use naps_serve::{EngineConfig, FrozenMonitor, MonitorEngine};
 
 const CLASSES: usize = 6;
 const PROBES: usize = 256;
@@ -59,5 +59,50 @@ fn bench_engine(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_sequential, bench_engine);
+/// Judge-only (no forward pass): the compiled frozen judging path —
+/// class-grouped batches through the bit-sliced evaluators — against the
+/// walked snapshot oracle on the same pre-observed pairs.  This isolates
+/// what PR 6's compiled evaluators buy; `results/compiled.json` (the
+/// `naps-eval` `compiled` binary) records the same comparison with
+/// explicit speedups and hard-gates divergence.
+fn bench_judge(c: &mut Criterion) {
+    let (monitor, mut model, probes) = serving_fixture(CLASSES, PROBES, 42);
+    let frozen = FrozenMonitor::freeze(&monitor);
+    let pairs: Vec<(usize, Pattern)> = frozen.observe_batch(&mut model, &probes);
+    let pair_refs: Vec<(usize, &Pattern)> = pairs.iter().map(|(p, pat)| (*p, pat)).collect();
+    let walk_one = |&(p, pat): &(usize, &Pattern)| -> MonitorReport {
+        match frozen.zone(p) {
+            None => MonitorReport {
+                predicted: p,
+                verdict: Verdict::Unmonitored,
+                distance_to_seeds: None,
+            },
+            Some(z) => MonitorReport {
+                predicted: p,
+                verdict: if z.contains_walked(pat) {
+                    Verdict::InPattern
+                } else {
+                    Verdict::OutOfPattern
+                },
+                distance_to_seeds: z.distance_to_seeds_walked(pat),
+            },
+        }
+    };
+    // The two paths must agree before either is worth timing.
+    assert_eq!(
+        frozen.report_batch(&pair_refs),
+        pair_refs.iter().map(walk_one).collect::<Vec<_>>(),
+        "compiled judging diverged from the walked snapshot oracle"
+    );
+    let mut group = c.benchmark_group("throughput/judge");
+    group.bench_function("walked", |b| {
+        b.iter(|| pair_refs.iter().map(walk_one).collect::<Vec<_>>());
+    });
+    group.bench_function("compiled", |b| {
+        b.iter(|| frozen.report_batch(&pair_refs));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential, bench_engine, bench_judge);
 criterion_main!(benches);

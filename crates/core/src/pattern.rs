@@ -134,6 +134,15 @@ impl Pattern {
     pub fn to_bools(&self) -> Vec<bool> {
         (0..self.len).map(|i| self.get(i)).collect()
     }
+
+    /// The packed 64-bit words backing the pattern: bit `i` lives at
+    /// `words()[i / 64] >> (i % 64)`, and bits at or above `len` are
+    /// always zero.  This is the zero-copy form compiled zone evaluators
+    /// consume on the serving hot path.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
 }
 
 impl fmt::Display for Pattern {

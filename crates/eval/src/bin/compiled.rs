@@ -1,0 +1,32 @@
+//! Benchmarks the compiled zone evaluators against the walked snapshot
+//! oracle on the serving fixture and writes `results/compiled.json`
+//! (per-query-kind speedups, fast-path census).  Exits non-zero when any
+//! compiled answer diverges from the walked oracle, or when the
+//! bit-sliced membership kernel's speedup falls below 2x, so CI can
+//! gate on the compiled path staying both correct and worthwhile.
+//! Usage: `cargo run --release -p naps-eval --bin compiled [--full]`.
+fn main() {
+    let cfg = naps_eval::RunConfig::from_env();
+    let result = naps_eval::compiled::run(&cfg);
+    let mut failures = Vec::new();
+    for row in &result.rows {
+        if !row.identical {
+            failures.push(format!(
+                "compiled {} diverged from the walked snapshot oracle",
+                row.kind
+            ));
+        }
+    }
+    if result.sliced_membership_speedup < 2.0 {
+        failures.push(format!(
+            "bit-sliced membership speedup {:.2}x is below the 2x floor",
+            result.sliced_membership_speedup
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

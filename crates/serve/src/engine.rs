@@ -56,7 +56,7 @@
 use crate::frozen::{FrozenLayeredMonitor, FrozenMonitor, LayeredVerdict};
 use naps_core::{
     BddZone, DriftConfig, DriftDetector, DriftStatus, GradedQuery, GradedReport, LayeredMonitor,
-    Monitor, MonitorReport, Verdict,
+    Monitor, MonitorReport, Pattern, Verdict,
 };
 use naps_nn::{ModelSnapshot, Sequential, SnapshotError};
 use naps_tensor::Tensor;
@@ -1380,21 +1380,35 @@ fn worker_loop(id: usize, shared: &Shared, mut model: Sequential) {
             metas.push((r.graded, r.complete));
         }
         // One plan-observed forward pass for the micro-batch — only the
-        // monitored layers' activations are retained — then per-request
-        // judgement: per-layer shard lookups and the policy fold, plus
-        // the per-layer graded rankings for graded submissions (one
-        // computation — each graded report embeds its binary one).
-        // Mixed batches are fine; the snapshot is the same either way.
+        // monitored layers' activations are retained.  Binary rows are
+        // then judged as one batch (`report_batch` groups rows by
+        // predicted class so the compiled bit-sliced evaluators answer
+        // whole groups per pass); graded rows keep their per-row ranking
+        // query (one computation — each graded report embeds its binary
+        // one).  Mixed batches are fine; the snapshot is the same either
+        // way, and completions stay in submission order.
         let observed = monitor.observe_batch(&mut model, &inputs);
         shared
             .processed
             .fetch_add(observed.len() as u64, Ordering::Relaxed);
+        let binary_rows: Vec<(usize, &[Pattern])> = metas
+            .iter()
+            .zip(&observed)
+            .filter(|((query, _), _)| query.is_none())
+            .map(|(_, (predicted, patterns))| (*predicted, patterns.as_slice()))
+            .collect();
+        let mut binary_verdicts = monitor.report_batch(&binary_rows).into_iter();
         let mut results = Vec::with_capacity(observed.len());
-        for ((query, complete), (predicted, patterns)) in metas.into_iter().zip(observed) {
+        for ((query, complete), (predicted, patterns)) in metas.into_iter().zip(&observed) {
             let (verdict, graded) = match query {
-                None => (monitor.report(predicted, &patterns), None),
+                None => (
+                    binary_verdicts
+                        .next()
+                        .expect("one batched verdict per binary row"),
+                    None,
+                ),
                 Some(q) => {
-                    let (verdict, graded) = monitor.check_graded_pattern(predicted, &patterns, q);
+                    let (verdict, graded) = monitor.check_graded_pattern(*predicted, patterns, q);
                     (verdict, Some(graded))
                 }
             };

@@ -16,7 +16,7 @@
 //! each node of a distributed deployment) ownership of a disjoint class
 //! subset while any worker can still resolve any predicted class.
 
-use naps_bdd::{BddError, BddSnapshot};
+use naps_bdd::{BddError, BddSnapshot, CompiledZone};
 use naps_core::batch::{
     forward_observe_plan, observe_layered_batch, pack_batch, ObservationPlan, ObservedBatch,
 };
@@ -36,24 +36,46 @@ use std::{fs, io};
 
 /// One class's comfort zone, frozen for lock-free concurrent queries.
 ///
-/// Serializable: the two [`BddSnapshot`]s are `naps-bdd`'s wire format,
-/// so a frozen zone persists exactly as it serves
-/// (see [`FrozenMonitor::save`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Freezing (and loading) **compiles** each snapshot into a
+/// [`CompiledZone`] — the flat/bit-sliced/small-zone evaluators of
+/// `naps-bdd` — and every serving query runs on the compiled form.  The
+/// snapshots stay the ground truth: they are what persists (see
+/// [`FrozenMonitor::save`]; compiled evaluators are derived, never
+/// serialized), and the `*_walked` methods run the original
+/// interpreted queries as the oracle the compiled path is pinned
+/// bit-identical to.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrozenZone {
     zone: BddSnapshot,
     seeds: BddSnapshot,
     gamma: u32,
+    /// Compiled form of `zone` (derived at construction).
+    zone_eval: CompiledZone,
+    /// Compiled form of `seeds` (derived at construction).
+    seed_eval: CompiledZone,
 }
 
 impl FrozenZone {
-    /// Captures the enlarged zone and seed set of a live [`BddZone`].
+    /// Captures the enlarged zone and seed set of a live [`BddZone`],
+    /// compiling both for serving.
     pub fn freeze(zone: &BddZone) -> Self {
         use naps_core::Zone;
+        Self::from_snapshots(zone.zone_snapshot(), zone.seed_snapshot(), zone.gamma())
+    }
+
+    /// Assembles a frozen zone from already-captured snapshots, running
+    /// the compile step.  Compilation is deterministic, so two calls on
+    /// equal snapshots produce `==` zones — the invariant that lets
+    /// persistence store snapshots only.
+    fn from_snapshots(zone: BddSnapshot, seeds: BddSnapshot, gamma: u32) -> Self {
+        let zone_eval = CompiledZone::compile(&zone);
+        let seed_eval = CompiledZone::compile(&seeds);
         FrozenZone {
-            zone: zone.zone_snapshot(),
-            seeds: zone.seed_snapshot(),
-            gamma: zone.gamma(),
+            zone,
+            seeds,
+            gamma,
+            zone_eval,
+            seed_eval,
         }
     }
 
@@ -67,41 +89,118 @@ impl FrozenZone {
         self.gamma
     }
 
-    /// Membership in `Z^γ_c` — one walk over the immutable snapshot,
-    /// bit-identical to [`naps_core::Zone::contains`] on the source zone.
+    /// Membership in `Z^γ_c` — the compiled evaluator over the pattern's
+    /// packed words (no unpacking), bit-identical to
+    /// [`naps_core::Zone::contains`] on the source zone and to
+    /// [`FrozenZone::contains_walked`].
     pub fn contains(&self, pattern: &Pattern) -> bool {
-        self.zone.eval(&pattern.to_bools())
+        self.zone_eval.eval_words(pattern.words())
     }
 
     /// Minimum Hamming distance to the seed set `Z^0_c`, `None` when no
     /// pattern was ever inserted — bit-identical to
-    /// [`naps_core::Zone::distance_to_seeds`].
+    /// [`naps_core::Zone::distance_to_seeds`].  Seed sets are small, so
+    /// this is almost always a popcount scan over the enumerated seeds.
     pub fn distance_to_seeds(&self, pattern: &Pattern) -> Option<u32> {
-        self.seeds.min_hamming_distance(&pattern.to_bools())
+        self.seed_eval.min_hamming_distance_words(pattern.words())
     }
 
     /// Minimum Hamming distance to the **enlarged** zone `Z^γ_c`
     /// (`Some(0)` ⇔ [`FrozenZone::contains`]), `None` for an empty zone
-    /// — the unbounded full-array sweep, kept as the reference the
-    /// bounded query is benchmarked and verified against.
+    /// — the unbounded sweep on the compiled structure, kept as the
+    /// reference the bounded query is benchmarked and verified against.
     pub fn distance_to_zone(&self, pattern: &Pattern) -> Option<u32> {
-        self.zone.min_hamming_distance(&pattern.to_bools())
+        self.zone_eval.min_hamming_distance_words(pattern.words())
     }
 
     /// Budget-bounded [`FrozenZone::distance_to_zone`]: `None` when the
     /// zone is empty **or** further than `budget`.  Runs the early-exit
-    /// DP ([`BddSnapshot::min_hamming_distance_within`]), so in-zone
+    /// DP lowered onto the compiled node array
+    /// ([`CompiledZone::min_hamming_distance_within_words`]), so in-zone
     /// patterns cost one walk and far patterns prune without sweeping
     /// the node array — bit-identical to
     /// [`naps_core::Zone::distance_to_zone_within`] on the source zone.
     pub fn distance_to_zone_within(&self, pattern: &Pattern, budget: u32) -> Option<u32> {
+        self.zone_eval
+            .min_hamming_distance_within_words(pattern.words(), budget)
+    }
+
+    /// [`FrozenZone::contains`] on the walked snapshot — the interpreted
+    /// oracle the compiled path is verified against.
+    pub fn contains_walked(&self, pattern: &Pattern) -> bool {
+        self.zone.eval(&pattern.to_bools())
+    }
+
+    /// [`FrozenZone::distance_to_seeds`] on the walked snapshot.
+    pub fn distance_to_seeds_walked(&self, pattern: &Pattern) -> Option<u32> {
+        self.seeds.min_hamming_distance(&pattern.to_bools())
+    }
+
+    /// [`FrozenZone::distance_to_zone`] on the walked snapshot.
+    pub fn distance_to_zone_walked(&self, pattern: &Pattern) -> Option<u32> {
+        self.zone.min_hamming_distance(&pattern.to_bools())
+    }
+
+    /// [`FrozenZone::distance_to_zone_within`] on the walked snapshot.
+    pub fn distance_to_zone_within_walked(&self, pattern: &Pattern, budget: u32) -> Option<u32> {
         self.zone
             .min_hamming_distance_within(&pattern.to_bools(), budget)
+    }
+
+    /// The compiled evaluator of the enlarged zone.
+    pub fn zone_eval(&self) -> &CompiledZone {
+        &self.zone_eval
+    }
+
+    /// The compiled evaluator of the seed set.
+    pub fn seed_eval(&self) -> &CompiledZone {
+        &self.seed_eval
+    }
+
+    /// The walked snapshot of the enlarged zone (the compiled
+    /// evaluator's ground truth).
+    pub fn zone_snapshot(&self) -> &BddSnapshot {
+        &self.zone
+    }
+
+    /// The walked snapshot of the seed set.
+    pub fn seed_snapshot(&self) -> &BddSnapshot {
+        &self.seeds
     }
 
     /// Decision-node count of the frozen (enlarged) zone.
     pub fn node_count(&self) -> usize {
         self.zone.node_count()
+    }
+
+    /// The on-disk record: snapshots and γ only — compiled evaluators
+    /// are rebuilt on load, never serialized.
+    fn to_persisted(&self) -> PersistedZone {
+        PersistedZone {
+            zone: self.zone.clone(),
+            seeds: self.seeds.clone(),
+            gamma: self.gamma,
+        }
+    }
+}
+
+/// On-disk shape of a [`FrozenZone`]: the two snapshots plus γ, in the
+/// exact field layout frozen zones serialized as before evaluators were
+/// compiled — old files keep loading, and new files are byte-identical
+/// to what the pre-compiled code wrote.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PersistedZone {
+    zone: BddSnapshot,
+    seeds: BddSnapshot,
+    gamma: u32,
+}
+
+impl PersistedZone {
+    /// Recompiles the persisted snapshots into a serving zone.  Callers
+    /// must have validated the snapshots first ([`BddSnapshot::validate`])
+    /// — the compiled evaluators index them unchecked.
+    fn into_frozen(self) -> FrozenZone {
+        FrozenZone::from_snapshots(self.zone, self.seeds, self.gamma)
     }
 }
 
@@ -273,7 +372,7 @@ struct PersistedMonitor {
     gamma: u32,
     selection: NeuronSelection,
     num_shards: usize,
-    zones: Vec<Option<FrozenZone>>,
+    zones: Vec<Option<PersistedZone>>,
 }
 
 /// Version tag of [`PersistedMonitor`]; bump on breaking layout changes.
@@ -386,7 +485,7 @@ impl FrozenMonitor {
             selection: self.selection.clone(),
             num_shards: self.shards.len(),
             zones: (0..self.num_classes)
-                .map(|c| self.zone(c).cloned())
+                .map(|c| self.zone(c).map(FrozenZone::to_persisted))
                 .collect(),
         }
     }
@@ -415,7 +514,7 @@ impl FrozenMonitor {
             persisted
                 .zones
                 .into_iter()
-                .map(|z| z.map(Arc::new))
+                .map(|z| z.map(|z| Arc::new(z.into_frozen())))
                 .collect(),
             persisted.num_shards,
             persisted.layer,
@@ -510,6 +609,51 @@ impl FrozenMonitor {
         self.shard_for(predicted).report(predicted, pattern)
     }
 
+    /// Judges a batch of already-extracted `(predicted, pattern)` pairs —
+    /// element `i` equals [`FrozenMonitor::report`] on pair `i`, but rows
+    /// are grouped by predicted class so each zone judges all of its rows
+    /// in one membership pass, which lets the compiled bit-sliced
+    /// evaluator answer up to 64 rows per sweep of the node array.  This
+    /// is the engine's micro-batch judging path.
+    pub fn report_batch(&self, pairs: &[(usize, &Pattern)]) -> Vec<MonitorReport> {
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.num_classes];
+        let mut out: Vec<Option<MonitorReport>> = Vec::with_capacity(pairs.len());
+        for (row, &(predicted, _)) in pairs.iter().enumerate() {
+            if predicted < self.num_classes && self.zone(predicted).is_some() {
+                by_class[predicted].push(row);
+                out.push(None);
+            } else {
+                out.push(Some(MonitorReport {
+                    predicted,
+                    verdict: Verdict::Unmonitored,
+                    distance_to_seeds: None,
+                }));
+            }
+        }
+        for (class, rows) in by_class.iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            let zone = self.zone(class).expect("grouped rows are monitored");
+            let words: Vec<&[u64]> = rows.iter().map(|&r| pairs[r].1.words()).collect();
+            let hits = zone.zone_eval().eval_many(&words);
+            for (&row, hit) in rows.iter().zip(hits) {
+                out[row] = Some(MonitorReport {
+                    predicted: class,
+                    verdict: if hit {
+                        Verdict::InPattern
+                    } else {
+                        Verdict::OutOfPattern
+                    },
+                    distance_to_seeds: zone.distance_to_seeds(pairs[row].1),
+                });
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every row judged"))
+            .collect()
+    }
+
     /// Judges an already-extracted `(predicted, pattern)` pair with full
     /// graded detail: the frozen counterpart of
     /// [`Monitor::check_graded_pattern`], and **bit-identical** to it —
@@ -570,13 +714,12 @@ impl FrozenMonitor {
 
     /// Batched judgement sharing one forward pass — the same packed path
     /// as [`Monitor::check_batch`] (`pack_batch` →
-    /// `forward_observe_plan` → per-row verdicts), so verdicts are
+    /// `forward_observe_plan` → batched verdicts), so verdicts are
     /// bit-identical to the live monitor's.
     pub fn check_batch(&self, model: &mut Sequential, inputs: &[Tensor]) -> Vec<MonitorReport> {
-        self.observe_batch(model, inputs)
-            .into_iter()
-            .map(|(p, pattern)| self.report(p, &pattern))
-            .collect()
+        let observed = self.observe_batch(model, inputs);
+        let pairs: Vec<(usize, &Pattern)> = observed.iter().map(|(p, pat)| (*p, pat)).collect();
+        self.report_batch(&pairs)
     }
 
     /// Batched graded judgement sharing one forward pass — element `i`
@@ -811,6 +954,48 @@ impl FrozenLayeredMonitor {
         }
     }
 
+    /// Judges a batch of already-observed rows — element `i` equals
+    /// [`FrozenLayeredMonitor::report`] on row `i`, but each layer judges
+    /// the whole batch at once ([`FrozenMonitor::report_batch`]) so the
+    /// compiled bit-sliced evaluators see full class groups.  This is the
+    /// engine's micro-batch judging path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row does not carry one pattern per monitored layer.
+    pub fn report_batch(&self, rows: &[(usize, &[Pattern])]) -> Vec<LayeredVerdict> {
+        for &(_, patterns) in rows {
+            assert_eq!(
+                patterns.len(),
+                self.layers.len(),
+                "one pattern per monitored layer"
+            );
+        }
+        let layer_reports: Vec<Vec<MonitorReport>> = self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(l, m)| {
+                let pairs: Vec<(usize, &Pattern)> =
+                    rows.iter().map(|&(p, pats)| (p, &pats[l])).collect();
+                m.report_batch(&pairs)
+            })
+            .collect();
+        rows.iter()
+            .enumerate()
+            .map(|(r, &(predicted, _))| {
+                let per_layer: Vec<MonitorReport> =
+                    layer_reports.iter().map(|lr| lr[r].clone()).collect();
+                let verdicts: Vec<Verdict> = per_layer.iter().map(|x| x.verdict).collect();
+                LayeredVerdict {
+                    predicted,
+                    per_layer,
+                    combined: self.policy.combine(&verdicts),
+                }
+            })
+            .collect()
+    }
+
     /// Graded [`FrozenLayeredMonitor::report`]: additionally computes the
     /// full graded ranking per layer ([`FrozenMonitor::check_graded_pattern`],
     /// bit-identical to the live monitor's).  The binary half is
@@ -851,10 +1036,12 @@ impl FrozenLayeredMonitor {
 
     /// Batched joint judgement sharing one plan-observed forward pass.
     pub fn check_batch(&self, model: &mut Sequential, inputs: &[Tensor]) -> Vec<LayeredVerdict> {
-        self.observe_batch(model, inputs)
-            .into_iter()
-            .map(|(p, patterns)| self.report(p, &patterns))
-            .collect()
+        let observed = self.observe_batch(model, inputs);
+        let rows: Vec<(usize, &[Pattern])> = observed
+            .iter()
+            .map(|(p, patterns)| (*p, patterns.as_slice()))
+            .collect();
+        self.report_batch(&rows)
     }
 
     /// Batched graded joint judgement sharing one forward pass; element

@@ -299,6 +299,27 @@ fn golden_path() -> std::path::PathBuf {
         .join("frozen_monitor_v1.json")
 }
 
+fn golden_v2_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("frozen_layered_v2.json")
+}
+
+/// The deterministic format-2 family the v2 golden fixture is blessed
+/// from — must stay byte-for-byte reproducible (no RNG anywhere).
+fn deterministic_family() -> FrozenLayeredMonitor {
+    FrozenLayeredMonitor::try_from_monitors(
+        vec![
+            FrozenMonitor::shard_by_class(&deterministic_monitor(1, 6, 4), 2),
+            FrozenMonitor::shard_by_class(&deterministic_monitor(3, 6, 4), 3),
+        ],
+        CombinePolicy::Majority,
+    )
+    .expect("valid family")
+    .with_epoch(7)
+}
+
 fn temp_path(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join("naps_serve_layered_tests");
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -366,6 +387,80 @@ fn pre_layered_golden_file_still_loads() {
             let single = via_single.report(c, &pat);
             assert_eq!(lifted.per_layer, vec![single.clone()]);
             assert_eq!(lifted.combined, single.verdict);
+        }
+    }
+}
+
+/// Compiled evaluators are **derived, never serialized**: both golden
+/// containers (format 1 single-monitor and format 2 layered) must hold
+/// snapshots only, and loading them must recompile evaluators
+/// bit-identical (`==`, including every fast-path decision) to freshly
+/// frozen monitors built from the same deterministic zones.  Re-bless
+/// the format-2 fixture with
+/// `GOLDEN_BLESS=1 cargo test -p naps-serve layered`.
+#[test]
+fn golden_files_recompile_to_identical_evaluators() {
+    use naps_bdd::CompiledZone;
+    let v2 = golden_v2_path();
+    if std::env::var("GOLDEN_BLESS").is_ok() {
+        std::fs::create_dir_all(v2.parent().expect("parent")).expect("mkdir");
+        deterministic_family().save(&v2).expect("bless v2 golden");
+        return;
+    }
+
+    // Neither golden may carry compiled artifacts — snapshots only.
+    for path in [golden_path(), v2.clone()] {
+        let text = std::fs::read_to_string(&path).expect("golden readable");
+        for key in ["zone_eval", "seed_eval", "compiled", "small_index"] {
+            assert!(
+                !text.contains(key),
+                "{} leaks compiled artifact key {key:?} into the wire format",
+                path.display()
+            );
+        }
+    }
+
+    // Format 1: the restored monitor equals a freshly frozen one —
+    // `PartialEq` covers the compiled evaluators, so this pins that
+    // load-time recompilation reproduces freeze-time compilation
+    // exactly.
+    let v1 = FrozenMonitor::load(&golden_path()).expect("v1 golden loads");
+    let fresh_v1 = FrozenMonitor::shard_by_class(&deterministic_monitor(1, 6, 4), 2).with_epoch(5);
+    assert_eq!(v1, fresh_v1, "v1 recompiled ≠ freshly frozen");
+
+    // Format 2: same invariant through the layered container.
+    let restored = FrozenLayeredMonitor::load(&v2).unwrap_or_else(|e| {
+        panic!(
+            "golden v2 fixture {} failed to load ({e}); re-bless with GOLDEN_BLESS=1",
+            v2.display()
+        )
+    });
+    assert_eq!(
+        restored,
+        deterministic_family(),
+        "v2 recompiled ≠ freshly frozen"
+    );
+
+    // And zone-for-zone: the restored evaluators equal a from-scratch
+    // compile of the restored snapshots (compilation is deterministic).
+    for monitor in restored
+        .layers()
+        .iter()
+        .map(|l| l.as_ref())
+        .chain(std::iter::once(&v1))
+    {
+        for c in 0..monitor.num_classes() {
+            let Some(zone) = monitor.zone(c) else {
+                continue;
+            };
+            assert_eq!(
+                zone.zone_eval(),
+                &CompiledZone::compile(zone.zone_snapshot())
+            );
+            assert_eq!(
+                zone.seed_eval(),
+                &CompiledZone::compile(zone.seed_snapshot())
+            );
         }
     }
 }

@@ -1,15 +1,84 @@
 //! 2-D linear algebra: matrix products (plain and transposed variants) and
 //! transpose.  The transposed variants avoid materialising intermediate
 //! transposes inside backpropagation.
+//!
+//! All three products run through one blocked [`gemm`] microkernel
+//! (4-row register tiling over an i-k-j sweep), so `matmul`, `matmul_at`
+//! and `matmul_bt` — and with them the im2col-lowered convolutions of
+//! `naps-nn`, whose forward/backward products are exactly these calls —
+//! share a single inner loop.
 
 use crate::tensor::Tensor;
 
+/// How many output rows the microkernel accumulates per sweep of `b`.
+/// Four `f32` accumulator rows fit comfortably in registers and give 4×
+/// reuse of every streamed `b` row.
+const GEMM_MR: usize = 4;
+
+/// Blocked row-major product microkernel: `out += a @ b` for
+/// `[m,k] @ [k,n]`, with `out` pre-zeroed by the callers.
+///
+/// i-k-j order, [`GEMM_MR`] rows at a time: the four `a` values of column
+/// `p` are broadcast from registers while the `b` row `p` streams once
+/// through all four accumulator rows — the cache-friendly shape for
+/// row-major data, and a 4× cut in `b` traffic over the row-at-a-time
+/// loop.  A column whose four `a` values are all zero is skipped (ReLU
+/// outputs are often sparse).
+///
+/// Per output element the terms still accumulate in ascending-`p` order
+/// and zero `a` values contribute exactly `±0.0`, so on finite data the
+/// results are bit-identical to the straightforward loops this kernel
+/// replaced — trained fixtures and CI gates depend on exact `f32`
+/// training trajectories.
+fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let mut rows = out.chunks_exact_mut(n);
+    let blocks = m / GEMM_MR;
+    for blk in 0..blocks {
+        let i = blk * GEMM_MR;
+        let (o0, o1, o2, o3) = match (rows.next(), rows.next(), rows.next(), rows.next()) {
+            (Some(o0), Some(o1), Some(o2), Some(o3)) => (o0, o1, o2, o3),
+            _ => unreachable!("block rows within m"),
+        };
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let a2 = &a[(i + 2) * k..(i + 3) * k];
+        let a3 = &a[(i + 3) * k..(i + 4) * k];
+        for p in 0..k {
+            let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
+            if v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (j, &bv) in brow.iter().enumerate() {
+                o0[j] += v0 * bv;
+                o1[j] += v1 * bv;
+                o2[j] += v2 * bv;
+                o3[j] += v3 * bv;
+            }
+        }
+    }
+    // Tail rows (m % GEMM_MR): the single-row kernel.
+    for i in blocks * GEMM_MR..m {
+        let orow = rows.next().expect("one output row per a row");
+        let arow = &a[i * k..(i + 1) * k];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
 impl Tensor {
-    /// Matrix product `self @ other` for 2-D tensors `[m,k] @ [k,n] -> [m,n]`.
-    ///
-    /// Uses an i-k-j loop order so the inner loop streams both the output
-    /// row and the right-hand row — the cache-friendly layout for row-major
-    /// data.
+    /// Matrix product `self @ other` for 2-D tensors `[m,k] @ [k,n] -> [m,n]`,
+    /// via the blocked [`gemm`] microkernel.
     ///
     /// # Panics
     ///
@@ -18,27 +87,18 @@ impl Tensor {
         let (m, k) = dims2(self, "matmul lhs");
         let (k2, n) = dims2(other, "matmul rhs");
         assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
-        let a = self.data();
-        let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue; // ReLU outputs are often sparse
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
+        gemm(m, k, n, self.data(), other.data(), &mut out);
         Tensor::from_vec(vec![m, n], out)
     }
 
     /// Matrix product with a transposed left operand:
     /// `self^T @ other` for `[k,m]^T @ [k,n] -> [m,n]`.
+    ///
+    /// Packs `self^T` once (one transpose) and runs the same [`gemm`]
+    /// microkernel; per output element the accumulation order is
+    /// unchanged (ascending shared dimension), so results match the old
+    /// dedicated loop bit-for-bit on finite data.
     ///
     /// # Panics
     ///
@@ -47,27 +107,18 @@ impl Tensor {
         let (k, m) = dims2(self, "matmul_at lhs");
         let (k2, n) = dims2(other, "matmul_at rhs");
         assert_eq!(k, k2, "matmul_at shared dimensions differ: {k} vs {k2}");
-        let a = self.data();
-        let b = other.data();
+        let at = self.transpose();
         let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let arow = &a[p * m..(p + 1) * m];
-            let brow = &b[p * n..(p + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
+        gemm(m, k, n, at.data(), other.data(), &mut out);
         Tensor::from_vec(vec![m, n], out)
     }
 
     /// Matrix product with a transposed right operand:
     /// `self @ other^T` for `[m,k] @ [n,k]^T -> [m,n]`.
+    ///
+    /// Packs `other^T` once and runs the same [`gemm`] microkernel (the
+    /// streamed `b` rows are then contiguous); per output element the
+    /// accumulation order is unchanged.
     ///
     /// # Panics
     ///
@@ -76,20 +127,9 @@ impl Tensor {
         let (m, k) = dims2(self, "matmul_bt lhs");
         let (n, k2) = dims2(other, "matmul_bt rhs");
         assert_eq!(k, k2, "matmul_bt shared dimensions differ: {k} vs {k2}");
-        let a = self.data();
-        let b = other.data();
+        let bt = other.transpose();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                out[i * n + j] = acc;
-            }
-        }
+        gemm(m, k, n, self.data(), bt.data(), &mut out);
         Tensor::from_vec(vec![m, n], out)
     }
 
@@ -207,5 +247,50 @@ mod tests {
         let b = b32();
         let c = a.matmul(&b);
         assert_eq!(c.data(), &[18., 20., 94., 104.]);
+    }
+
+    /// The blocked microkernel must agree bit-for-bit with a naive
+    /// ascending-`p` triple loop — same accumulation order per output
+    /// element — across row counts straddling the 4-row block boundary
+    /// and with embedded zeros exercising the all-rows-zero skip.
+    #[test]
+    fn blocked_kernel_is_bit_identical_to_naive_loop() {
+        for m in 1..=9usize {
+            let (k, n) = (7usize, 5usize);
+            let a = Tensor::from_vec(
+                vec![m, k],
+                (0..m * k)
+                    .map(|i| {
+                        if i % 5 == 0 {
+                            0.0
+                        } else {
+                            ((i as f32) * 0.37).sin()
+                        }
+                    })
+                    .collect(),
+            );
+            let b = Tensor::from_vec(
+                vec![k, n],
+                (0..k * n).map(|i| ((i as f32) * 0.61).cos()).collect(),
+            );
+            let mut naive = vec![0.0f32; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    for p in 0..k {
+                        naive[i * n + j] += a.data()[i * k + p] * b.data()[p * n + j];
+                    }
+                }
+            }
+            let c = a.matmul(&b);
+            let bits_equal = c
+                .data()
+                .iter()
+                .zip(&naive)
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(bits_equal, "m={m}: blocked kernel diverged from naive loop");
+            // The transposed variants reduce to the same kernel.
+            assert_eq!(a.transpose().matmul_at(&b), c, "m={m} matmul_at");
+            assert_eq!(a.matmul_bt(&b.transpose()), c, "m={m} matmul_bt");
+        }
     }
 }
