@@ -1,0 +1,135 @@
+//! Gateway overhead benchmarks: what the wire boundary costs on top of
+//! in-process serving.
+//!
+//! * round-trip latency of one `check` over loopback TCP vs the
+//!   in-process `MonitorEngine::check` call (codec + two socket hops);
+//! * pipelined wire throughput (a window of in-flight requests on one
+//!   connection) vs the in-process batch path;
+//! * raw codec cost: encoding a request and decoding the response
+//!   without any socket.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naps_gateway::{
+    decode_response, encode_request, Gateway, GatewayClient, GatewayConfig, Request, RequestKind,
+    Response,
+};
+use naps_serve::{EngineConfig, MonitorEngine};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn serving(workers: usize) -> (Arc<MonitorEngine>, Vec<naps_tensor::Tensor>) {
+    let (monitor, net, probes) = naps_bench::serving_fixture(4, 64, 11);
+    let engine = MonitorEngine::new(
+        &monitor,
+        &net,
+        EngineConfig {
+            workers,
+            max_batch: 8,
+            queue_capacity: 1024,
+        },
+    )
+    .expect("serving fixture is an MLP");
+    (Arc::new(engine), probes)
+}
+
+/// One synchronous `check`: in-process call vs loopback round trip.
+fn check_roundtrip(c: &mut Criterion) {
+    let (engine, probes) = serving(2);
+    let gateway = Gateway::bind(Arc::clone(&engine), "127.0.0.1:0", GatewayConfig::default())
+        .expect("loopback bind");
+    let mut client = GatewayClient::connect(gateway.local_addr()).expect("connect");
+
+    let mut group = c.benchmark_group("gateway_check_roundtrip");
+    group.bench_function("in_process", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            black_box(engine.check(&probes[i]).expect("engine up"))
+        });
+    });
+    group.bench_function("loopback_tcp", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            black_box(client.check(&probes[i]).expect("served"))
+        });
+    });
+    group.finish();
+    drop(client);
+    gateway.shutdown();
+}
+
+/// Wire throughput with a pipelined in-flight window vs in-process
+/// batch checking.
+fn pipelined_throughput(c: &mut Criterion) {
+    let (engine, probes) = serving(2);
+    let gateway = Gateway::bind(Arc::clone(&engine), "127.0.0.1:0", GatewayConfig::default())
+        .expect("loopback bind");
+
+    let mut group = c.benchmark_group("gateway_pipelined");
+    group.bench_function("in_process_batch", |b| {
+        b.iter(|| black_box(engine.check_batch(&probes).expect("engine up")));
+    });
+    for window in [4usize, 32] {
+        let mut client = GatewayClient::connect(gateway.local_addr()).expect("connect");
+        group.bench_with_input(BenchmarkId::new("wire_window", window), &window, |b, &w| {
+            b.iter(|| {
+                let mut pending = 0usize;
+                for x in &probes {
+                    client.send(RequestKind::Check, None, x).expect("send");
+                    pending += 1;
+                    if pending == w {
+                        for _ in 0..pending {
+                            black_box(client.recv().expect("served"));
+                        }
+                        pending = 0;
+                    }
+                }
+                for _ in 0..pending {
+                    black_box(client.recv().expect("served"));
+                }
+            });
+        });
+    }
+    group.finish();
+    gateway.shutdown();
+}
+
+/// Codec-only cost: request encode + response decode, no socket.
+fn codec(c: &mut Criterion) {
+    let (engine, probes) = serving(1);
+    let report = engine.check(&probes[0]).expect("engine up");
+    let response_bytes =
+        naps_gateway::encode_response(7, &Response::Single(report)).expect("verdict encodes");
+    let request = Request {
+        id: 7,
+        kind: RequestKind::Check,
+        query: None,
+        input: probes[0].data().to_vec(),
+    };
+
+    let mut group = c.benchmark_group("gateway_codec");
+    group.bench_function("encode_request_16f", |b| {
+        b.iter(|| black_box(encode_request(black_box(&request)).expect("encodes")));
+    });
+    group.bench_function("decode_response_single", |b| {
+        b.iter(|| black_box(decode_response(black_box(&response_bytes)).expect("decodes")));
+    });
+    group.finish();
+    engine.stop(); // Arc drop joins the workers
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = check_roundtrip, pipelined_throughput, codec
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Soaks the TCP gateway over loopback — concurrent clients, a
+//! saturation burst, and malformed-byte abuse — and writes
+//! `results/gateway.json`.  Exits non-zero on any lost request, wire
+//! verdict divergence, missing typed shed response, accepted/answered
+//! mismatch, or a server that stops serving after abuse, so CI gates on
+//! the wire boundary staying total and panic-free.
+//! Usage: `cargo run --release -p naps-eval --bin gateway [--full]`.
+fn main() {
+    let cfg = naps_eval::RunConfig::from_env();
+    let result = naps_eval::gateway::run(&cfg);
+    let failures = result.failures();
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

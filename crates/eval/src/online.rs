@@ -278,7 +278,10 @@ pub fn run(cfg: &RunConfig) -> OnlineAdaptation {
     let publish_start = Instant::now();
     let new_epoch = engine.publish(frozen1).expect("compatible snapshot");
     let swap_latency_us = publish_start.elapsed().as_secs_f64() * 1e6;
-    let under_swap: Vec<EpochReport> = tickets.into_iter().map(|t| t.wait()).collect();
+    let under_swap: Vec<EpochReport> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("engine worker alive"))
+        .collect();
     let qps_during_update = under_swap.len() as f64 / start.elapsed().as_secs_f64();
     assert_eq!(new_epoch, 1);
     // Exactness across the swap: every verdict matches the sequential

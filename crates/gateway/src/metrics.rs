@@ -1,0 +1,265 @@
+//! Lock-free gateway counters and latency histograms.
+//!
+//! Everything here is updated from reader and worker threads with
+//! relaxed atomics — the metrics path must never contend with (or be
+//! able to stall) the verdict path.  Latencies go into power-of-two
+//! microsecond buckets; quantiles are answered as the upper bound of
+//! the bucket containing the requested rank, which is exact enough for
+//! p50/p99 dashboards and costs one fetch-add per request.
+
+use crate::proto::RequestKind;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of power-of-two latency buckets: bucket `i` covers
+/// `[2^i, 2^{i+1})` µs, with the last bucket open-ended (≈ 9 minutes+).
+const BUCKETS: usize = 30;
+
+/// A log-scale latency histogram with atomic buckets.
+#[derive(Debug, Default)]
+pub(crate) struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    pub(crate) fn record(&self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let idx = if us == 0 {
+            0
+        } else {
+            ((63 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Upper bound (µs) of the bucket holding the `q`-quantile sample,
+    /// or `None` when the histogram is empty.
+    pub(crate) fn quantile_upper_us(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        // Rank of the q-quantile sample, 1-based, clamped to the ends.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << (i + 1)
+                });
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// Per-request-kind counters.
+#[derive(Debug, Default)]
+pub(crate) struct KindStats {
+    pub(crate) count: AtomicU64,
+    pub(crate) latency: Histogram,
+}
+
+/// All gateway counters; one instance per [`crate::Gateway`].
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    pub(crate) started: Instant,
+    pub(crate) connections_current: AtomicU64,
+    pub(crate) connections_total: AtomicU64,
+    /// Requests decoded from a frame (whether served or rejected).
+    pub(crate) accepted: AtomicU64,
+    /// Responses written back (verdicts *and* typed rejections).
+    pub(crate) answered: AtomicU64,
+    /// Typed `Saturated` rejections (load shedding).
+    pub(crate) shed: AtomicU64,
+    /// Frames/handshakes that failed to decode (connection dropped).
+    pub(crate) malformed: AtomicU64,
+    /// Responses lost to a dead client socket.
+    pub(crate) write_errors: AtomicU64,
+    pub(crate) per_kind: [KindStats; 4],
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            connections_current: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            answered: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            per_kind: Default::default(),
+        }
+    }
+
+    pub(crate) fn kind(&self, kind: RequestKind) -> &KindStats {
+        &self.per_kind[kind.index()]
+    }
+
+    pub(crate) fn snapshot(&self, queue_depth: usize) -> GatewayStats {
+        let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
+        let answered = self.answered.load(Ordering::Relaxed);
+        GatewayStats {
+            uptime_secs: uptime,
+            connections_current: self.connections_current.load(Ordering::Relaxed),
+            connections_total: self.connections_total.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            answered,
+            shed: self.shed.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            queue_depth,
+            qps: answered as f64 / uptime,
+            kinds: RequestKind::ALL
+                .iter()
+                .map(|&k| {
+                    let s = self.kind(k);
+                    KindSnapshot {
+                        kind: k.name(),
+                        count: s.count.load(Ordering::Relaxed),
+                        p50_us: s.latency.quantile_upper_us(0.50),
+                        p99_us: s.latency.quantile_upper_us(0.99),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the plaintext metrics page (Prometheus-flavoured:
+    /// `name{label="…"} value` lines).
+    pub(crate) fn render(&self, queue_depth: usize) -> String {
+        let snap = self.snapshot(queue_depth);
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "naps_gateway_uptime_seconds {:.3}\n",
+            snap.uptime_secs
+        ));
+        out.push_str(&format!(
+            "naps_gateway_connections_current {}\n",
+            snap.connections_current
+        ));
+        out.push_str(&format!(
+            "naps_gateway_connections_total {}\n",
+            snap.connections_total
+        ));
+        out.push_str(&format!(
+            "naps_gateway_requests_accepted_total {}\n",
+            snap.accepted
+        ));
+        out.push_str(&format!("naps_gateway_responses_total {}\n", snap.answered));
+        out.push_str(&format!("naps_gateway_requests_shed_total {}\n", snap.shed));
+        out.push_str(&format!(
+            "naps_gateway_malformed_total {}\n",
+            snap.malformed
+        ));
+        out.push_str(&format!(
+            "naps_gateway_write_errors_total {}\n",
+            snap.write_errors
+        ));
+        out.push_str(&format!(
+            "naps_gateway_engine_queue_depth {}\n",
+            snap.queue_depth
+        ));
+        out.push_str(&format!("naps_gateway_qps {:.3}\n", snap.qps));
+        for k in &snap.kinds {
+            out.push_str(&format!(
+                "naps_gateway_requests_total{{kind=\"{}\"}} {}\n",
+                k.kind, k.count
+            ));
+            for (q, v) in [("0.5", k.p50_us), ("0.99", k.p99_us)] {
+                if let Some(us) = v {
+                    out.push_str(&format!(
+                        "naps_gateway_latency_us{{kind=\"{}\",quantile=\"{}\"}} {}\n",
+                        k.kind, q, us
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A point-in-time snapshot of the gateway's counters — what the
+/// metrics endpoint renders, as a typed value for tests and evals.
+#[derive(Debug, Clone, Serialize)]
+pub struct GatewayStats {
+    /// Seconds since the gateway was bound.
+    pub uptime_secs: f64,
+    /// Connections open right now.
+    pub connections_current: u64,
+    /// Connections accepted over the gateway's lifetime.
+    pub connections_total: u64,
+    /// Requests successfully decoded from client frames.
+    pub accepted: u64,
+    /// Responses written back — verdicts *and* typed rejections.  The
+    /// drain guarantee is `answered == accepted` (minus responses lost
+    /// to a client that vanished, counted in `write_errors`).
+    pub answered: u64,
+    /// Requests shed with a typed `Saturated` response.
+    pub shed: u64,
+    /// Frames or handshakes that failed to decode (each drops its
+    /// connection).
+    pub malformed: u64,
+    /// Responses that could not be written because the client's socket
+    /// was gone.
+    pub write_errors: u64,
+    /// The engine's pending-request count at snapshot time.
+    pub queue_depth: usize,
+    /// Lifetime responses per second.
+    pub qps: f64,
+    /// Per-request-kind counts and latency quantiles.
+    pub kinds: Vec<KindSnapshot>,
+}
+
+/// Per-kind counters inside a [`GatewayStats`].
+#[derive(Debug, Clone, Serialize)]
+pub struct KindSnapshot {
+    /// The request kind's stable name.
+    pub kind: &'static str,
+    /// Requests of this kind accepted.
+    pub count: u64,
+    /// Upper bound (µs) of the median-latency bucket; `None` if no
+    /// request of this kind has completed.
+    pub p50_us: Option<u64>,
+    /// Upper bound (µs) of the p99-latency bucket.
+    pub p99_us: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_recorded_latencies() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_upper_us(0.5), None);
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100)); // bucket [64, 128)
+        }
+        h.record(Duration::from_millis(50)); // bucket [32768, 65536)
+        let p50 = h.quantile_upper_us(0.5).expect("non-empty");
+        assert_eq!(p50, 128);
+        let p99 = h.quantile_upper_us(0.99).expect("non-empty");
+        assert_eq!(p99, 128);
+        let p100 = h.quantile_upper_us(1.0).expect("non-empty");
+        assert_eq!(p100, 65536);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_the_first_bucket() {
+        let h = Histogram::default();
+        h.record(Duration::ZERO);
+        assert_eq!(h.quantile_upper_us(0.5), Some(2));
+    }
+}

@@ -1,0 +1,961 @@
+//! Wire codec for protocol **v1** — total, allocation-bounded, and
+//! panic-free.
+//!
+//! Every decoder in this module is *total*: any byte sequence either
+//! decodes to a value or returns a typed [`WireError`].  Nothing here
+//! indexes, unwraps, or converts unchecked — a malformed frame from a
+//! client must never be able to unwind a gateway thread.  Encoders are
+//! the exact inverses; floats travel as IEEE-754 little-endian bytes
+//! ([`f32::to_le_bytes`] / [`f32::from_le_bytes`]) so a verdict that
+//! crosses the wire is **bit-identical** to the in-process one.
+//!
+//! The layout is specified in the [crate docs](crate); the constants and
+//! tag values below are the normative encoding.
+
+use naps_core::{GradedQuery, GradedReport, MonitorReport, NearestZone, Triage, Verdict};
+use naps_serve::{EpochReport, LayeredEpochReport};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Handshake magic — the first four bytes of every connection.
+pub const MAGIC: [u8; 4] = *b"NAPS";
+/// The protocol version this crate speaks.
+pub const WIRE_VERSION: u16 = 1;
+/// Default upper bound on one frame's payload (1 MiB) — a length prefix
+/// above the bound is rejected before any allocation.
+pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
+
+/// What kind of question a request frame asks.  The discriminants are
+/// the on-wire kind tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RequestKind {
+    /// Binary single-layer verdict ([`naps_serve::MonitorEngine::check`]).
+    Check = 1,
+    /// Graded single-layer verdict (`check_graded`).
+    CheckGraded = 2,
+    /// Binary per-layer verdict (`check_layered`).
+    CheckLayered = 3,
+    /// Graded per-layer verdict (`check_layered_graded`).
+    CheckLayeredGraded = 4,
+}
+
+impl RequestKind {
+    /// All kinds, in tag order — for metrics tables.
+    pub const ALL: [RequestKind; 4] = [
+        RequestKind::Check,
+        RequestKind::CheckGraded,
+        RequestKind::CheckLayered,
+        RequestKind::CheckLayeredGraded,
+    ];
+
+    /// Stable lowercase name (metrics labels, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::Check => "check",
+            RequestKind::CheckGraded => "check_graded",
+            RequestKind::CheckLayered => "check_layered",
+            RequestKind::CheckLayeredGraded => "check_layered_graded",
+        }
+    }
+
+    /// Index into [`RequestKind::ALL`].
+    pub fn index(self) -> usize {
+        self as usize - 1
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, WireError> {
+        match tag {
+            1 => Ok(RequestKind::Check),
+            2 => Ok(RequestKind::CheckGraded),
+            3 => Ok(RequestKind::CheckLayered),
+            4 => Ok(RequestKind::CheckLayeredGraded),
+            other => Err(WireError::UnknownKind(other)),
+        }
+    }
+}
+
+impl fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One decoded request frame: a correlation id chosen by the client
+/// (echoed verbatim in the response), the question kind, the optional
+/// graded query, and the raw input features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id; the gateway echoes it back so
+    /// pipelined clients can match responses to requests.
+    pub id: u64,
+    /// Which verdict API this maps to.
+    pub kind: RequestKind,
+    /// Distance budget / top-k for the graded kinds; must be `Some` iff
+    /// the kind is graded (enforced by the codec).
+    pub query: Option<GradedQuery>,
+    /// The input features, row-major.  The gateway turns this into a
+    /// rank-1 [`naps_tensor::Tensor`] of the same length.
+    pub input: Vec<f32>,
+}
+
+/// Why the gateway could not answer a request — the wire projection of
+/// [`naps_serve::SubmitError`] plus a catch-all.  The discriminants are
+/// the on-wire status tags (`Ok` responses use tags 0 and 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// The engine's bounded queue was full — the request was shed, not
+    /// queued.  Retry with backoff.
+    Saturated,
+    /// The gateway (or engine) is draining; no new work is accepted.
+    ShuttingDown,
+    /// The input length does not match the model's input width.
+    WidthMismatch {
+        /// Width the served model expects.
+        expected: u32,
+        /// Width the request carried.
+        actual: u32,
+    },
+    /// An engine worker died before answering.  The request was
+    /// accepted but cannot be judged; the error is typed so the
+    /// connection (and the server) outlive it.
+    WorkerLost,
+    /// Any other engine-side failure (future [`naps_serve::SubmitError`]
+    /// variants decode to this rather than tearing the connection).
+    Internal,
+}
+
+impl Rejection {
+    fn tag(self) -> u8 {
+        match self {
+            Rejection::Saturated => 2,
+            Rejection::ShuttingDown => 3,
+            Rejection::WidthMismatch { .. } => 4,
+            Rejection::WorkerLost => 5,
+            Rejection::Internal => 6,
+        }
+    }
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejection::Saturated => write!(f, "queue full, request shed"),
+            Rejection::ShuttingDown => write!(f, "gateway is shutting down"),
+            Rejection::WidthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "input width {actual} does not match model width {expected}"
+                )
+            }
+            Rejection::WorkerLost => write!(f, "engine worker died before answering"),
+            Rejection::Internal => write!(f, "internal engine error"),
+        }
+    }
+}
+
+/// One decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Single-layer verdict (for [`RequestKind::Check`] /
+    /// [`RequestKind::CheckGraded`]).
+    Single(EpochReport),
+    /// Per-layer verdict (for the layered kinds).
+    Layered(LayeredEpochReport),
+    /// Typed refusal; the request was not (fully) served.
+    Rejected(Rejection),
+}
+
+/// Everything that can go wrong encoding, decoding, or transporting a
+/// frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// A length prefix exceeded the frame bound — rejected before
+    /// allocating.
+    FrameTooLarge {
+        /// The advertised payload length.
+        len: u32,
+        /// The configured bound.
+        max: u32,
+    },
+    /// The payload ended mid-field.
+    Truncated {
+        /// Which field was being read.
+        what: &'static str,
+    },
+    /// The payload decoded fully but bytes remained.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// The handshake did not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The peer speaks a different protocol version.
+    UnsupportedVersion {
+        /// Version the peer offered.
+        got: u16,
+        /// Version this side speaks.
+        want: u16,
+    },
+    /// Unknown request-kind tag.
+    UnknownKind(u8),
+    /// Unknown response-status tag.
+    UnknownStatus(u8),
+    /// Unknown enum tag inside a payload.
+    UnknownTag {
+        /// Which field carried the tag.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A count did not fit the wire width (or `usize` on this target).
+    Overflow {
+        /// Which field overflowed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Closed => write!(f, "peer closed the connection"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte bound")
+            }
+            WireError::Truncated { what } => write!(f, "frame truncated while reading {what}"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after a complete payload")
+            }
+            WireError::BadMagic(m) => write!(f, "bad handshake magic {m:?}"),
+            WireError::UnsupportedVersion { got, want } => {
+                write!(f, "peer speaks protocol v{got}, this side speaks v{want}")
+            }
+            WireError::UnknownKind(tag) => write!(f, "unknown request kind tag {tag}"),
+            WireError::UnknownStatus(tag) => write!(f, "unknown response status tag {tag}"),
+            WireError::UnknownTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            WireError::Overflow { what } => write!(f, "{what} does not fit the wire encoding"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// Whether the error means the *peer's bytes* were malformed (as
+    /// opposed to a transport failure or a clean close) — the cases the
+    /// gateway counts as `malformed` before dropping the connection.
+    pub fn is_malformed(&self) -> bool {
+        !matches!(self, WireError::Io(_) | WireError::Closed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Reads one `u32`-length-prefixed frame.  Returns [`WireError::Closed`]
+/// on a clean EOF *between* frames, [`WireError::Truncated`] on EOF
+/// mid-frame, and [`WireError::FrameTooLarge`] (before allocating)
+/// when the prefix exceeds `max`.
+pub fn read_frame(r: &mut impl Read, max: u32) -> Result<Vec<u8>, WireError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < prefix.len() {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Err(WireError::Closed)
+                } else {
+                    Err(WireError::Truncated {
+                        what: "frame length",
+                    })
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len > max {
+        return Err(WireError::FrameTooLarge { len, max });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated {
+                what: "frame payload",
+            }
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    Ok(payload)
+}
+
+/// Writes one length-prefixed frame and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::Overflow {
+        what: "frame length",
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Encodes the 6-byte hello (`MAGIC` + version); both sides send one.
+pub fn encode_hello(version: u16) -> [u8; 6] {
+    let mut hello = [0u8; 6];
+    hello[..4].copy_from_slice(&MAGIC);
+    hello[4..].copy_from_slice(&version.to_le_bytes());
+    hello
+}
+
+/// Reads and validates a hello, returning the peer's version (which may
+/// still differ from [`WIRE_VERSION`] — the caller decides whether to
+/// tolerate it).
+pub fn read_hello(r: &mut impl Read) -> Result<u16, WireError> {
+    let mut hello = [0u8; 6];
+    r.read_exact(&mut hello).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated { what: "handshake" }
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    let magic: [u8; 4] = [hello[0], hello[1], hello[2], hello[3]];
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    Ok(u16::from_le_bytes([hello[4], hello[5]]))
+}
+
+// ---------------------------------------------------------------------
+// Payload reader (total: every read is bounds-checked)
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(WireError::Overflow { what })?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated { what });
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn f32(&mut self, what: &'static str) -> Result<f32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos < self.buf.len() {
+            Err(WireError::TrailingBytes {
+                extra: self.buf.len() - self.pos,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn wire_u32(v: usize, what: &'static str) -> Result<u32, WireError> {
+    u32::try_from(v).map_err(|_| WireError::Overflow { what })
+}
+
+fn wire_u16(v: usize, what: &'static str) -> Result<u16, WireError> {
+    u16::try_from(v).map_err(|_| WireError::Overflow { what })
+}
+
+fn put_opt_u32(out: &mut Vec<u8>, v: Option<u32>) {
+    match v {
+        None => out.push(0),
+        Some(d) => {
+            out.push(1);
+            put_u32(out, d);
+        }
+    }
+}
+
+fn read_opt_u32(r: &mut Reader<'_>, what: &'static str) -> Result<Option<u32>, WireError> {
+    match r.u8(what)? {
+        0 => Ok(None),
+        1 => Ok(Some(r.u32(what)?)),
+        tag => Err(WireError::UnknownTag { what, tag }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request codec
+// ---------------------------------------------------------------------
+
+/// Encodes a request payload (frame the result with [`write_frame`]).
+pub fn encode_request(req: &Request) -> Result<Vec<u8>, WireError> {
+    let graded = matches!(
+        req.kind,
+        RequestKind::CheckGraded | RequestKind::CheckLayeredGraded
+    );
+    debug_assert_eq!(graded, req.query.is_some(), "query must match the kind");
+    let mut out = Vec::with_capacity(17 + 8 * graded as usize + 4 * req.input.len());
+    out.push(req.kind as u8);
+    put_u64(&mut out, req.id);
+    if graded {
+        let q = req.query.ok_or(WireError::UnknownTag {
+            what: "graded query",
+            tag: 0,
+        })?;
+        put_u32(&mut out, q.budget);
+        put_u32(&mut out, wire_u32(q.top_k, "graded top_k")?);
+    }
+    put_u32(&mut out, wire_u32(req.input.len(), "input length")?);
+    for v in &req.input {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Decodes a request payload (total; consumes the whole buffer).
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(payload);
+    let kind = RequestKind::from_tag(r.u8("request kind")?)?;
+    let id = r.u64("request id")?;
+    let query = match kind {
+        RequestKind::CheckGraded | RequestKind::CheckLayeredGraded => {
+            let budget = r.u32("graded budget")?;
+            let top_k = r.u32("graded top_k")? as usize;
+            Some(GradedQuery { budget, top_k })
+        }
+        _ => None,
+    };
+    let n = r.u32("input length")? as usize;
+    // The count is bounded by the frame length (4 bytes per feature), so
+    // a hostile prefix cannot force a huge allocation past the frame cap.
+    if n.checked_mul(4).is_none_or(|bytes| bytes > payload.len()) {
+        return Err(WireError::Truncated {
+            what: "input features",
+        });
+    }
+    let mut input = Vec::with_capacity(n);
+    for _ in 0..n {
+        input.push(r.f32("input features")?);
+    }
+    r.finish()?;
+    Ok(Request {
+        id,
+        kind,
+        query,
+        input,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Report codecs
+// ---------------------------------------------------------------------
+
+fn verdict_tag(v: Verdict) -> u8 {
+    match v {
+        Verdict::InPattern => 0,
+        Verdict::OutOfPattern => 1,
+        Verdict::Unmonitored => 2,
+    }
+}
+
+fn verdict_from(tag: u8) -> Result<Verdict, WireError> {
+    match tag {
+        0 => Ok(Verdict::InPattern),
+        1 => Ok(Verdict::OutOfPattern),
+        2 => Ok(Verdict::Unmonitored),
+        tag => Err(WireError::UnknownTag {
+            what: "verdict",
+            tag,
+        }),
+    }
+}
+
+fn triage_tag(t: Triage) -> u8 {
+    match t {
+        Triage::InPattern => 0,
+        Triage::OutOfPattern => 1,
+        Triage::MisclassificationCandidate => 2,
+        Triage::Novelty => 3,
+        Triage::Unmonitored => 4,
+    }
+}
+
+fn triage_from(tag: u8) -> Result<Triage, WireError> {
+    match tag {
+        0 => Ok(Triage::InPattern),
+        1 => Ok(Triage::OutOfPattern),
+        2 => Ok(Triage::MisclassificationCandidate),
+        3 => Ok(Triage::Novelty),
+        4 => Ok(Triage::Unmonitored),
+        tag => Err(WireError::UnknownTag {
+            what: "triage",
+            tag,
+        }),
+    }
+}
+
+fn put_report(out: &mut Vec<u8>, report: &MonitorReport) -> Result<(), WireError> {
+    put_u32(out, wire_u32(report.predicted, "predicted class")?);
+    out.push(verdict_tag(report.verdict));
+    put_opt_u32(out, report.distance_to_seeds);
+    Ok(())
+}
+
+fn read_report(r: &mut Reader<'_>) -> Result<MonitorReport, WireError> {
+    let predicted = r.u32("predicted class")? as usize;
+    let verdict = verdict_from(r.u8("verdict")?)?;
+    let distance_to_seeds = read_opt_u32(r, "seed distance")?;
+    Ok(MonitorReport {
+        predicted,
+        verdict,
+        distance_to_seeds,
+    })
+}
+
+fn put_graded(out: &mut Vec<u8>, g: &GradedReport) -> Result<(), WireError> {
+    put_report(out, &g.report)?;
+    put_opt_u32(out, g.distance_to_zone);
+    put_u16(out, wire_u16(g.nearest.len(), "nearest-zone count")?);
+    for z in &g.nearest {
+        put_u32(out, wire_u32(z.class, "nearest-zone class")?);
+        put_u32(out, z.distance);
+    }
+    put_u32(out, g.query.budget);
+    put_u32(out, wire_u32(g.query.top_k, "graded top_k")?);
+    out.push(triage_tag(g.triage));
+    Ok(())
+}
+
+fn read_graded(r: &mut Reader<'_>) -> Result<GradedReport, WireError> {
+    let report = read_report(r)?;
+    let distance_to_zone = read_opt_u32(r, "zone distance")?;
+    let n = r.u16("nearest-zone count")? as usize;
+    let mut nearest = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let class = r.u32("nearest-zone class")? as usize;
+        let distance = r.u32("nearest-zone distance")?;
+        nearest.push(NearestZone { class, distance });
+    }
+    let budget = r.u32("graded budget")?;
+    let top_k = r.u32("graded top_k")? as usize;
+    let triage = triage_from(r.u8("triage")?)?;
+    Ok(GradedReport {
+        report,
+        distance_to_zone,
+        nearest,
+        query: GradedQuery { budget, top_k },
+        triage,
+    })
+}
+
+fn put_single(out: &mut Vec<u8>, e: &EpochReport) -> Result<(), WireError> {
+    put_u64(out, e.epoch);
+    put_report(out, &e.report)?;
+    match &e.graded {
+        None => out.push(0),
+        Some(g) => {
+            out.push(1);
+            put_graded(out, g)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_single(r: &mut Reader<'_>) -> Result<EpochReport, WireError> {
+    let epoch = r.u64("epoch")?;
+    let report = read_report(r)?;
+    let graded = match r.u8("graded flag")? {
+        0 => None,
+        1 => Some(read_graded(r)?),
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "graded flag",
+                tag,
+            })
+        }
+    };
+    Ok(EpochReport {
+        epoch,
+        report,
+        graded,
+    })
+}
+
+fn put_layered(out: &mut Vec<u8>, e: &LayeredEpochReport) -> Result<(), WireError> {
+    put_u64(out, e.epoch);
+    put_u32(out, wire_u32(e.predicted, "predicted class")?);
+    put_u16(out, wire_u16(e.per_layer.len(), "layer count")?);
+    for report in &e.per_layer {
+        put_report(out, report)?;
+    }
+    out.push(verdict_tag(e.combined));
+    match &e.graded {
+        None => out.push(0),
+        Some(gs) => {
+            out.push(1);
+            put_u16(out, wire_u16(gs.len(), "graded layer count")?);
+            for g in gs {
+                put_graded(out, g)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_layered(r: &mut Reader<'_>) -> Result<LayeredEpochReport, WireError> {
+    let epoch = r.u64("epoch")?;
+    let predicted = r.u32("predicted class")? as usize;
+    let layers = r.u16("layer count")? as usize;
+    let mut per_layer = Vec::with_capacity(layers.min(1024));
+    for _ in 0..layers {
+        per_layer.push(read_report(r)?);
+    }
+    let combined = verdict_from(r.u8("combined verdict")?)?;
+    let graded = match r.u8("graded flag")? {
+        0 => None,
+        1 => {
+            let n = r.u16("graded layer count")? as usize;
+            let mut gs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                gs.push(read_graded(r)?);
+            }
+            Some(gs)
+        }
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "graded flag",
+                tag,
+            })
+        }
+    };
+    Ok(LayeredEpochReport {
+        epoch,
+        predicted,
+        per_layer,
+        combined,
+        graded,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Response codec
+// ---------------------------------------------------------------------
+
+/// Encodes a response payload for correlation id `id`.
+pub fn encode_response(id: u64, resp: &Response) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::with_capacity(32);
+    match resp {
+        Response::Single(e) => {
+            out.push(0);
+            put_u64(&mut out, id);
+            put_single(&mut out, e)?;
+        }
+        Response::Layered(e) => {
+            out.push(1);
+            put_u64(&mut out, id);
+            put_layered(&mut out, e)?;
+        }
+        Response::Rejected(rej) => {
+            out.push(rej.tag());
+            put_u64(&mut out, id);
+            if let Rejection::WidthMismatch { expected, actual } = rej {
+                put_u32(&mut out, *expected);
+                put_u32(&mut out, *actual);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes a response payload into `(correlation id, response)`.
+pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), WireError> {
+    let mut r = Reader::new(payload);
+    let status = r.u8("response status")?;
+    let id = r.u64("response id")?;
+    let resp = match status {
+        0 => Response::Single(read_single(&mut r)?),
+        1 => Response::Layered(read_layered(&mut r)?),
+        2 => Response::Rejected(Rejection::Saturated),
+        3 => Response::Rejected(Rejection::ShuttingDown),
+        4 => {
+            let expected = r.u32("expected width")?;
+            let actual = r.u32("actual width")?;
+            Response::Rejected(Rejection::WidthMismatch { expected, actual })
+        }
+        5 => Response::Rejected(Rejection::WorkerLost),
+        6 => Response::Rejected(Rejection::Internal),
+        tag => return Err(WireError::UnknownStatus(tag)),
+    };
+    r.finish()?;
+    Ok((id, resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graded() -> GradedReport {
+        GradedReport {
+            report: MonitorReport {
+                predicted: 2,
+                verdict: Verdict::OutOfPattern,
+                distance_to_seeds: Some(3),
+            },
+            distance_to_zone: None,
+            nearest: vec![
+                NearestZone {
+                    class: 0,
+                    distance: 1,
+                },
+                NearestZone {
+                    class: 3,
+                    distance: 2,
+                },
+            ],
+            query: GradedQuery {
+                budget: 4,
+                top_k: 2,
+            },
+            triage: Triage::Novelty,
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request {
+            id: 0xDEAD_BEEF_0042,
+            kind: RequestKind::CheckGraded,
+            query: Some(GradedQuery {
+                budget: 3,
+                top_k: 5,
+            }),
+            input: vec![0.5, -1.25, f32::MIN_POSITIVE, 0.0],
+        };
+        let bytes = encode_request(&req).expect("encode");
+        assert_eq!(decode_request(&bytes).expect("decode"), req);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let single = Response::Single(EpochReport {
+            epoch: 7,
+            report: MonitorReport {
+                predicted: 1,
+                verdict: Verdict::InPattern,
+                distance_to_seeds: Some(0),
+            },
+            graded: Some(sample_graded()),
+        });
+        let layered = Response::Layered(LayeredEpochReport {
+            epoch: 9,
+            predicted: 2,
+            per_layer: vec![
+                MonitorReport {
+                    predicted: 2,
+                    verdict: Verdict::OutOfPattern,
+                    distance_to_seeds: None,
+                },
+                MonitorReport {
+                    predicted: 2,
+                    verdict: Verdict::Unmonitored,
+                    distance_to_seeds: Some(11),
+                },
+            ],
+            combined: Verdict::OutOfPattern,
+            graded: Some(vec![sample_graded(), sample_graded()]),
+        });
+        let rejections = [
+            Response::Rejected(Rejection::Saturated),
+            Response::Rejected(Rejection::ShuttingDown),
+            Response::Rejected(Rejection::WidthMismatch {
+                expected: 16,
+                actual: 4,
+            }),
+            Response::Rejected(Rejection::WorkerLost),
+            Response::Rejected(Rejection::Internal),
+        ];
+        for (i, resp) in [single, layered].into_iter().chain(rejections).enumerate() {
+            let id = i as u64 * 31 + 5;
+            let bytes = encode_response(id, &resp).expect("encode");
+            let (got_id, got) = decode_response(&bytes).expect("decode");
+            assert_eq!(got_id, id);
+            assert_eq!(got, resp);
+        }
+    }
+
+    #[test]
+    fn floats_cross_the_wire_bit_identically() {
+        let tricky = vec![
+            0.0,
+            -0.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE,
+            1.0000001,
+        ];
+        let req = Request {
+            id: 1,
+            kind: RequestKind::Check,
+            query: None,
+            input: tricky.clone(),
+        };
+        let decoded = decode_request(&encode_request(&req).expect("encode")).expect("decode");
+        for (a, b) in tricky.iter().zip(&decoded.input) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let req = Request {
+            id: 3,
+            kind: RequestKind::CheckLayeredGraded,
+            query: Some(GradedQuery {
+                budget: 2,
+                top_k: 1,
+            }),
+            input: vec![1.0, 2.0, 3.0],
+        };
+        let bytes = encode_request(&req).expect("encode");
+        for cut in 0..bytes.len() {
+            let err = decode_request(&bytes[..cut]).expect_err("prefix must not decode");
+            assert!(err.is_malformed(), "cut at {cut} gave {err}");
+        }
+        let resp = encode_response(
+            9,
+            &Response::Layered(LayeredEpochReport {
+                epoch: 1,
+                predicted: 0,
+                per_layer: vec![MonitorReport {
+                    predicted: 0,
+                    verdict: Verdict::InPattern,
+                    distance_to_seeds: None,
+                }],
+                combined: Verdict::InPattern,
+                graded: None,
+            }),
+        )
+        .expect("encode");
+        for cut in 0..resp.len() {
+            decode_response(&resp[..cut]).expect_err("prefix must not decode");
+        }
+    }
+
+    #[test]
+    fn junk_bytes_never_panic_the_decoder() {
+        // Deterministic pseudo-random fuzz: xorshift over a few seeds.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let len = (next() % 64) as usize;
+            let buf: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            // Must return (Ok or Err), never unwind.
+            let _ = decode_request(&buf);
+            let _ = decode_response(&buf);
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_without_allocation() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut frame.as_slice(), DEFAULT_MAX_FRAME).expect_err("too large");
+        assert!(matches!(err, WireError::FrameTooLarge { .. }));
+        // A plausible prefix with a missing body is a typed truncation.
+        let mut short = Vec::new();
+        short.extend_from_slice(&8u32.to_le_bytes());
+        short.extend_from_slice(&[1, 2, 3]);
+        let err = read_frame(&mut short.as_slice(), DEFAULT_MAX_FRAME).expect_err("truncated");
+        assert!(matches!(err, WireError::Truncated { .. }));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let req = Request {
+            id: 1,
+            kind: RequestKind::Check,
+            query: None,
+            input: vec![1.0],
+        };
+        let mut bytes = encode_request(&req).expect("encode");
+        bytes.push(0xFF);
+        assert!(matches!(
+            decode_request(&bytes),
+            Err(WireError::TrailingBytes { extra: 1 })
+        ));
+    }
+}

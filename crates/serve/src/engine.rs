@@ -133,7 +133,7 @@ impl fmt::Display for EngineError {
 
 impl Error for EngineError {}
 
-/// Why a submission was rejected.
+/// Why a request could not be accepted or answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SubmitError {
@@ -142,6 +142,14 @@ pub enum SubmitError {
     Saturated,
     /// The engine is shutting down.
     ShutDown,
+    /// A worker thread died (panicked) before answering — an engine
+    /// bug or a poisoned model replica, not a monitoring verdict.  A
+    /// ticket resolves with this error instead of hanging; once the
+    /// **last** worker has died the engine marks itself failed, every
+    /// still-queued request is resolved with this error, and new
+    /// submissions are rejected with it too (a failed engine must
+    /// answer, never block).
+    WorkerLost,
     /// The input's width does not match the model's input dimension.
     /// Rejected at submission so one malformed request cannot panic a
     /// worker mid-batch (which would take unrelated co-batched requests
@@ -159,6 +167,9 @@ impl fmt::Display for SubmitError {
         match self {
             SubmitError::Saturated => write!(f, "engine queue is full"),
             SubmitError::ShutDown => write!(f, "engine is shut down"),
+            SubmitError::WorkerLost => {
+                write!(f, "engine worker died before answering the request")
+            }
             SubmitError::WidthMismatch { expected, actual } => {
                 write!(
                     f,
@@ -296,6 +307,11 @@ struct State {
     /// Round-robin submission cursor.
     next: usize,
     shutdown: bool,
+    /// `true` once the **last** worker thread has died without an
+    /// orderly shutdown: the queues can never drain again, so
+    /// submissions are rejected with [`SubmitError::WorkerLost`]
+    /// instead of queueing (or blocking) forever.
+    failed: bool,
 }
 
 struct Shared {
@@ -309,6 +325,10 @@ struct Shared {
     /// The model's input dimension, when derivable (MLP-style stacks):
     /// submissions of any other width are rejected up front.
     input_len: Option<usize>,
+    /// Worker threads still running.  When the count hits zero outside
+    /// an orderly drain, the dying worker's [`WorkerGuard`] fails the
+    /// engine so no ticket is ever left hanging.
+    alive: AtomicUsize,
     /// The read-mostly publish slot: the monitor snapshot currently being
     /// served.  Workers hold their own `Arc` clone and only touch this
     /// mutex when [`Shared::epoch`] tells them a newer snapshot exists —
@@ -474,31 +494,29 @@ pub struct VerdictTicket {
 impl VerdictTicket {
     /// Blocks until the verdict is ready.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the serving worker died before answering (a worker
-    /// panic — an engine bug, not a monitoring verdict).
-    pub fn wait(self) -> EpochReport {
-        self.rx
-            .recv()
-            .expect("engine worker dropped the request without answering")
+    /// [`SubmitError::WorkerLost`] when the serving worker died before
+    /// answering (a worker panic — an engine bug, not a monitoring
+    /// verdict).  Never panics and never hangs: a request the engine
+    /// dropped resolves with the typed error.
+    pub fn wait(self) -> Result<EpochReport, SubmitError> {
+        self.rx.recv().map_err(|_| SubmitError::WorkerLost)
     }
 
-    /// Returns the verdict if it is already available, `None` while the
-    /// request is still queued or in flight.
+    /// Returns `Ok(Some(..))` once the verdict is available, `Ok(None)`
+    /// while the request is still queued or in flight.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the serving worker died before answering — the same
-    /// loud failure as [`VerdictTicket::wait`], rather than reading as
-    /// "not ready yet" forever.
-    pub fn try_wait(&self) -> Option<EpochReport> {
+    /// [`SubmitError::WorkerLost`] when the serving worker died before
+    /// answering — the same typed failure as [`VerdictTicket::wait`],
+    /// rather than reading as "not ready yet" forever.
+    pub fn try_wait(&self) -> Result<Option<EpochReport>, SubmitError> {
         match self.rx.try_recv() {
-            Ok(report) => Some(report),
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => {
-                panic!("engine worker dropped the request without answering")
-            }
+            Ok(report) => Ok(Some(report)),
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
+            Err(mpsc::TryRecvError::Disconnected) => Err(SubmitError::WorkerLost),
         }
     }
 }
@@ -513,28 +531,24 @@ pub struct LayeredVerdictTicket {
 impl LayeredVerdictTicket {
     /// Blocks until the layered verdict is ready.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// As [`VerdictTicket::wait`].
-    pub fn wait(self) -> LayeredEpochReport {
-        self.rx
-            .recv()
-            .expect("engine worker dropped the request without answering")
+    pub fn wait(self) -> Result<LayeredEpochReport, SubmitError> {
+        self.rx.recv().map_err(|_| SubmitError::WorkerLost)
     }
 
-    /// Returns the verdict if it is already available, `None` while the
-    /// request is still queued or in flight.
+    /// Returns `Ok(Some(..))` once the verdict is available, `Ok(None)`
+    /// while the request is still queued or in flight.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// As [`VerdictTicket::try_wait`].
-    pub fn try_wait(&self) -> Option<LayeredEpochReport> {
+    pub fn try_wait(&self) -> Result<Option<LayeredEpochReport>, SubmitError> {
         match self.rx.try_recv() {
-            Ok(report) => Some(report),
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => {
-                panic!("engine worker dropped the request without answering")
-            }
+            Ok(report) => Ok(Some(report)),
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
+            Err(mpsc::TryRecvError::Disconnected) => Err(SubmitError::WorkerLost),
         }
     }
 }
@@ -661,12 +675,14 @@ impl MonitorEngine {
                 pending: 0,
                 next: 0,
                 shutdown: false,
+                failed: false,
             }),
             work: Condvar::new(),
             space: Condvar::new(),
             max_batch: config.max_batch,
             queue_capacity: config.queue_capacity,
             input_len: model_input_len(&replicas[0]),
+            alive: AtomicUsize::new(config.workers),
             published: Mutex::new(Arc::new(monitor)),
             epoch: AtomicU64::new(initial_epoch),
             processed: AtomicU64::new(0),
@@ -683,7 +699,12 @@ impl MonitorEngine {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("naps-serve-{id}"))
-                    .spawn(move || worker_loop(id, &shared, model))
+                    .spawn(move || {
+                        let _guard = WorkerGuard {
+                            shared: Arc::clone(&shared),
+                        };
+                        worker_loop(id, &shared, model);
+                    })
                     .expect("spawn engine worker")
             })
             .collect();
@@ -1023,7 +1044,7 @@ impl MonitorEngine {
     /// panics and never deadlocks: a shut-down engine answers with an
     /// error, not a hang.
     pub fn check(&self, input: &Tensor) -> Result<EpochReport, SubmitError> {
-        Ok(self.submit(input.clone())?.wait())
+        self.submit(input.clone())?.wait()
     }
 
     /// Checks one input synchronously through the pool, returning the
@@ -1033,7 +1054,7 @@ impl MonitorEngine {
     ///
     /// As [`MonitorEngine::check`].
     pub fn check_layered(&self, input: &Tensor) -> Result<LayeredEpochReport, SubmitError> {
-        Ok(self.submit_layered(input.clone(), None)?.wait())
+        self.submit_layered(input.clone(), None)?.wait()
     }
 
     /// Graded [`MonitorEngine::check`]: the returned report carries the
@@ -1047,7 +1068,7 @@ impl MonitorEngine {
         input: &Tensor,
         query: GradedQuery,
     ) -> Result<EpochReport, SubmitError> {
-        Ok(self.submit_graded(input.clone(), query)?.wait())
+        self.submit_graded(input.clone(), query)?.wait()
     }
 
     /// Graded [`MonitorEngine::check_layered`]: the returned report
@@ -1061,7 +1082,7 @@ impl MonitorEngine {
         input: &Tensor,
         query: GradedQuery,
     ) -> Result<LayeredEpochReport, SubmitError> {
-        Ok(self.submit_layered(input.clone(), Some(query))?.wait())
+        self.submit_layered(input.clone(), Some(query))?.wait()
     }
 
     /// Checks a batch synchronously, preserving input order (single-layer
@@ -1169,10 +1190,52 @@ impl MonitorEngine {
         for (i, report) in rx {
             out[i] = Some(report);
         }
-        Ok(out
-            .into_iter()
-            .map(|r| r.expect("one report per input"))
-            .collect())
+        // A missing slot means a worker died with that request in hand
+        // (its callback was dropped unanswered) — a typed error, never a
+        // panic on the serving surface.
+        out.into_iter()
+            .map(|r| r.ok_or(SubmitError::WorkerLost))
+            .collect()
+    }
+
+    /// Requests currently queued (accepted but not yet picked up by a
+    /// worker) — the live backpressure gauge, bounded by
+    /// [`EngineConfig::queue_capacity`].  A point-in-time snapshot: the
+    /// value can change the moment the lock is released.
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pending
+    }
+
+    /// Non-blocking layered callback submission — the composition of
+    /// [`MonitorEngine::try_submit`] (typed [`SubmitError::Saturated`]
+    /// instead of blocking on a full queue) and
+    /// [`MonitorEngine::submit_layered_with`] (callback instead of
+    /// ticket), with an optional graded `query`.  This is the surface a
+    /// network front-end wants: a reader thread must never block on the
+    /// engine's queue, and the verdict is written back from the worker
+    /// thread without parking anything in between.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Saturated`] when the queue is full (shed the
+    /// request), [`SubmitError::ShutDown`] after shutdown began,
+    /// [`SubmitError::WorkerLost`] on a failed engine,
+    /// [`SubmitError::WidthMismatch`] on a wrong-width input.  When an
+    /// error is returned, `complete` is dropped uninvoked.
+    pub fn try_submit_layered_with<F>(
+        &self,
+        input: Tensor,
+        query: Option<GradedQuery>,
+        complete: F,
+    ) -> Result<(), SubmitError>
+    where
+        F: FnOnce(LayeredEpochReport) + Send + 'static,
+    {
+        self.enqueue(input, query, Box::new(complete), false)
     }
 
     /// Lifetime counters (throughput, batching, stealing and swap
@@ -1199,6 +1262,13 @@ impl MonitorEngine {
 
     /// Stops accepting submissions, drains the queues, joins the
     /// workers and returns the final counters.
+    ///
+    /// **Drain guarantee** (regression-tested by
+    /// `tests/worker_loss.rs`): every request accepted before shutdown
+    /// began is either judged (its ticket resolves `Ok`) or — if a
+    /// worker died with it in hand, or the last worker died with it
+    /// still queued — resolved with [`SubmitError::WorkerLost`].  No
+    /// ticket is ever left hanging.
     pub fn shutdown(mut self) -> EngineStats {
         self.begin_shutdown();
         for handle in self.workers.drain(..) {
@@ -1239,6 +1309,9 @@ impl MonitorEngine {
         self.validate_width(&input)?;
         let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
+            if state.failed {
+                return Err(SubmitError::WorkerLost);
+            }
             if state.shutdown {
                 return Err(SubmitError::ShutDown);
             }
@@ -1357,6 +1430,54 @@ fn next_batch(id: usize, shared: &Shared) -> Option<Vec<Request>> {
             return None;
         }
         state = shared.work.wait(state).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Runs when a worker thread exits — normally (orderly shutdown with
+/// empty queues) or by unwinding out of a panic.  Its job is the "no
+/// hung ticket" invariant:
+///
+/// * A **panicking** worker may leave queued requests behind that only
+///   *it* was notified about; siblings are re-woken so they re-check the
+///   queues and steal the orphans.
+/// * The **last** worker to exit takes the queues with it: nothing can
+///   ever pop them again, so any still-queued request is drained and
+///   dropped — dropping a [`Request`] drops its completion callback,
+///   which disconnects the ticket channel and resolves the ticket with
+///   [`SubmitError::WorkerLost`] instead of leaving it hanging.  If the
+///   exit was a panic (not an orderly drain), the engine is also marked
+///   failed so subsequent submissions get the same typed error.
+struct WorkerGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        let panicked = std::thread::panicking();
+        let last = self.shared.alive.fetch_sub(1, Ordering::AcqRel) == 1;
+        if !panicked && !last {
+            return;
+        }
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if panicked && last {
+            // A surviving sibling keeps a degraded engine serving; with
+            // none left the engine is failed, not merely degraded.
+            state.failed = true;
+            state.shutdown = true;
+        }
+        let orphans: Vec<VecDeque<Request>> = if last {
+            state.pending = 0;
+            state.queues.iter_mut().map(std::mem::take).collect()
+        } else {
+            Vec::new()
+        };
+        drop(state);
+        // Siblings blocked in `next_batch` re-check the queues (a panic
+        // can eat a submission's one `notify_one`); blocked submitters
+        // re-check the shutdown/failed flags.
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        drop(orphans);
     }
 }
 

@@ -107,7 +107,7 @@ fn overlapping_submissions_from_many_threads_match_sequential() {
                     .map(|&i| (i, engine.submit(probes[i].clone()).expect("submit")))
                     .collect();
                 for (i, ticket) in tickets {
-                    let got = ticket.wait();
+                    let got = ticket.wait().expect("worker alive");
                     assert_eq!(got.report, want[i], "thread {t} round {round} probe {i}");
                     assert_eq!(got.epoch, 0, "nothing was republished");
                 }
@@ -208,7 +208,7 @@ fn backpressure_saturates_then_drains() {
     }
     let accepted = tickets.len();
     for t in tickets {
-        let _ = t.wait();
+        t.wait().expect("accepted requests are answered");
     }
     let stats = engine.shutdown();
     assert_eq!(stats.processed, accepted as u64);
@@ -230,7 +230,7 @@ fn shutdown_rejects_new_work_but_serves_queued_work() {
     let stats = engine.shutdown();
     assert_eq!(stats.processed, 32);
     for t in tickets {
-        let _ = t.wait(); // every queued request was answered
+        t.wait().expect("every queued request was answered");
     }
 }
 
@@ -317,7 +317,11 @@ fn random_interleaving_fuzz() {
             for _ in 0..150 {
                 let i = rng.gen_range(0..probes.len());
                 if rng.gen::<bool>() {
-                    let got = engine.submit(probes[i].clone()).expect("submit").wait();
+                    let got = engine
+                        .submit(probes[i].clone())
+                        .expect("submit")
+                        .wait()
+                        .expect("worker alive");
                     assert_eq!(got.report, want[i]);
                 } else {
                     let tx = tx.clone();
@@ -356,7 +360,7 @@ fn submitting_to_a_stopped_engine_errors_instead_of_panicking() {
         .collect();
     engine.stop();
     for t in tickets {
-        let _ = t.wait();
+        t.wait().expect("queued work drained after stop");
     }
     // ...and every submission path afterwards reports ShutDown.
     assert_eq!(

@@ -81,7 +81,7 @@ fn graded_verdicts_stay_attributable_across_hot_swap() {
     let epoch = engine.publish(frozen1).expect("compatible");
     assert_eq!(epoch, 1);
     for (i, t) in tickets.into_iter().enumerate() {
-        let report = t.wait();
+        let report = t.wait().expect("worker alive");
         let graded = report.graded.as_ref().expect("graded submission");
         let want = match report.epoch {
             0 => &oracle0[i],

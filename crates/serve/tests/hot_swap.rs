@@ -115,7 +115,7 @@ fn hot_swap_under_load_is_non_disruptive_and_exact() {
                 submitted += tickets.len() as u64;
                 for (i, ticket) in tickets {
                     // (a) every submission is answered, none errored...
-                    let got = ticket.wait();
+                    let got = ticket.wait().expect("worker alive");
                     answered += 1;
                     // (b) ...and matches the oracle of its stamped epoch.
                     let want = match got.epoch {

@@ -1,0 +1,241 @@
+//! Regression suite for the engine's worker-death and shutdown-drain
+//! error paths (ISSUE 7 satellites): a dead worker must surface as the
+//! typed [`SubmitError::WorkerLost`] — on the in-flight ticket, on every
+//! request still queued behind it, and on later submissions to a failed
+//! engine — and an orderly shutdown must answer every accepted request.
+//! Nothing on this surface may panic or hang.
+
+mod common;
+
+use naps_core::MonitorBuilder;
+use naps_nn::{Dense, Layer, Relu, Sequential};
+use naps_serve::{EngineConfig, FrozenMonitor, MonitorEngine, SubmitError};
+use naps_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// An identity layer that panics when any input feature is NaN — the
+/// deliberate worker-killer.  Because the model's first layer is not a
+/// recognisable MLP head, the engine cannot derive an input width and
+/// skips submission validation, so the poison reaches the worker thread
+/// (exactly the "model replica panics mid-batch" failure mode the typed
+/// error exists for).
+#[derive(Debug)]
+struct PanicOnNan {
+    features: usize,
+}
+
+impl Layer for PanicOnNan {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert!(
+            !x.data().iter().any(|v| v.is_nan()),
+            "poison input reached the model"
+        );
+        x.clone()
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.clone()
+    }
+
+    fn output_len(&self) -> usize {
+        self.features
+    }
+
+    fn label(&self) -> String {
+        "panic-on-nan".to_owned()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+const CLASSES: usize = 3;
+
+/// `[PanicOnNan, Dense(2→12), ReLU, Dense(12→CLASSES)]` with seeded
+/// weights, so every replica is an exact copy.
+fn poison_model() -> Sequential {
+    let mut rng = StdRng::seed_from_u64(9);
+    Sequential::new(vec![
+        Box::new(PanicOnNan { features: 2 }),
+        Box::new(Dense::new(2, 12, &mut rng)),
+        Box::new(Relu::new()),
+        Box::new(Dense::new(12, CLASSES, &mut rng)),
+    ])
+}
+
+fn clean_inputs(n: usize) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| {
+            let a = i as f32 * 0.61;
+            Tensor::from_vec(vec![2], vec![a.cos(), a.sin()])
+        })
+        .collect()
+}
+
+fn poison_input() -> Tensor {
+    Tensor::from_vec(vec![2], vec![f32::NAN, 0.0])
+}
+
+/// An engine over the poison model: untrained (verdict quality is
+/// irrelevant here), monitored at the ReLU (layer 2).
+fn poison_engine(workers: usize, max_batch: usize, queue_capacity: usize) -> MonitorEngine {
+    let mut net = poison_model();
+    let xs = clean_inputs(24);
+    let ys: Vec<usize> = (0..24).map(|i| i % CLASSES).collect();
+    let monitor = MonitorBuilder::new(2, 1).build(&mut net, &xs, &ys, CLASSES);
+    let frozen = FrozenMonitor::shard_by_class(&monitor, workers);
+    let replicas = (0..workers).map(|_| poison_model()).collect();
+    MonitorEngine::with_replicas(
+        frozen,
+        replicas,
+        EngineConfig {
+            workers,
+            max_batch,
+            queue_capacity,
+        },
+    )
+    .expect("engine over caller-made replicas")
+}
+
+/// Retries `f` for up to two seconds — the worker-death guard runs
+/// asynchronously on the dying thread, so flag-dependent assertions poll
+/// instead of racing it.
+fn eventually<F: FnMut() -> bool>(mut f: F, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < deadline {
+        if f() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+#[test]
+fn killed_worker_resolves_ticket_with_worker_lost() {
+    let engine = poison_engine(1, 1, 64);
+    // A clean request round-trips first: the engine works.
+    let ok = engine
+        .submit(clean_inputs(1)[0].clone())
+        .expect("submit")
+        .wait()
+        .expect("clean request is answered");
+    assert!(ok.report.predicted < CLASSES);
+
+    // The poison kills the lone worker mid-batch: the in-flight ticket
+    // resolves with the typed error — no panic, no hang.
+    let ticket = engine.submit(poison_input()).expect("submit");
+    assert_eq!(ticket.wait(), Err(SubmitError::WorkerLost));
+
+    // Once the guard has marked the engine failed, submissions are
+    // rejected with the same typed error (never queued forever).
+    eventually(
+        || {
+            matches!(
+                engine.submit(clean_inputs(1)[0].clone()),
+                Err(SubmitError::WorkerLost)
+            )
+        },
+        "failed engine rejects new submissions with WorkerLost",
+    );
+    // The synchronous wrappers see it too.
+    assert_eq!(
+        engine.check(&clean_inputs(1)[0]).unwrap_err(),
+        SubmitError::WorkerLost
+    );
+    assert_eq!(
+        engine.check_batch(&clean_inputs(2)).unwrap_err(),
+        SubmitError::WorkerLost
+    );
+}
+
+#[test]
+fn try_wait_reports_worker_lost_instead_of_not_ready() {
+    let engine = poison_engine(1, 1, 64);
+    let ticket = engine.submit(poison_input()).expect("submit");
+    eventually(
+        || matches!(ticket.try_wait(), Err(SubmitError::WorkerLost)),
+        "try_wait surfaces the dead worker",
+    );
+}
+
+#[test]
+fn requests_queued_behind_the_poison_never_hang() {
+    // One worker, micro-batches of one: the poison is judged alone, and
+    // everything queued behind it is orphaned by the worker's death.
+    let engine = poison_engine(1, 1, 256);
+    let poison_ticket = engine.submit(poison_input()).expect("submit");
+    let mut tickets = Vec::new();
+    for x in clean_inputs(20) {
+        match engine.submit(x) {
+            // Accepted: must resolve (with WorkerLost once the worker is
+            // gone — the guard drains the orphaned queue).
+            Ok(t) => tickets.push(t),
+            // The guard already failed the engine: equally fine.
+            Err(SubmitError::WorkerLost) => {}
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert_eq!(poison_ticket.wait(), Err(SubmitError::WorkerLost));
+    for t in tickets {
+        // The deadline is the test harness's own timeout: wait() must
+        // return (Err), not block forever on a hung ticket.
+        assert_eq!(t.wait(), Err(SubmitError::WorkerLost));
+    }
+}
+
+#[test]
+fn surviving_workers_keep_a_degraded_engine_serving() {
+    let engine = poison_engine(2, 1, 256);
+    let xs = clean_inputs(8);
+    let reference: Vec<_> = xs
+        .iter()
+        .map(|x| engine.check(x).expect("healthy engine").report)
+        .collect();
+
+    // Kill one of the two workers.
+    let ticket = engine.submit(poison_input()).expect("submit");
+    assert_eq!(ticket.wait(), Err(SubmitError::WorkerLost));
+
+    // The survivor steals the dead worker's share: every clean request
+    // is still answered, bit-identically to the healthy engine.
+    for (x, want) in xs.iter().zip(&reference) {
+        let got = engine.check(x).expect("degraded engine still serves");
+        assert_eq!(&got.report, want);
+    }
+}
+
+#[test]
+fn shutdown_with_backlog_answers_every_accepted_request() {
+    // Satellite check: `shutdown` documents that queued requests are
+    // drained — verify it with a backlog that outnumbers the workers.
+    let (monitor, net, probes) = common::fixture(23, 8);
+    let engine = MonitorEngine::new(
+        &monitor,
+        &net,
+        EngineConfig {
+            workers: 2,
+            max_batch: 4,
+            queue_capacity: 1024,
+        },
+    )
+    .expect("engine");
+    let tickets: Vec<_> = probes
+        .iter()
+        .cycle()
+        .take(96)
+        .map(|x| engine.submit(x.clone()).expect("submit"))
+        .collect();
+    engine.stop(); // queues still hold a backlog
+    let mut answered = 0u64;
+    for t in tickets {
+        t.wait().expect("accepted-before-stop request is judged");
+        answered += 1;
+    }
+    let stats = engine.shutdown();
+    assert_eq!(answered, 96);
+    assert_eq!(stats.processed, 96);
+}
