@@ -1,0 +1,274 @@
+//! `analyzer.toml` — the checked-in analysis configuration.
+//!
+//! The analyzer is std-only (it must not depend on anything it
+//! analyses), so this module carries a deliberately tiny TOML-subset
+//! parser: `[section.sub]` headers, string / bool / integer values,
+//! and (possibly multi-line) string arrays.  Unknown keys are errors —
+//! a typo in the config must not silently disable a rule.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How violations of a rule count towards the exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Unwaived violations fail the run.
+    Deny,
+    /// Reported and counted, but never fail the run.
+    Warn,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        })
+    }
+}
+
+/// Parsed analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directories (relative to the workspace root) to walk for `.rs`
+    /// files.
+    pub roots: Vec<String>,
+    /// Path prefixes (relative, `/`-separated) excluded from the walk —
+    /// the seeded-violation fixtures above all.
+    pub exclude: Vec<String>,
+    /// Where the JSON report goes, relative to the workspace root.
+    pub results: String,
+    /// Per-rule severity, keyed by rule name.
+    pub severity: BTreeMap<String, Severity>,
+    /// Files (relative paths) under the panic-freedom deny-list.
+    pub panic_deny_files: Vec<String>,
+    /// Crate directory names (under `crates/`) treated as library
+    /// crates by the typed-errors rule.
+    pub library_crates: Vec<String>,
+    /// Crate directory names whose test code is exempt from the
+    /// test-flakiness rule (benchmark harnesses sleep on purpose).
+    pub flakiness_exempt_crates: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            roots: vec!["crates".to_string()],
+            exclude: Vec::new(),
+            results: "results/analysis.json".to_string(),
+            severity: BTreeMap::new(),
+            panic_deny_files: Vec::new(),
+            library_crates: Vec::new(),
+            flakiness_exempt_crates: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// The effective severity of a rule (rules default to deny; the
+    /// config can relax individual rules to `warn`).
+    pub fn severity(&self, rule: &str) -> Severity {
+        self.severity.get(rule).copied().unwrap_or(Severity::Deny)
+    }
+
+    /// Parses the TOML subset described in the module docs.
+    pub fn from_toml_str(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let (key, mut value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                .ok_or_else(|| ConfigError::at(idx, "expected `key = value`"))?;
+            // Multi-line arrays: keep consuming until brackets balance.
+            while value.starts_with('[') && !balanced(&value) {
+                let (_, cont) = lines
+                    .next()
+                    .ok_or_else(|| ConfigError::at(idx, "unterminated array"))?;
+                let cont = strip_comment(cont).trim().to_string();
+                if cont.is_empty() {
+                    continue;
+                }
+                value.push(' ');
+                value.push_str(&cont);
+            }
+            cfg.apply(&section, &key, &value, idx)?;
+        }
+        Ok(cfg)
+    }
+
+    fn apply(
+        &mut self,
+        section: &str,
+        key: &str,
+        value: &str,
+        idx: usize,
+    ) -> Result<(), ConfigError> {
+        match (section, key) {
+            ("analyzer", "roots") => self.roots = parse_string_array(value, idx)?,
+            ("analyzer", "exclude") => self.exclude = parse_string_array(value, idx)?,
+            ("analyzer", "results") => self.results = parse_string(value, idx)?,
+            (s, "severity") if s.starts_with("rules.") => {
+                let rule = s.trim_start_matches("rules.").to_string();
+                let sev = match parse_string(value, idx)?.as_str() {
+                    "deny" => Severity::Deny,
+                    "warn" => Severity::Warn,
+                    other => {
+                        return Err(ConfigError::at(
+                            idx,
+                            &format!("unknown severity `{other}` (deny|warn)"),
+                        ))
+                    }
+                };
+                self.severity.insert(rule, sev);
+            }
+            ("rules.panic_freedom", "deny_files") => {
+                self.panic_deny_files = parse_string_array(value, idx)?;
+            }
+            ("rules.typed_errors", "library_crates") => {
+                self.library_crates = parse_string_array(value, idx)?;
+            }
+            ("rules.test_flakiness", "exempt_crates") => {
+                self.flakiness_exempt_crates = parse_string_array(value, idx)?;
+            }
+            (s, k) => {
+                return Err(ConfigError::at(
+                    idx,
+                    &format!("unknown config key `{k}` in section `[{s}]`"),
+                ))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A config parse failure with its 1-based line.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl ConfigError {
+    fn at(zero_based: usize, message: &str) -> ConfigError {
+        ConfigError {
+            line: zero_based + 1,
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "analyzer.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Drops a trailing `# comment`, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn balanced(value: &str) -> bool {
+    let opens = value.matches('[').count();
+    let closes = value.matches(']').count();
+    opens == closes
+}
+
+fn parse_string(value: &str, idx: usize) -> Result<String, ConfigError> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(|v| v.to_string())
+        .ok_or_else(|| ConfigError::at(idx, "expected a quoted string"))
+}
+
+fn parse_string_array(value: &str, idx: usize) -> Result<Vec<String>, ConfigError> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| ConfigError::at(idx, "expected a [ … ] array"))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(parse_string(item, idx)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let cfg = Config::from_toml_str(
+            r#"
+# comment
+[analyzer]
+roots = ["crates"]
+exclude = [
+    "crates/analyzer/tests/fixtures", # seeded violations
+    "target",
+]
+results = "results/analysis.json"
+
+[rules.panic_freedom]
+severity = "deny"
+deny_files = ["crates/gateway/src/proto.rs"]
+
+[rules.test_flakiness]
+severity = "warn"
+exempt_crates = ["bench"]
+
+[rules.typed_errors]
+library_crates = ["core", "serve"]
+"#,
+        )
+        .expect("config parses");
+        assert_eq!(cfg.roots, ["crates"]);
+        assert_eq!(cfg.exclude.len(), 2);
+        assert_eq!(cfg.severity("panic_freedom"), Severity::Deny);
+        assert_eq!(cfg.severity("test_flakiness"), Severity::Warn);
+        assert_eq!(cfg.severity("unlisted_rule"), Severity::Deny);
+        assert_eq!(cfg.library_crates, ["core", "serve"]);
+        assert_eq!(cfg.flakiness_exempt_crates, ["bench"]);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let err = Config::from_toml_str("[analyzer]\nrotos = [\"crates\"]\n")
+            .expect_err("typo must not parse");
+        assert!(err.message.contains("rotos"));
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let cfg = Config::from_toml_str("[analyzer]\nresults = \"res#ults.json\"\n")
+            .expect("hash inside string");
+        assert_eq!(cfg.results, "res#ults.json");
+    }
+}

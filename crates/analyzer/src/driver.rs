@@ -1,0 +1,196 @@
+//! The analysis driver: walks the workspace, scans every `.rs` file,
+//! runs the rules, matches violations against waivers and aggregates
+//! the result.  `main.rs` and the test suites both enter through
+//! [`analyze_root`] / [`analyze_files`], so CI and the self-check test
+//! exercise exactly the code path a developer runs locally.
+
+use crate::config::{Config, Severity};
+use crate::rules::{self, FileContext, FileKind, Violation};
+use crate::scanner;
+use crate::waiver;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One violation, resolved against the waivers in its file.
+#[derive(Debug)]
+pub struct Finding {
+    pub violation: Violation,
+    /// Index into [`Analysis::waivers`] when suppressed.
+    pub waived_by: Option<usize>,
+    pub severity: Severity,
+}
+
+/// A waiver as it appears in the report, with its suppression count.
+#[derive(Debug)]
+pub struct WaiverRecord {
+    pub file: String,
+    pub line: usize,
+    pub rules: Vec<String>,
+    pub reason: String,
+    pub suppressed: usize,
+}
+
+/// The aggregated result of one analysis run.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    pub files_scanned: usize,
+    pub lines_scanned: usize,
+    pub findings: Vec<Finding>,
+    pub waivers: Vec<WaiverRecord>,
+}
+
+impl Analysis {
+    /// Whether the run passes: no unwaived violation of a deny rule.
+    pub fn is_clean(&self) -> bool {
+        !self
+            .findings
+            .iter()
+            .any(|f| f.waived_by.is_none() && f.severity == Severity::Deny)
+    }
+}
+
+/// Analyzes every `.rs` file under `root`'s configured roots.
+pub fn analyze_root(root: &Path, cfg: &Config) -> io::Result<Analysis> {
+    let mut files = Vec::new();
+    for r in &cfg.roots {
+        collect_rs_files(&root.join(r), &mut files)?;
+    }
+    files.sort();
+    let rel: Vec<String> = files
+        .iter()
+        .filter_map(|f| relative_slash(root, f))
+        .filter(|r| !cfg.exclude.iter().any(|e| r.starts_with(e.as_str())))
+        .collect();
+    analyze_files(root, &rel, cfg)
+}
+
+/// Analyzes an explicit list of workspace-relative `/`-separated
+/// paths.  The fixture tests use this to point the engine at seeded
+/// files with a fixture config.
+pub fn analyze_files(root: &Path, rel_paths: &[String], cfg: &Config) -> io::Result<Analysis> {
+    let mut analysis = Analysis::default();
+    for rel in rel_paths {
+        let ctx = classify(rel);
+        let text = fs::read_to_string(root.join(rel))?;
+        let scanned = scanner::scan(&text, ctx.kind == FileKind::Test);
+        analysis.files_scanned += 1;
+        analysis.lines_scanned += scanned.lines.len();
+
+        let (waivers, waiver_errors) = waiver::extract(&scanned);
+        let waiver_base = analysis.waivers.len();
+        for w in &waivers {
+            analysis.waivers.push(WaiverRecord {
+                file: rel.clone(),
+                line: w.line,
+                rules: w.rules.clone(),
+                reason: w.reason.clone(),
+                suppressed: 0,
+            });
+        }
+        // Malformed waivers are violations themselves and can never be
+        // waived — a broken escape hatch must not open an escape hatch.
+        for e in waiver_errors {
+            analysis.findings.push(Finding {
+                violation: Violation {
+                    rule: "waiver_syntax",
+                    file: rel.clone(),
+                    line: e.line,
+                    message: e.message,
+                },
+                waived_by: None,
+                severity: Severity::Deny,
+            });
+        }
+        for v in rules::check_file(&ctx, &scanned, cfg) {
+            let waived_by = waivers
+                .iter()
+                .position(|w| w.covers(v.rule, v.line))
+                .map(|i| waiver_base + i);
+            if let Some(wi) = waived_by {
+                analysis.waivers[wi].suppressed += 1;
+            }
+            let severity = cfg.severity(v.rule);
+            analysis.findings.push(Finding {
+                violation: v,
+                waived_by,
+                severity,
+            });
+        }
+    }
+    Ok(analysis)
+}
+
+/// Recursively collects `.rs` files, sorted for determinism.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative path with `/` separators (report paths must not
+/// depend on the host OS).
+fn relative_slash(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    Some(parts.join("/"))
+}
+
+/// Derives crate directory and file kind from a workspace-relative
+/// path like `crates/serve/tests/hot_swap.rs`.
+fn classify(rel: &str) -> FileContext {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let crate_dir = if parts.first() == Some(&"crates") && parts.len() > 1 {
+        parts[1]
+    } else {
+        parts.first().copied().unwrap_or("")
+    };
+    let kind_seg = if parts.first() == Some(&"crates") {
+        parts.get(2)
+    } else {
+        parts.get(1)
+    };
+    let kind = match kind_seg.copied() {
+        Some("tests") => FileKind::Test,
+        Some("benches") => FileKind::Bench,
+        Some("examples") => FileKind::Example,
+        _ => FileKind::Lib,
+    };
+    FileContext {
+        path: rel.to_string(),
+        crate_dir: crate_dir.to_string(),
+        kind,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_reads_crate_and_kind() {
+        let c = classify("crates/serve/tests/hot_swap.rs");
+        assert_eq!(c.crate_dir, "serve");
+        assert_eq!(c.kind, FileKind::Test);
+        let c = classify("crates/bdd/src/compiled.rs");
+        assert_eq!(c.crate_dir, "bdd");
+        assert_eq!(c.kind, FileKind::Lib);
+        let c = classify("crates/bench/benches/bench_throughput.rs");
+        assert_eq!(c.kind, FileKind::Bench);
+    }
+}

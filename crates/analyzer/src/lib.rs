@@ -1,0 +1,62 @@
+//! # naps-analyzer — self-hosted static analysis for the workspace
+//!
+//! The workspace's headline guarantees — a wire boundary that cannot
+//! panic, bit-identical concurrent serving, a one-state-mutex engine —
+//! were until now enforced only by tests.  This crate turns them into
+//! machine-checked properties of the *source*: a std-only, token-aware
+//! scanner feeds a rule engine that sweeps every `.rs` file in the
+//! workspace, and CI fails on any unwaived violation.  The analyzer is
+//! **self-hosting**: it scans its own sources under the same rules.
+//!
+//! ## Rules
+//!
+//! | rule | checks |
+//! |------|--------|
+//! | `panic_freedom` | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`/direct indexing in deny-listed hot-path files (`analyzer.toml`) |
+//! | `atomics_ordering` | every `Ordering::Relaxed`/`Acquire`/`Release`/`AcqRel` carries an `// ordering:` justification on the same or preceding line (`SeqCst` is exempt) |
+//! | `lock_hygiene` | no `.lock()` on one mutex while a `let`-bound guard of a different mutex is textually live in the same function |
+//! | `unsafe_audit` | every `unsafe` carries a `// SAFETY:` justification |
+//! | `typed_errors` | library crates use their typed error enums — no `Box<dyn Error>`, stringly `.expect("…")`, or `unwrap_or_default()` |
+//! | `test_flakiness` | no `thread::sleep` as a synchronization point in test code |
+//! | `waiver_syntax` | waivers themselves are well-formed, name known rules, and carry a non-empty reason (never waivable) |
+//!
+//! ## Waivers
+//!
+//! A finding that is provably fine is silenced in place — with a
+//! mandatory reason — and the waiver itself is counted in the report:
+//!
+//! ```text
+//! let b = hello[4];            // naps-lint: allow(panic_freedom, "fixed-size array, constant index")
+//!
+//! // naps-lint: allow-fn(panic_freedom, "child indices < len by construction; validated on load")
+//! fn walk(&self, input: &Pattern) -> bool { … }
+//! ```
+//!
+//! `allow(…)` covers its own line (or the next code line when the
+//! comment stands alone); `allow-fn(…)` covers the whole body of the
+//! function that follows.  Several rules may be listed before the
+//! reason.  A malformed waiver — missing or empty reason, unknown rule
+//! name — is itself a deny violation.
+//!
+//! ## Running
+//!
+//! ```text
+//! cargo run --release -p naps-analyzer            # analyze, write results/analysis.json
+//! cargo run --release -p naps-analyzer -- --quiet # only the summary + exit status
+//! ```
+//!
+//! The process exits non-zero when any unwaived violation of a
+//! `deny`-severity rule remains.  The JSON artifact records the
+//! per-rule per-crate breakdown, the full waiver census (every reason,
+//! every suppression count, unused waivers) and the unwaived list.
+
+pub mod config;
+pub mod driver;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+pub mod waiver;
+
+pub use config::{Config, Severity};
+pub use driver::{analyze_files, analyze_root, Analysis};
+pub use rules::{FileContext, FileKind, Violation, RULE_NAMES};

@@ -1,0 +1,102 @@
+//! CLI entry point: `cargo run -p naps-analyzer [-- --quiet] [--root DIR]`.
+//!
+//! Reads `analyzer.toml` at the workspace root, analyzes the
+//! configured roots, writes the JSON artifact and exits non-zero on
+//! any unwaived deny violation.  Never panics on bad input: config and
+//! IO failures map to error messages and exit code 2.
+
+use naps_analyzer::{config::Config, driver, report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quiet = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quiet" => quiet = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("naps-analyzer: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("naps-analyzer: unknown argument `{other}` (try --quiet, --root DIR)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(find_workspace_root);
+
+    let config_path = root.join("analyzer.toml");
+    let toml = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("naps-analyzer: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match Config::from_toml_str(&toml) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("naps-analyzer: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let analysis = match driver::analyze_root(&root, &cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("naps-analyzer: analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let json = report::to_json(&analysis, &cfg);
+    let out_path = root.join(&cfg.results);
+    if let Some(dir) = out_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("naps-analyzer: cannot create {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("naps-analyzer: cannot write {}: {e}", out_path.display());
+        return ExitCode::from(2);
+    }
+
+    if !quiet {
+        print!("{}", report::human(&analysis, &cfg));
+        println!("[results written to {}]", out_path.display());
+    }
+    if analysis.is_clean() {
+        if !quiet {
+            println!("naps-analyzer: clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "naps-analyzer: unwaived violations (see above / {})",
+            cfg.results
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks up from the current directory to the first `analyzer.toml`
+/// (running from a crate subdirectory should work too); falls back to
+/// the current directory.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("analyzer.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

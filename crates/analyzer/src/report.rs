@@ -1,0 +1,235 @@
+//! Report rendering: the machine-readable `results/analysis.json` and
+//! the human summary printed to stdout.
+//!
+//! JSON is hand-rolled (the analyzer is std-only by design); the
+//! writer escapes strings per RFC 8259 and emits keys in deterministic
+//! order so the artifact diffs cleanly between runs.
+
+use crate::config::{Config, Severity};
+use crate::driver::{Analysis, Finding};
+use crate::rules::RULE_NAMES;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes `s` as a JSON string body (no surrounding quotes).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Per-rule aggregates used by both output forms.
+struct RuleStats {
+    total: usize,
+    waived: usize,
+    unwaived: usize,
+    per_crate: BTreeMap<String, usize>,
+}
+
+fn rule_stats(analysis: &Analysis) -> BTreeMap<&'static str, RuleStats> {
+    let mut map: BTreeMap<&'static str, RuleStats> = BTreeMap::new();
+    for rule in RULE_NAMES {
+        map.insert(
+            rule,
+            RuleStats {
+                total: 0,
+                waived: 0,
+                unwaived: 0,
+                per_crate: BTreeMap::new(),
+            },
+        );
+    }
+    for f in &analysis.findings {
+        let stats = map.entry(f.violation.rule).or_insert_with(|| RuleStats {
+            total: 0,
+            waived: 0,
+            unwaived: 0,
+            per_crate: BTreeMap::new(),
+        });
+        stats.total += 1;
+        if f.waived_by.is_some() {
+            stats.waived += 1;
+        } else {
+            stats.unwaived += 1;
+        }
+        let crate_dir = f
+            .violation
+            .file
+            .strip_prefix("crates/")
+            .and_then(|p| p.split('/').next())
+            .unwrap_or("<root>")
+            .to_string();
+        *stats.per_crate.entry(crate_dir).or_insert(0) += 1;
+    }
+    map
+}
+
+/// Renders the full JSON artifact.
+pub fn to_json(analysis: &Analysis, cfg: &Config) -> String {
+    let stats = rule_stats(analysis);
+    let waived: usize = analysis
+        .findings
+        .iter()
+        .filter(|f| f.waived_by.is_some())
+        .count();
+    let unwaived = analysis.findings.len() - waived;
+    let deny_unwaived = analysis
+        .findings
+        .iter()
+        .filter(|f| f.waived_by.is_none() && f.severity == Severity::Deny)
+        .count();
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"tool\": \"naps-analyzer\",");
+    let _ = writeln!(j, "  \"files_scanned\": {},", analysis.files_scanned);
+    let _ = writeln!(j, "  \"lines_scanned\": {},", analysis.lines_scanned);
+    let _ = writeln!(
+        j,
+        "  \"summary\": {{ \"violations\": {}, \"waived\": {}, \"unwaived\": {}, \"deny_unwaived\": {} }},",
+        analysis.findings.len(),
+        waived,
+        unwaived,
+        deny_unwaived
+    );
+
+    j.push_str("  \"per_rule\": {\n");
+    let mut first = true;
+    for (rule, s) in &stats {
+        if !first {
+            j.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            j,
+            "    \"{}\": {{ \"severity\": \"{}\", \"total\": {}, \"waived\": {}, \"unwaived\": {}, \"per_crate\": {{",
+            rule,
+            cfg.severity(rule),
+            s.total,
+            s.waived,
+            s.unwaived
+        );
+        let mut cfirst = true;
+        for (crate_dir, n) in &s.per_crate {
+            if !cfirst {
+                j.push_str(", ");
+            }
+            cfirst = false;
+            let _ = write!(j, "\"{}\": {}", esc(crate_dir), n);
+        }
+        j.push_str("} }");
+    }
+    j.push_str("\n  },\n");
+
+    let unused = analysis
+        .waivers
+        .iter()
+        .filter(|w| w.suppressed == 0)
+        .count();
+    let _ = writeln!(
+        j,
+        "  \"waivers\": {{ \"total\": {}, \"unused\": {}, \"entries\": [",
+        analysis.waivers.len(),
+        unused
+    );
+    for (i, w) in analysis.waivers.iter().enumerate() {
+        let rules: Vec<String> = w.rules.iter().map(|r| format!("\"{}\"", esc(r))).collect();
+        let _ = write!(
+            j,
+            "    {{ \"file\": \"{}\", \"line\": {}, \"rules\": [{}], \"suppressed\": {}, \"reason\": \"{}\" }}",
+            esc(&w.file),
+            w.line,
+            rules.join(", "),
+            w.suppressed,
+            esc(&w.reason)
+        );
+        j.push_str(if i + 1 < analysis.waivers.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    j.push_str("  ] },\n");
+
+    let unwaived_list: Vec<&Finding> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.waived_by.is_none())
+        .collect();
+    j.push_str("  \"unwaived\": [\n");
+    for (i, f) in unwaived_list.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{ \"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\" }}",
+            f.violation.rule,
+            f.severity,
+            esc(&f.violation.file),
+            f.violation.line,
+            esc(&f.violation.message)
+        );
+        j.push_str(if i + 1 < unwaived_list.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
+/// Renders the human summary (and the unwaived-violation list, which
+/// is the part a failing CI run shows first).
+pub fn human(analysis: &Analysis, cfg: &Config) -> String {
+    let stats = rule_stats(analysis);
+    let mut out = String::new();
+    for f in analysis.findings.iter().filter(|f| f.waived_by.is_none()) {
+        let _ = writeln!(
+            out,
+            "{}:{}: [{}/{}] {}",
+            f.violation.file, f.violation.line, f.violation.rule, f.severity, f.violation.message
+        );
+    }
+    let _ = writeln!(
+        out,
+        "naps-analyzer: {} files, {} lines scanned",
+        analysis.files_scanned, analysis.lines_scanned
+    );
+    for (rule, s) in &stats {
+        if s.total == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>3} violation(s): {} waived, {} unwaived [{}]",
+            rule,
+            s.total,
+            s.waived,
+            s.unwaived,
+            cfg.severity(rule)
+        );
+    }
+    let unused = analysis
+        .waivers
+        .iter()
+        .filter(|w| w.suppressed == 0)
+        .count();
+    let _ = writeln!(
+        out,
+        "  {} waiver(s) on file, {} unused",
+        analysis.waivers.len(),
+        unused
+    );
+    out
+}

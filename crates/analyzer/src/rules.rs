@@ -1,0 +1,601 @@
+//! The rule engine: each rule sweeps a [`ScannedFile`] and yields
+//! violations, which the driver then matches against waivers.
+//!
+//! Rules are textual and token-aware, not type-aware — they run on the
+//! scanner's masked code channel, so strings, comments, lifetimes and
+//! `#[cfg(test)]` regions can't fool them, but they deliberately trade
+//! a little precision for zero build-time dependencies (the analyzer
+//! gates the workspace that *produces* typed ASTs, so it cannot depend
+//! on it).  Where a rule is heuristic (e.g. `unwrap_or_default` on a
+//! `Result` vs. an `Option`), a waiver with a reason is the escape
+//! hatch, and every waiver is counted in the report.
+
+use crate::config::Config;
+use crate::scanner::ScannedFile;
+
+/// Every rule the engine knows, in report order.  Waivers may only
+/// name rules from this list (typos are `waiver_syntax` violations).
+pub const RULE_NAMES: [&str; 7] = [
+    "panic_freedom",
+    "atomics_ordering",
+    "lock_hygiene",
+    "unsafe_audit",
+    "typed_errors",
+    "test_flakiness",
+    "waiver_syntax",
+];
+
+/// Where a file sits in its crate, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Under `src/` (including `src/bin/`).
+    Lib,
+    /// Under `tests/` — every line is test code.
+    Test,
+    /// Under `benches/`.
+    Bench,
+    /// Under `examples/`.
+    Example,
+}
+
+/// Per-file context the rules need beyond the scanned text.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Workspace-relative path, `/`-separated (e.g.
+    /// `crates/serve/src/engine.rs`).
+    pub path: String,
+    /// The crate directory name (e.g. `serve`).
+    pub crate_dir: String,
+    pub kind: FileKind,
+}
+
+/// One rule hit at a specific line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based.
+    pub line: usize,
+    pub message: String,
+}
+
+/// Runs every rule over one prepared file.
+pub fn check_file(ctx: &FileContext, file: &ScannedFile, cfg: &Config) -> Vec<Violation> {
+    let mut out = Vec::new();
+    panic_freedom(ctx, file, cfg, &mut out);
+    atomics_ordering(ctx, file, &mut out);
+    lock_hygiene(ctx, file, &mut out);
+    unsafe_audit(ctx, file, &mut out);
+    typed_errors(ctx, file, cfg, &mut out);
+    test_flakiness(ctx, file, cfg, &mut out);
+    out
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Finds word-boundary occurrences of `token` in `code`, returning
+/// byte offsets of each match start.
+fn token_positions(code: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(token) {
+        let at = from + rel;
+        let before_ok = at == 0
+            || !is_ident(code[..at].chars().next_back().unwrap_or(' '))
+            || !is_ident(token.chars().next().unwrap_or(' '));
+        let after = code[at + token.len()..].chars().next();
+        let after_ok =
+            !after.is_some_and(is_ident) || !is_ident(token.chars().next_back().unwrap_or(' '));
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + token.len();
+    }
+    out
+}
+
+/// Rule 1 — **panic_freedom**: deny-listed hot-path files must not
+/// contain `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`,
+/// `todo!`, `unimplemented!` or direct index/slice expressions
+/// (`x[…]`) outside test code.  The deny-list is `analyzer.toml`'s
+/// `[rules.panic_freedom] deny_files`.
+fn panic_freedom(ctx: &FileContext, file: &ScannedFile, cfg: &Config, out: &mut Vec<Violation>) {
+    if !cfg.panic_deny_files.iter().any(|f| f == &ctx.path) {
+        return;
+    }
+    for (idx, l) in file.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let line = idx + 1;
+        for (needle, what) in [
+            (".unwrap(", "`.unwrap()`"),
+            (".expect(", "`.expect(…)`"),
+            ("panic!", "`panic!`"),
+            ("unreachable!", "`unreachable!`"),
+            ("todo!", "`todo!`"),
+            ("unimplemented!", "`unimplemented!`"),
+        ] {
+            for _ in token_positions(&l.code, needle) {
+                out.push(Violation {
+                    rule: "panic_freedom",
+                    file: ctx.path.clone(),
+                    line,
+                    message: format!("{what} on a deny-listed hot-path file can panic"),
+                });
+            }
+        }
+        for at in index_positions(&l.code) {
+            let snippet = index_snippet(&l.code, at);
+            out.push(Violation {
+                rule: "panic_freedom",
+                file: ctx.path.clone(),
+                line,
+                message: format!(
+                    "direct index `{snippet}` on a deny-listed hot-path file can panic — \
+                     use `.get(…)` or waive with an in-bounds proof"
+                ),
+            });
+        }
+    }
+}
+
+/// Byte offsets of `[` chars that open an index/slice *expression*:
+/// the char **immediately** before the `[` is an identifier char, `)`,
+/// `]` or `?`.  Adjacency matters — rustfmt never leaves a space
+/// before a real index bracket, while array literals (`[0u8; 4]`,
+/// `in [(a, b)]`), types (`&[f32]`, `&mut [u8]`), attributes (`#[…]`)
+/// and macro bracket args (`vec![…]`) are all preceded by whitespace
+/// or other punctuation.
+fn index_positions(code: &str) -> Vec<usize> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut byte = 0;
+    for (i, &c) in chars.iter().enumerate() {
+        if c == '[' && i > 0 {
+            let p = chars[i - 1];
+            if is_ident(p) || p == ')' || p == ']' || p == '?' {
+                out.push(byte);
+            }
+        }
+        byte += c.len_utf8();
+    }
+    out
+}
+
+/// A short `recv[idx]`-style snippet around the `[` at `at`, for the
+/// violation message.
+fn index_snippet(code: &str, at: usize) -> String {
+    let start = code[..at]
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| is_ident(*c) || *c == '.')
+        .map(|(i, _)| i)
+        .last()
+        .unwrap_or(at);
+    let end = code[at..]
+        .char_indices()
+        .find(|(_, c)| *c == ']')
+        .map(|(i, _)| at + i + 1)
+        .unwrap_or(code.len());
+    code[start..end].trim().chars().take(40).collect()
+}
+
+/// True when `line` carries `marker` in its own comment, or in the
+/// contiguous comment block directly above it (comment-only lines, the
+/// way a doc comment attaches to the item below).
+fn justified_by(file: &ScannedFile, line: usize, marker: &str) -> bool {
+    if file.comment(line).contains(marker) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        if file.code(l).trim().is_empty() && !file.comment(l).trim().is_empty() {
+            if file.comment(l).contains(marker) {
+                return true;
+            }
+        } else {
+            // A code or blank line breaks the block — except the first
+            // line above, whose trailing comment also counts.
+            return l + 1 == line && file.comment(l).contains(marker);
+        }
+    }
+    false
+}
+
+/// Rule 2 — **atomics_ordering**: every non-`SeqCst` atomic memory
+/// ordering (`Relaxed`, `Acquire`, `Release`, `AcqRel`) must carry an
+/// `// ordering:` justification on the same line, on the preceding
+/// line's trailing comment, or in the comment block directly above.
+/// `SeqCst` is the conservative default and needs no note;
+/// everything weaker is an claim about the protocol and must say so.
+/// Applies to test code too — tests encode protocols as well.
+fn atomics_ordering(ctx: &FileContext, file: &ScannedFile, out: &mut Vec<Violation>) {
+    for (idx, l) in file.lines.iter().enumerate() {
+        let line = idx + 1;
+        for variant in ["Relaxed", "Acquire", "Release", "AcqRel"] {
+            let needle = format!("Ordering::{variant}");
+            for _ in token_positions(&l.code, &needle) {
+                let justified = justified_by(file, line, "ordering:");
+                if !justified {
+                    out.push(Violation {
+                        rule: "atomics_ordering",
+                        file: ctx.path.clone(),
+                        line,
+                        message: format!(
+                            "`Ordering::{variant}` without an `// ordering:` justification \
+                             on this or the preceding line"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Rule 3 — **lock_hygiene**: inside one function, taking `.lock()` on
+/// a mutex while a `let`-bound guard from a *different* named mutex is
+/// still live (textually: its enclosing block has not closed and it
+/// was not explicitly `drop`ped) risks lock-order inversions and
+/// violates the engine's one-state-mutex design.  Non-test code only;
+/// `try_lock` is exempt (it cannot block).
+fn lock_hygiene(ctx: &FileContext, file: &ScannedFile, out: &mut Vec<Violation>) {
+    for f in &file.fns {
+        if file.in_test(f.start_line) {
+            continue;
+        }
+        // Flatten the body with a per-char line map.  Non-ASCII chars
+        // (only reachable via exotic identifiers — literals are already
+        // blanked) become `?` so char indices equal byte offsets and
+        // the slicing below cannot split a code point.
+        let mut flat = String::new();
+        let mut line_of = Vec::new();
+        for line in f.body_start..=f.body_end {
+            for c in file.code(line).chars() {
+                flat.push(if c.is_ascii() { c } else { '?' });
+                line_of.push(line);
+            }
+            flat.push('\n');
+            line_of.push(line);
+        }
+        let chars: Vec<char> = flat.chars().collect();
+        struct Guard {
+            var: String,
+            mutex: String,
+            depth: usize,
+            line: usize,
+        }
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut depth = 0usize;
+        let mut i = 0;
+        while i < chars.len() {
+            match chars[i] {
+                '{' => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    guards.retain(|g| g.depth <= depth);
+                }
+                _ => {}
+            }
+            // `drop(var)` releases a guard early.
+            if flat[i..].starts_with("drop(") && (i == 0 || !is_ident(chars[i - 1])) {
+                let arg: String = flat[i + 5..].chars().take_while(|c| is_ident(*c)).collect();
+                guards.retain(|g| g.var != arg);
+            }
+            if flat[i..].starts_with(".lock()") {
+                let mutex = receiver_name(&chars, i);
+                let line = line_of[i];
+                if let Some(held) = guards.iter().find(|g| g.mutex != mutex) {
+                    out.push(Violation {
+                        rule: "lock_hygiene",
+                        file: ctx.path.clone(),
+                        line,
+                        message: format!(
+                            "`.lock()` on `{mutex}` while guard `{var}` on mutex `{held}` \
+                             (taken on line {hline}) is still live — nested locks break the \
+                             one-state-mutex design",
+                            var = held.var,
+                            held = held.mutex,
+                            hline = held.line,
+                        ),
+                    });
+                }
+                // A `let`-bound guard stays live to end of scope.
+                if let Some(var) = let_binding_before(&flat, i) {
+                    guards.push(Guard {
+                        var,
+                        mutex,
+                        depth,
+                        line,
+                    });
+                }
+                i += ".lock()".len();
+                continue;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// The identifier directly before a `.lock()` receiver dot, skipping
+/// whitespace (rustfmt may break the chain across lines).
+fn receiver_name(chars: &[char], dot_at: usize) -> String {
+    let mut j = dot_at;
+    while j > 0 && chars[j - 1].is_whitespace() {
+        j -= 1;
+    }
+    let end = j;
+    while j > 0 && is_ident(chars[j - 1]) {
+        j -= 1;
+    }
+    if j == end {
+        "<expr>".to_string()
+    } else {
+        chars[j..end].iter().collect()
+    }
+}
+
+/// If the statement containing position `at` binds the lock guard
+/// itself — `let g = receiver.lock()…` with nothing but a plain
+/// receiver chain between `=` and `.lock()` — returns the bound
+/// variable name.  `let m = Arc::clone(&x.lock()…)` binds the *result*
+/// of a call, not the guard (the guard is a temporary dropped at the
+/// statement's end), so any wrapping call or path separator before
+/// `.lock()` means no live guard.  The statement start is the last
+/// `;`, `{` or `}` before `at`.
+fn let_binding_before(flat: &str, at: usize) -> Option<String> {
+    let start = flat[..at]
+        .rfind([';', '{', '}'])
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let stmt = flat[start..at].trim_start();
+    let rest = stmt.strip_prefix("let ")?;
+    let rest = rest.trim_start().trim_start_matches("mut ").trim_start();
+    let var: String = rest.chars().take_while(|c| is_ident(*c)).collect();
+    if var.is_empty() {
+        return None;
+    }
+    // Everything between `=` and `.lock()` must be a bare receiver
+    // chain (idents, dots, `&`, `*`, whitespace) for `var` to bind the
+    // guard.
+    let init = rest[var.len()..].trim_start().strip_prefix('=')?;
+    if init
+        .chars()
+        .all(|c| is_ident(c) || matches!(c, '.' | '&' | '*' | ' ' | '\n' | '\t'))
+    {
+        Some(var)
+    } else {
+        None
+    }
+}
+
+/// Rule 4 — **unsafe_audit**: every `unsafe` token (block, fn, impl)
+/// requires a `// SAFETY:` comment on the same line or in the comment
+/// block directly above.  The workspace currently has zero `unsafe`;
+/// this rule keeps any future one justified.  Applies everywhere,
+/// tests included.
+fn unsafe_audit(ctx: &FileContext, file: &ScannedFile, out: &mut Vec<Violation>) {
+    for (idx, l) in file.lines.iter().enumerate() {
+        let line = idx + 1;
+        for _ in token_positions(&l.code, "unsafe") {
+            let justified = justified_by(file, line, "SAFETY:");
+            if !justified {
+                out.push(Violation {
+                    rule: "unsafe_audit",
+                    file: ctx.path.clone(),
+                    line,
+                    message: "`unsafe` without a `// SAFETY:` justification on this or the \
+                              preceding line"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 5 — **typed_errors**: library crates (config
+/// `[rules.typed_errors] library_crates`) plumb errors through the
+/// typed taxonomies (`MonitorError`, `SubmitError`, `WireError`,
+/// `PersistError`, …), never through `Box<dyn Error>`, stringly
+/// `.expect("…")`, or `unwrap_or_default()` silently swallowing a
+/// `Result`.  Non-test `src/` code only (`unwrap_or_default` on an
+/// `Option` is a textual false positive — waive it with the reason).
+fn typed_errors(ctx: &FileContext, file: &ScannedFile, cfg: &Config, out: &mut Vec<Violation>) {
+    if ctx.kind != FileKind::Lib || !cfg.library_crates.iter().any(|c| c == &ctx.crate_dir) {
+        return;
+    }
+    for (idx, l) in file.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let line = idx + 1;
+        if l.code.contains("Box<dyn") && l.code.contains("Error") {
+            out.push(Violation {
+                rule: "typed_errors",
+                file: ctx.path.clone(),
+                line,
+                message: "`Box<dyn Error>` in a library crate — use the crate's typed \
+                          error enum"
+                    .to_string(),
+            });
+        }
+        for _ in token_positions(&l.code, ".unwrap_or_default(") {
+            out.push(Violation {
+                rule: "typed_errors",
+                file: ctx.path.clone(),
+                line,
+                message: "`unwrap_or_default()` can silently swallow an `Err` — match on \
+                          it (or waive when the receiver is an `Option`)"
+                    .to_string(),
+            });
+        }
+        for at in token_positions(&l.code, ".expect(") {
+            // Only stringly expects: the first argument is a string
+            // literal (possibly on the next line after rustfmt).
+            let after = l.code[at + ".expect(".len()..].trim_start();
+            let next = file.code(line + 1);
+            let stringly =
+                after.starts_with('"') || (after.is_empty() && next.trim_start().starts_with('"'));
+            if stringly {
+                out.push(Violation {
+                    rule: "typed_errors",
+                    file: ctx.path.clone(),
+                    line,
+                    message: "stringly `.expect(\"…\")` in a library crate — return the \
+                              crate's typed error instead of panicking"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 6 — **test_flakiness**: `thread::sleep` used as a
+/// synchronization point in test code makes suites timing-dependent —
+/// poll a condition with a deadline instead, or waive with the reason
+/// the sleep is not synchronizing anything.  Bench crates (config
+/// `[rules.test_flakiness] exempt_crates`) sleep on purpose and are
+/// exempt, as is non-test code (servers legitimately back off).
+fn test_flakiness(ctx: &FileContext, file: &ScannedFile, cfg: &Config, out: &mut Vec<Violation>) {
+    if ctx.kind == FileKind::Bench
+        || cfg
+            .flakiness_exempt_crates
+            .iter()
+            .any(|c| c == &ctx.crate_dir)
+    {
+        return;
+    }
+    for (idx, l) in file.lines.iter().enumerate() {
+        if !l.in_test {
+            continue;
+        }
+        let line = idx + 1;
+        for _ in token_positions(&l.code, "thread::sleep") {
+            out.push(Violation {
+                rule: "test_flakiness",
+                file: ctx.path.clone(),
+                line,
+                message: "`thread::sleep` in test code is a timing assumption — poll with \
+                          a deadline, or waive with why this sleep cannot flake"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn ctx(path: &str, kind: FileKind) -> FileContext {
+        let crate_dir = path
+            .strip_prefix("crates/")
+            .and_then(|p| p.split('/').next())
+            .unwrap_or("x")
+            .to_string();
+        FileContext {
+            path: path.to_string(),
+            crate_dir,
+            kind,
+        }
+    }
+
+    fn cfg_with(deny: &[&str], libs: &[&str]) -> Config {
+        Config {
+            panic_deny_files: deny.iter().map(|s| s.to_string()).collect(),
+            library_crates: libs.iter().map(|s| s.to_string()).collect(),
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn panic_freedom_catches_each_construct_and_skips_tests() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 {\n    let x = v[i];\n    v.first().unwrap();\n    opt.expect(\"msg\");\n    panic!(\"no\");\n    x\n}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let f = scan(src, false);
+        let cfg = cfg_with(&["crates/serve/src/hot.rs"], &[]);
+        let v = check_file(&ctx("crates/serve/src/hot.rs", FileKind::Lib), &f, &cfg);
+        let pf: Vec<_> = v.iter().filter(|v| v.rule == "panic_freedom").collect();
+        assert_eq!(pf.len(), 4, "{pf:?}");
+        assert!(pf.iter().all(|v| v.line <= 5));
+    }
+
+    #[test]
+    fn index_detection_ignores_types_literals_and_attrs() {
+        let clean = "#[derive(Debug)]\nfn f(a: &[f32], b: [u8; 4]) -> Vec<u8> {\n    let v = vec![1, 2];\n    let w = [0u8; 4];\n    v\n}\n";
+        let f = scan(clean, false);
+        let cfg = cfg_with(&["crates/x/src/f.rs"], &[]);
+        let v = check_file(&ctx("crates/x/src/f.rs", FileKind::Lib), &f, &cfg);
+        assert!(v.iter().all(|v| v.rule != "panic_freedom"), "{v:?}");
+    }
+
+    #[test]
+    fn atomics_need_ordering_notes() {
+        let src = "a.store(true, Ordering::SeqCst);\nd.load(Ordering::Relaxed);\n// ordering: counter only, no ordering needed\nb.fetch_add(1, Ordering::Relaxed);\nc.load(Ordering::Acquire); // ordering: pairs with store in publish\n";
+        let f = scan(src, false);
+        let v = check_file(
+            &ctx("crates/x/src/f.rs", FileKind::Lib),
+            &f,
+            &Config::default(),
+        );
+        let a: Vec<_> = v.iter().filter(|v| v.rule == "atomics_ordering").collect();
+        assert_eq!(a.len(), 1, "{a:?}");
+        assert_eq!(a[0].line, 2);
+    }
+
+    #[test]
+    fn nested_locks_on_different_mutexes_flag() {
+        let src = "fn f(&self) {\n    let state = self.state.lock().unwrap_or_else(|e| e.into_inner());\n    let drift = self.drift.lock().unwrap_or_else(|e| e.into_inner());\n}\nfn ok(&self) {\n    let state = self.state.lock().unwrap();\n    drop(state);\n    let drift = self.drift.lock().unwrap();\n}\nfn scoped(&self) {\n    {\n        let state = self.state.lock().unwrap();\n    }\n    let drift = self.drift.lock().unwrap();\n}\n";
+        let f = scan(src, false);
+        let v = check_file(
+            &ctx("crates/x/src/f.rs", FileKind::Lib),
+            &f,
+            &Config::default(),
+        );
+        let l: Vec<_> = v.iter().filter(|v| v.rule == "lock_hygiene").collect();
+        assert_eq!(l.len(), 1, "{l:?}");
+        assert_eq!(l[0].line, 3);
+    }
+
+    #[test]
+    fn unsafe_requires_safety_note() {
+        let src = "// SAFETY: len checked above\nlet x = unsafe { p.read() };\nlet y = unsafe { q.read() };\n";
+        let f = scan(src, false);
+        let v = check_file(
+            &ctx("crates/x/src/f.rs", FileKind::Lib),
+            &f,
+            &Config::default(),
+        );
+        let u: Vec<_> = v.iter().filter(|v| v.rule == "unsafe_audit").collect();
+        assert_eq!(u.len(), 1, "{u:?}");
+        assert_eq!(u[0].line, 3);
+    }
+
+    #[test]
+    fn typed_errors_flags_box_expect_and_unwrap_or_default() {
+        let src = "fn f() -> Result<(), Box<dyn std::error::Error>> {\n    let v = parse().unwrap_or_default();\n    let w = load().expect(\"load failed\");\n    let x = opt.expect(non_literal_msg);\n    Ok(())\n}\n";
+        let f = scan(src, false);
+        let cfg = cfg_with(&[], &["x"]);
+        let v = check_file(&ctx("crates/x/src/f.rs", FileKind::Lib), &f, &cfg);
+        let t: Vec<_> = v.iter().filter(|v| v.rule == "typed_errors").collect();
+        assert_eq!(t.len(), 3, "{t:?}");
+    }
+
+    #[test]
+    fn sleeps_flag_only_in_test_code() {
+        let src = "fn backoff() {\n    thread::sleep(RETRY);\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        std::thread::sleep(Duration::from_millis(5));\n    }\n}\n";
+        let f = scan(src, false);
+        let v = check_file(
+            &ctx("crates/x/src/f.rs", FileKind::Lib),
+            &f,
+            &Config::default(),
+        );
+        let s: Vec<_> = v.iter().filter(|v| v.rule == "test_flakiness").collect();
+        assert_eq!(s.len(), 1, "{s:?}");
+        assert_eq!(s[0].line, 8);
+    }
+}

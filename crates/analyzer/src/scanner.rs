@@ -1,0 +1,547 @@
+//! Token-aware source preparation.
+//!
+//! Rules must never fire on `"unwrap()"` inside a string literal, on a
+//! lifetime tick that looks like an unterminated char, or on code that
+//! only exists inside `#[cfg(test)]`.  The scanner therefore does one
+//! careful pass over each file and hands rules a per-line view where
+//!
+//! * string/char-literal *contents* are blanked to spaces (delimiters
+//!   kept, so `.expect("…")` is still recognisably string-argumented),
+//! * comment text is moved out of the code channel into a separate
+//!   per-line comment channel (where waivers and `// ordering:`
+//!   justifications are looked up),
+//! * every line is tagged as test or non-test code (`tests/` files,
+//!   `#[cfg(test)]` items, `#[test]` functions),
+//! * `fn` items are resolved to body line ranges, for function-scoped
+//!   waivers and the lock-nesting rule.
+//!
+//! The scanner understands raw strings (`r#"…"#`, any hash depth, with
+//! `b`/`c` prefixes), byte and char literals with escapes, lifetimes
+//! vs. char ticks, and nested block comments.  It does not parse Rust;
+//! it only has to be exact about *where code is*, which is a much
+//! smaller problem.
+
+/// One source line, split into its code and comment channels.
+#[derive(Debug, Clone)]
+pub struct ScannedLine {
+    /// Source text with comments removed and literal contents blanked.
+    /// Column positions are preserved (every blanked char becomes one
+    /// space), so byte offsets into `code` match the original line.
+    pub code: String,
+    /// Concatenated comment text appearing on this line, `//` / `/*`
+    /// markers stripped.  Waivers and justifications live here.
+    pub comment: String,
+    /// True when this line belongs to test code (a `tests/` file, a
+    /// `#[cfg(test)]` item or a `#[test]` function body).
+    pub in_test: bool,
+}
+
+/// A `fn` item located in a file: where its signature starts and which
+/// lines its body covers (1-based, inclusive, brace lines included).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// 1-based line of the `fn` keyword.
+    pub start_line: usize,
+    /// 1-based first line of the body (the line holding the opening
+    /// brace).
+    pub body_start: usize,
+    /// 1-based last line of the body (the line holding the closing
+    /// brace).
+    pub body_end: usize,
+}
+
+/// A fully prepared file, ready for the rule engine.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// 1-based indexable as `lines[line - 1]`.
+    pub lines: Vec<ScannedLine>,
+    /// Every `fn` item found, in source order.
+    pub fns: Vec<FnSpan>,
+    /// True when the whole file is test code (lives under `tests/`).
+    pub whole_file_test: bool,
+}
+
+impl ScannedFile {
+    /// The code channel of a 1-based line, or `""` past the end.
+    pub fn code(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map_or("", |l| l.code.as_str())
+    }
+
+    /// The comment channel of a 1-based line, or `""` past the end.
+    pub fn comment(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map_or("", |l| l.comment.as_str())
+    }
+
+    /// Whether a 1-based line is test code.
+    pub fn in_test(&self, line: usize) -> bool {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .is_some_and(|l| l.in_test)
+    }
+
+    /// The innermost `fn` whose body covers `line`, if any.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body_start <= line && line <= f.body_end)
+            .max_by_key(|f| f.body_start)
+    }
+}
+
+/// Lexer state while sweeping the file once.
+enum State {
+    Code,
+    LineComment,
+    BlockComment { depth: usize },
+    Str { raw_hashes: Option<usize> },
+    Char,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans `text` into per-line code/comment channels, then derives test
+/// regions and `fn` spans from the masked code.
+pub fn scan(text: &str, whole_file_test: bool) -> ScannedFile {
+    let chars: Vec<char> = text.chars().collect();
+    let mut lines: Vec<ScannedLine> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(ScannedLine {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: whole_file_test,
+            });
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment { depth: 1 };
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str { raw_hashes: None };
+                    code.push('"');
+                    i += 1;
+                } else if (c == 'r' || c == 'b' || c == 'c')
+                    && (i == 0 || !is_ident(chars[i - 1]))
+                    && raw_or_prefixed_string(&chars, i).is_some()
+                {
+                    // One of r"…", r#"…"#, b"…", br#"…"#, c"…", …: emit
+                    // the prefix and hashes as code, enter string state.
+                    // The second call cannot return None (guarded one
+                    // line up); the fallback only placates the types.
+                    let (quote_at, hashes) = raw_or_prefixed_string(&chars, i).unwrap_or((i, 0));
+                    for &p in &chars[i..=quote_at] {
+                        code.push(p);
+                    }
+                    // Raw forms (any prefix containing `r`) take no
+                    // escapes; plain b"…"/c"…" escape like normal strs.
+                    let is_raw = chars[i..quote_at].contains(&'r');
+                    state = State::Str {
+                        raw_hashes: if is_raw { Some(hashes) } else { None },
+                    };
+                    i = quote_at + 1;
+                } else if c == '\'' {
+                    // Lifetime / loop label vs. char literal.  After the
+                    // tick: `\` means char; an ident char followed by a
+                    // closing tick means char (`'a'`, `'_'`); an ident
+                    // char not followed by a tick means lifetime (`'a`,
+                    // `'static`); anything else (`' '`, `'('`) is char.
+                    let n1 = chars.get(i + 1).copied();
+                    let is_lifetime = match n1 {
+                        Some('\\') => false,
+                        Some(nc) if is_ident(nc) => {
+                            // Scan the ident; a tick right after makes
+                            // it a char literal.
+                            let mut j = i + 2;
+                            while j < chars.len() && is_ident(chars[j]) {
+                                j += 1;
+                            }
+                            chars.get(j).copied() != Some('\'')
+                        }
+                        _ => false,
+                    };
+                    if is_lifetime {
+                        code.push('\'');
+                        i += 1;
+                    } else {
+                        state = State::Char;
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                code.push(' ');
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment { depth } => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment { depth: depth + 1 };
+                    code.push(' ');
+                    code.push(' ');
+                    comment.push(' ');
+                    comment.push(' ');
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment { depth: depth - 1 }
+                    };
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else {
+                    code.push(' ');
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { raw_hashes } => match raw_hashes {
+                None => {
+                    if c == '\\' {
+                        // Escape: blank both chars (handles \" and \\).
+                        code.push(' ');
+                        if chars.get(i + 1).is_some_and(|&n| n != '\n') {
+                            code.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    } else if c == '"' {
+                        code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Some(hashes) => {
+                    if c == '"' && closes_raw(&chars, i, hashes) {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        state = State::Code;
+                        i += 1 + hashes;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            },
+            State::Char => {
+                if c == '\\' {
+                    code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&n| n != '\n') {
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Final line without a trailing newline still counts.
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(ScannedLine {
+            code,
+            comment,
+            in_test: whole_file_test,
+        });
+    }
+
+    let mut file = ScannedFile {
+        lines,
+        fns: Vec::new(),
+        whole_file_test,
+    };
+    mark_test_regions(&mut file);
+    file.fns = find_fns(&file);
+    file
+}
+
+/// If position `i` (an `r`, `b` or `c`) starts a raw/prefixed string,
+/// returns `(index_of_opening_quote, hash_count)`.
+fn raw_or_prefixed_string(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    // Prefix: one of r, b, c, br, cr (we accept any 1–2 of these).
+    let mut prefix = 0;
+    while prefix < 2 && matches!(chars.get(j), Some('r' | 'b' | 'c')) {
+        j += 1;
+        prefix += 1;
+    }
+    if prefix == 0 {
+        return None;
+    }
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        // `b#` without r is not a string; hashes require a raw prefix.
+        if hashes > 0 && !chars[i..j - hashes].contains(&'r') {
+            return None;
+        }
+        Some((j, hashes))
+    } else {
+        None
+    }
+}
+
+/// Whether the `"` at `i` is followed by `hashes` `#`s (closing a raw
+/// string of that depth).
+fn closes_raw(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Marks lines inside `#[cfg(test)]` / `#[test]` items as test code by
+/// tracking brace depth through the masked code channel.
+fn mark_test_regions(file: &mut ScannedFile) {
+    // Flatten the code channel with a per-char line map.
+    let mut flat = String::new();
+    let mut line_of: Vec<usize> = Vec::new();
+    for (ln, l) in file.lines.iter().enumerate() {
+        for c in l.code.chars() {
+            flat.push(c);
+            line_of.push(ln);
+        }
+        flat.push('\n');
+        line_of.push(ln);
+    }
+    let bytes: Vec<char> = flat.chars().collect();
+
+    let mut depth: usize = 0;
+    // Depth at which a test attribute is pending a block.
+    let mut pending: Option<usize> = None;
+    // Stack of depths at which a test region opened.
+    let mut test_open: Vec<usize> = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '#' && starts_test_attr(&bytes[i..]) {
+            pending = Some(depth);
+        }
+        match c {
+            '{' => {
+                if pending == Some(depth) {
+                    pending = None;
+                    test_open.push(depth);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if test_open.last() == Some(&depth) {
+                    test_open.pop();
+                    // The closing brace line itself is still test code.
+                    file.lines[line_of[i]].in_test = true;
+                }
+            }
+            ';' if pending == Some(depth) => {
+                // `#[cfg(test)] use …;` — attribute on a non-block
+                // item; nothing to mark beyond the statement.
+                file.lines[line_of[i]].in_test = true;
+                pending = None;
+            }
+            _ => {}
+        }
+        if !test_open.is_empty() || pending.is_some() {
+            file.lines[line_of[i]].in_test = true;
+        }
+        i += 1;
+    }
+}
+
+/// Whether the masked code starting at a `#` spells a test attribute:
+/// `#[test]`, `#[cfg(test)]` or `#[cfg(all(test, …))]`-style forms.
+fn starts_test_attr(rest: &[char]) -> bool {
+    let s: String = rest.iter().take(32).collect();
+    let s = s.replace(' ', "");
+    s.starts_with("#[test]")
+        || s.starts_with("#[cfg(test)]")
+        || s.starts_with("#[cfg(test,")
+        || s.starts_with("#[cfg(all(test")
+        || s.starts_with("#[cfg(any(test")
+}
+
+/// Locates every `fn` item and its body line range in the masked code.
+fn find_fns(file: &ScannedFile) -> Vec<FnSpan> {
+    let mut flat = String::new();
+    let mut line_of: Vec<usize> = Vec::new();
+    for (ln, l) in file.lines.iter().enumerate() {
+        for c in l.code.chars() {
+            flat.push(c);
+            line_of.push(ln);
+        }
+        flat.push('\n');
+        line_of.push(ln);
+    }
+    let chars: Vec<char> = flat.chars().collect();
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i + 1 < chars.len() {
+        let is_fn_kw = chars[i] == 'f'
+            && chars[i + 1] == 'n'
+            && (i == 0 || !is_ident(chars[i - 1]))
+            && chars.get(i + 2).is_some_and(|&c| !is_ident(c));
+        if !is_fn_kw {
+            i += 1;
+            continue;
+        }
+        let start_line = line_of[i] + 1;
+        // Find the body `{` or a `;` (trait/extern declaration — no
+        // body).  Parenthesis depth guards against `{` inside default
+        // const-generic args; brace starts the body only at paren
+        // depth 0.
+        let mut j = i + 2;
+        let mut paren = 0usize;
+        let mut body_open = None;
+        while j < chars.len() {
+            match chars[j] {
+                '(' | '[' | '<' => paren += 1,
+                ')' | ']' | '>' => paren = paren.saturating_sub(1),
+                ';' if paren == 0 => break,
+                '{' if paren == 0 => {
+                    body_open = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(open) = body_open {
+            // Match the brace.
+            let mut depth = 0usize;
+            let mut k = open;
+            let mut body_end = line_of[open] + 1;
+            while k < chars.len() {
+                match chars[k] {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            body_end = line_of[k] + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            fns.push(FnSpan {
+                start_line,
+                body_start: line_of[open] + 1,
+                body_end,
+            });
+            // Continue scanning *inside* the body too (nested fns).
+            i = open + 1;
+        } else {
+            i = j;
+        }
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_chars_are_blanked_but_delimited() {
+        let f = scan(
+            "let s = \"unwrap() inside\"; let c = 'x'; let l: &'static str = s;\n",
+            false,
+        );
+        assert!(!f.code(1).contains("unwrap"));
+        assert!(f.code(1).contains('"'));
+        assert!(f.code(1).contains("'static"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let f = scan("/* a /* b */ still comment */ let x = 1;\n", false);
+        assert!(f.code(1).contains("let x = 1;"));
+        assert!(!f.code(1).contains("still"));
+        assert!(f.comment(1).contains("still comment"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let f = scan(
+            "let s = r#\"has \"quotes\" and unwrap()\"#; foo();\n",
+            false,
+        );
+        assert!(!f.code(1).contains("unwrap"));
+        assert!(f.code(1).contains("foo();"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked_to_its_closing_brace() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = scan(src, false);
+        assert!(!f.in_test(1));
+        assert!(f.in_test(2));
+        assert!(f.in_test(4));
+        assert!(f.in_test(5));
+        assert!(!f.in_test(6));
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let src = "fn a() {\n    body();\n}\nstruct S;\nfn b() { one_liner(); }\n";
+        let f = scan(src, false);
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!((f.fns[0].body_start, f.fns[0].body_end), (1, 3));
+        assert_eq!((f.fns[1].body_start, f.fns[1].body_end), (5, 5));
+        assert!(f.enclosing_fn(2).is_some());
+        assert!(f.enclosing_fn(4).is_none());
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = scan("fn f<'a>(x: &'a str) -> &'a str { x }\n", false);
+        assert!(f.code(1).contains("&'a str"));
+        assert!(f.code(1).contains("{ x }"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Inline waivers: `// naps-lint: allow(rule, "reason")`.
+//!
+//! A waiver suppresses named rules at a precise scope and **must**
+//! carry a non-empty reason — a waiver is a reviewed claim ("provably
+//! in-bounds", "fixed-size array"), not an opt-out.  Two forms exist:
+//!
+//! * `// naps-lint: allow(rule[, rule…], "reason")` — suppresses the
+//!   listed rules on the line it shares code with, or (when the
+//!   comment stands alone) on the next line that has code.
+//! * `// naps-lint: allow-fn(rule[, rule…], "reason")` — placed above
+//!   a `fn` item (attributes in between are fine), suppresses the
+//!   listed rules across that function's whole body.  For hot loops
+//!   where per-line waivers would drown the code.
+//!
+//! Malformed waivers — missing reason, unknown rule name, `allow-fn`
+//! with no following function — are themselves violations (rule
+//! `waiver_syntax`, always deny, never waivable).  Every waiver is
+//! counted in the report together with how many violations it
+//! suppressed, so the waiver census is part of the reviewed artifact.
+
+use crate::rules::RULE_NAMES;
+use crate::scanner::ScannedFile;
+
+/// The scope a waiver applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaiverScope {
+    /// A single 1-based line.
+    Line(usize),
+    /// An inclusive 1-based line range (a function body).
+    Fn { start: usize, end: usize },
+}
+
+/// One parsed, well-formed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// 1-based line the waiver comment sits on.
+    pub line: usize,
+    /// Rules it suppresses.
+    pub rules: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+    pub scope: WaiverScope,
+}
+
+impl Waiver {
+    /// Whether this waiver suppresses `rule` at `line`.
+    pub fn covers(&self, rule: &str, line: usize) -> bool {
+        self.rules.iter().any(|r| r == rule)
+            && match self.scope {
+                WaiverScope::Line(l) => l == line,
+                WaiverScope::Fn { start, end } => start <= line && line <= end,
+            }
+    }
+}
+
+/// A malformed waiver, reported as a `waiver_syntax` violation.
+#[derive(Debug, Clone)]
+pub struct WaiverError {
+    pub line: usize,
+    pub message: String,
+}
+
+/// Extracts all waivers from a scanned file's comment channel.
+pub fn extract(file: &ScannedFile) -> (Vec<Waiver>, Vec<WaiverError>) {
+    let mut waivers = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, l) in file.lines.iter().enumerate() {
+        let line = idx + 1;
+        // Only comments that *begin* with the marker are waivers — doc
+        // comments mentioning the syntax in prose (like this module's)
+        // stay prose.
+        let Some(rest) = l.comment.trim_start().strip_prefix("naps-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (fn_scoped, rest) = if let Some(r) = rest.strip_prefix("allow-fn(") {
+            (true, r)
+        } else if let Some(r) = rest.strip_prefix("allow(") {
+            (false, r)
+        } else {
+            errors.push(WaiverError {
+                line,
+                message: "naps-lint comment is not `allow(…)` or `allow-fn(…)`".to_string(),
+            });
+            continue;
+        };
+        let Some(inner) = rest.rfind(')').map(|end| &rest[..end]) else {
+            errors.push(WaiverError {
+                line,
+                message: "unterminated waiver: missing `)`".to_string(),
+            });
+            continue;
+        };
+        match parse_inner(inner) {
+            Err(message) => errors.push(WaiverError { line, message }),
+            Ok((rules, reason)) => {
+                let scope = if fn_scoped {
+                    match fn_scope_after(file, line) {
+                        Some((start, end)) => WaiverScope::Fn { start, end },
+                        None => {
+                            errors.push(WaiverError {
+                                line,
+                                message: "allow-fn is not followed by a function".to_string(),
+                            });
+                            continue;
+                        }
+                    }
+                } else {
+                    WaiverScope::Line(line_scope(file, idx))
+                };
+                waivers.push(Waiver {
+                    line,
+                    rules,
+                    reason,
+                    scope,
+                });
+            }
+        }
+    }
+    (waivers, errors)
+}
+
+/// Parses `rule[, rule…], "reason"` and validates both halves.
+fn parse_inner(inner: &str) -> Result<(Vec<String>, String), String> {
+    let Some(quote) = inner.find('"') else {
+        return Err("waiver has no quoted reason — every waiver must say why".to_string());
+    };
+    let reason = inner[quote..]
+        .trim_start_matches('"')
+        .trim_end_matches('"')
+        .trim()
+        .to_string();
+    if reason.is_empty() {
+        return Err("waiver reason is empty — every waiver must say why".to_string());
+    }
+    let mut rules = Vec::new();
+    for rule in inner[..quote].split(',') {
+        let rule = rule.trim();
+        if rule.is_empty() {
+            continue;
+        }
+        if !RULE_NAMES.contains(&rule) {
+            return Err(format!(
+                "unknown rule `{rule}` in waiver (known: {})",
+                RULE_NAMES.join(", ")
+            ));
+        }
+        rules.push(rule.to_string());
+    }
+    if rules.is_empty() {
+        return Err("waiver names no rules".to_string());
+    }
+    Ok((rules, reason))
+}
+
+/// The line a line-scoped waiver applies to: its own line when that
+/// line has code, else the next line that has code.
+fn line_scope(file: &ScannedFile, idx: usize) -> usize {
+    let has_code = |l: &str| !l.trim().is_empty();
+    if has_code(&file.lines[idx].code) {
+        return idx + 1;
+    }
+    for (j, l) in file.lines.iter().enumerate().skip(idx + 1) {
+        if has_code(&l.code) {
+            return j + 1;
+        }
+    }
+    idx + 1
+}
+
+/// Resolves `allow-fn` at `line` to the body range of the function that
+/// follows.  Intervening lines may only be attributes or blank.
+fn fn_scope_after(file: &ScannedFile, line: usize) -> Option<(usize, usize)> {
+    let mut next_code = None;
+    for (j, l) in file.lines.iter().enumerate().skip(line.saturating_sub(1)) {
+        let code = l.code.trim();
+        if j + 1 == line {
+            // The waiver's own line may hold trailing code — reject
+            // that for fn scope (it must stand alone above the item).
+            if !code.is_empty() {
+                return None;
+            }
+            continue;
+        }
+        if code.is_empty() || code.starts_with("#[") {
+            continue;
+        }
+        next_code = Some(j + 1);
+        break;
+    }
+    let start = next_code?;
+    let f = file.fns.iter().find(|f| f.start_line == start)?;
+    Some((f.start_line, f.body_end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    #[test]
+    fn line_waiver_on_shared_line_and_standalone() {
+        let src = "x.unwrap(); // naps-lint: allow(panic_freedom, \"provably some\")\n// naps-lint: allow(atomics_ordering, \"metrics only\")\ncounter.fetch_add(1, Ordering::Relaxed);\n";
+        let f = scan(src, false);
+        let (ws, errs) = extract(&f);
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(ws.len(), 2);
+        assert!(ws[0].covers("panic_freedom", 1));
+        assert!(ws[1].covers("atomics_ordering", 3));
+        assert!(!ws[1].covers("panic_freedom", 3));
+    }
+
+    #[test]
+    fn fn_waiver_covers_the_body() {
+        let src = "// naps-lint: allow-fn(panic_freedom, \"indices < len by construction\")\n#[inline]\nfn walk(&self) {\n    self.nodes[0];\n}\nfn other() {}\n";
+        let f = scan(src, false);
+        let (ws, errs) = extract(&f);
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(ws.len(), 1);
+        assert!(ws[0].covers("panic_freedom", 4));
+        assert!(!ws[0].covers("panic_freedom", 6));
+    }
+
+    #[test]
+    fn missing_reason_and_unknown_rule_are_errors() {
+        let f = scan(
+            "// naps-lint: allow(panic_freedom)\n// naps-lint: allow(not_a_rule, \"x\")\n// naps-lint: allow(panic_freedom, \"\")\n",
+            false,
+        );
+        let (ws, errs) = extract(&f);
+        assert!(ws.is_empty());
+        assert_eq!(errs.len(), 3);
+        assert!(errs[0].message.contains("reason"));
+        assert!(errs[1].message.contains("not_a_rule"));
+        assert!(errs[2].message.contains("empty"));
+    }
+}

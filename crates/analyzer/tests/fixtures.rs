@@ -1,0 +1,257 @@
+//! Fixture-driven end-to-end tests for the analyzer.
+//!
+//! `tests/fixtures/ws/` is a miniature workspace with its own
+//! `analyzer.toml`.  Violation sites in the fixture sources carry
+//! `seed:<tag>` markers in trailing comments; lines that must be
+//! caught-but-waived carry `seed:waived`.  The tests assert *exact*
+//! multiset equality between the markers and the analyzer's findings,
+//! so a missed seed (false negative) and a hit on an unmarked line
+//! (false positive — the tricky-token file exists to provoke these)
+//! both fail.
+//!
+//! The last test is the self-hosting gate: the real workspace, under
+//! the real checked-in `analyzer.toml`, must be clean with no unused
+//! waivers.
+
+use naps_analyzer::driver::Finding;
+use naps_analyzer::{analyze_root, Analysis, Config};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Marker tag → rule name.  Tags are deliberately short so no marker
+/// comment can satisfy a rule's own justification scan (`ordering:`,
+/// `SAFETY:`) or be mistaken for a waiver.
+const MARKERS: [(&str, &str); 7] = [
+    ("seed:panic", "panic_freedom"),
+    ("seed:atomics", "atomics_ordering"),
+    ("seed:lock", "lock_hygiene"),
+    ("seed:unsafe", "unsafe_audit"),
+    ("seed:typed", "typed_errors"),
+    ("seed:flaky", "test_flakiness"),
+    ("seed:waiver", "waiver_syntax"),
+];
+
+fn ws_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn ws_config() -> Config {
+    let text = std::fs::read_to_string(ws_root().join("analyzer.toml")).expect("fixture config");
+    Config::from_toml_str(&text).expect("fixture config parses")
+}
+
+fn run_fixtures() -> Analysis {
+    analyze_root(&ws_root(), &ws_config()).expect("fixture workspace analyzes")
+}
+
+/// All fixture `.rs` files as (`/`-separated relative path, contents).
+fn fixture_sources() -> Vec<(String, String)> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                walk(&p, out);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    let root = ws_root();
+    let mut files = Vec::new();
+    walk(&root, &mut files);
+    files.sort();
+    files
+        .into_iter()
+        .map(|p| {
+            let rel: Vec<String> = p
+                .strip_prefix(&root)
+                .expect("under fixture root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect();
+            let text = std::fs::read_to_string(&p).expect("fixture file reads");
+            (rel.join("/"), text)
+        })
+        .collect()
+}
+
+type Multiset = BTreeMap<(String, usize, String), usize>;
+
+/// The expected multiset of (file, line, rule) from `seed:` markers.
+fn expected_from_markers(marker_rule: &[(&str, &str)]) -> Multiset {
+    let mut out = Multiset::new();
+    for (rel, text) in fixture_sources() {
+        for (idx, line) in text.lines().enumerate() {
+            for (marker, rule) in marker_rule {
+                let n = line.matches(marker).count();
+                if n > 0 {
+                    *out.entry((rel.clone(), idx + 1, rule.to_string()))
+                        .or_insert(0) += n;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn to_multiset<'a>(findings: impl Iterator<Item = &'a Finding>) -> Multiset {
+    let mut out = Multiset::new();
+    for f in findings {
+        *out.entry((
+            f.violation.file.clone(),
+            f.violation.line,
+            f.violation.rule.to_string(),
+        ))
+        .or_insert(0) += 1;
+    }
+    out
+}
+
+fn diff(expected: &Multiset, actual: &Multiset) -> String {
+    let mut lines = Vec::new();
+    for (k, n) in expected {
+        if actual.get(k) != Some(n) {
+            lines.push(format!("missed (want {n}): {k:?} got {:?}", actual.get(k)));
+        }
+    }
+    for (k, n) in actual {
+        if !expected.contains_key(k) {
+            lines.push(format!("false positive ({n}): {k:?}"));
+        }
+    }
+    lines.join("\n")
+}
+
+#[test]
+fn seeded_violations_are_caught_exactly() {
+    let expected = expected_from_markers(&MARKERS);
+    assert!(
+        expected.len() >= 15,
+        "marker scan looks broken: only {} seeded sites",
+        expected.len()
+    );
+    let analysis = run_fixtures();
+    let actual = to_multiset(analysis.findings.iter().filter(|f| f.waived_by.is_none()));
+    assert!(
+        expected == actual,
+        "seeded markers and unwaived findings disagree:\n{}",
+        diff(&expected, &actual)
+    );
+    assert!(!analysis.is_clean(), "fixture workspace must fail the gate");
+}
+
+#[test]
+fn waived_findings_are_suppressed_not_dropped() {
+    let expected = expected_from_markers(&[("seed:waived", "waived")]);
+    let analysis = run_fixtures();
+    let mut actual = Multiset::new();
+    for f in analysis.findings.iter().filter(|f| f.waived_by.is_some()) {
+        *actual
+            .entry((
+                f.violation.file.clone(),
+                f.violation.line,
+                "waived".to_string(),
+            ))
+            .or_insert(0) += 1;
+    }
+    assert!(
+        expected == actual,
+        "seed:waived markers and waived findings disagree:\n{}",
+        diff(&expected, &actual)
+    );
+    for f in analysis.findings.iter().filter(|f| f.waived_by.is_some()) {
+        let w = &analysis.waivers[f.waived_by.expect("waived")];
+        assert!(
+            w.suppressed > 0 && w.rules.iter().any(|r| r == f.violation.rule),
+            "finding {:?} points at a waiver that does not cover it: {w:?}",
+            f.violation
+        );
+    }
+}
+
+#[test]
+fn waiver_census_counts_suppressions() {
+    let analysis = run_fixtures();
+    let by_reason = |needle: &str| {
+        analysis
+            .waivers
+            .iter()
+            .find(|w| w.reason.contains(needle))
+            .unwrap_or_else(|| panic!("no waiver with reason containing {needle:?}"))
+    };
+    // The line waiver covers one index, the fn waiver both indices in
+    // its body, the flakiness waiver one sleep; the deliberately
+    // unused waiver suppresses nothing but is still reported.
+    assert_eq!(by_reason("the line waiver must suppress").suppressed, 1);
+    assert_eq!(by_reason("must cover the whole body").suppressed, 2);
+    assert_eq!(by_reason("not a sync point").suppressed, 1);
+    assert_eq!(by_reason("must show up as unused").suppressed, 0);
+    let total_suppressed: usize = analysis.waivers.iter().map(|w| w.suppressed).sum();
+    let total_waived = analysis
+        .findings
+        .iter()
+        .filter(|f| f.waived_by.is_some())
+        .count();
+    assert_eq!(total_suppressed, total_waived);
+}
+
+#[test]
+fn tricky_token_file_is_silent() {
+    let analysis = run_fixtures();
+    let hits: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.violation.file.ends_with("tricky.rs"))
+        .collect();
+    assert!(
+        hits.is_empty(),
+        "the tricky-token file is deny-listed and clean; every hit is a \
+         false positive: {hits:?}"
+    );
+}
+
+/// The self-hosting gate: the real workspace under the real config.
+/// Runs the exact code path CI runs, so `cargo test` alone catches a
+/// violation (or a stale waiver) before the analyze job does.
+#[test]
+fn workspace_is_clean_self_check() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let text = std::fs::read_to_string(root.join("analyzer.toml")).expect("checked-in config");
+    let cfg = Config::from_toml_str(&text).expect("checked-in config parses");
+    let analysis = analyze_root(&root, &cfg).expect("workspace analyzes");
+    assert!(analysis.files_scanned > 50, "walk found too few files");
+    let unwaived: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.waived_by.is_none())
+        .map(|f| {
+            format!(
+                "{}:{} {}: {}",
+                f.violation.file, f.violation.line, f.violation.rule, f.violation.message
+            )
+        })
+        .collect();
+    assert!(
+        analysis.is_clean() && unwaived.is_empty(),
+        "the workspace must be analyzer-clean (fix it or waive with a reason):\n{}",
+        unwaived.join("\n")
+    );
+    let unused: Vec<_> = analysis
+        .waivers
+        .iter()
+        .filter(|w| w.suppressed == 0)
+        .map(|w| format!("{}:{} {:?}", w.file, w.line, w.rules))
+        .collect();
+    assert!(
+        unused.is_empty(),
+        "stale waivers suppress nothing — delete them:\n{}",
+        unused.join("\n")
+    );
+}

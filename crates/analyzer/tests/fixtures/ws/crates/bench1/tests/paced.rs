@@ -1,0 +1,8 @@
+//! The `bench1` crate is on the fixture config's
+//! `[rules.test_flakiness] exempt_crates` list: sleeps in its test
+//! code are deliberate pacing and must not be flagged.
+
+#[test]
+fn paced_probe() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

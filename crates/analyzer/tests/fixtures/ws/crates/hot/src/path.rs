@@ -1,0 +1,68 @@
+//! Seeded panic-freedom violations.  This file is on the fixture
+//! config's `deny_files` list; every seed-tagged line must be
+//! flagged, every untagged line must stay silent.  Not compiled —
+//! consumed only by the analyzer's fixture tests.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() // seed:panic
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("present") // seed:panic
+}
+
+pub fn bad_panic(x: bool) {
+    if x {
+        panic!("boom"); // seed:panic
+    }
+}
+
+pub fn bad_unreachable(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        _ => unreachable!(), // seed:panic
+    }
+}
+
+pub fn bad_todo() {
+    todo!() // seed:panic
+}
+
+pub fn bad_unimplemented() {
+    unimplemented!() // seed:panic
+}
+
+pub fn bad_index(v: &[u32], i: usize) -> u32 {
+    v[i] // seed:panic
+}
+
+pub fn bad_slice(v: &[u32]) -> &[u32] {
+    &v[1..] // seed:panic
+}
+
+pub fn bad_chain(v: &[Vec<u32>]) -> u32 {
+    v[0][1] // seed:panic seed:panic
+}
+
+pub fn waived_line(v: &[u32]) -> u32 {
+    // naps-lint: allow(panic_freedom, "fixture: provably in-bounds, the line waiver must suppress")
+    v[0] // seed:waived
+}
+
+// naps-lint: allow-fn(panic_freedom, "fixture: the fn-scoped waiver must cover the whole body")
+pub fn waived_fn(v: &[u32]) -> u32 {
+    v[0] + v[1] // seed:waived seed:waived
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code inside a deny-listed file is out of scope for
+    // panic_freedom: nothing below may be flagged.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let arr = [1u32, 2];
+        assert_eq!(arr[0], 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Tricky-token file: deny-listed for panic_freedom yet completely
+//! clean — any finding in this file is a scanner false positive.
+//!
+//! Docs may mention `v.unwrap()`, `arr[0]` and even panic!("…")
+//! without being code, as this comment just did.
+
+/// A plain string literal full of panicky spellings: `.unwrap()`,
+/// `.expect("…")`, `panic!`, `x[i]` — all masked by the scanner.
+pub const STR_WITH_PANICS: &str = "calling .unwrap() or arr[0] will panic!(\"here\")";
+
+/// Raw strings keep their hash-guarded quotes out of the code channel.
+pub const RAW: &str = r#"panic!("not real") .expect("nope") buf[0]"#;
+
+/// A char literal holding an escaped quote is not a string opener.
+pub const CHAR_TICK: char = '\'';
+
+/// A bracket-heavy char: `[` inside a char literal is masked.
+pub const CHAR_BRACKET: char = '[';
+
+pub fn lifetimes_not_chars<'a>(s: &'a str, t: &'a str) -> &'a str {
+    /* Block comments hide .unwrap() and s[0] from the rules,
+       /* even when nested: panic!("x") */
+       and the scanner must find this real closer: */
+    if s.len() > t.len() {
+        s
+    } else {
+        t
+    }
+}
+
+pub fn brackets_that_are_not_indexing(x: &mut [u8]) -> Vec<[u8; 2]> {
+    let a = [0u8; 4];
+    let _coords = [(1, 2), (3, 4)];
+    let _slice: &[u8] = &a;
+    let _v = vec![1, 2, 3];
+    let pairs: Vec<[u8; 2]> = x
+        .chunks_exact(2)
+        .filter_map(|c| <[u8; 2]>::try_from(c).ok())
+        .collect();
+    pairs
+}
+
+pub fn labeled_loops_are_not_lifetimes() -> u32 {
+    let mut n = 0u32;
+    'outer: for i in 0..3 {
+        for j in 0..3 {
+            if i * j == 4 {
+                break 'outer;
+            }
+            n += 1;
+        }
+    }
+    n
+}

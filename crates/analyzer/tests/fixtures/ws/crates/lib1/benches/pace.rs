@@ -1,0 +1,6 @@
+//! Bench targets may sleep on purpose: `benches/` is exempt from
+//! test_flakiness by file kind, so nothing here may be flagged.
+
+fn main() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,22 @@
+//! Seeded atomics_ordering violations: weak orderings without an
+//! justification note are seed-tagged; the justified forms
+//! below them must stay silent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn seeded(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed); // seed:atomics
+    c.store(2, Ordering::Release); // seed:atomics
+    let a = c.load(Ordering::Acquire); // seed:atomics
+    a + c.swap(3, Ordering::AcqRel) // seed:atomics
+}
+
+pub fn justified(c: &AtomicU64) -> u64 {
+    c.store(1, Ordering::Release); // ordering: publishes the fixture epoch
+    // ordering: pairs with the release store above
+    let a = c.load(Ordering::Acquire);
+    // ordering: a stat counter only; the tally is advisory.
+    // A multi-line comment block directly above still attaches.
+    c.fetch_add(a, Ordering::Relaxed);
+    c.load(Ordering::SeqCst)
+}

@@ -1,0 +1,43 @@
+//! Seeded lock_hygiene violation: `.lock()` on one mutex while a
+//! `let`-bound guard of a different mutex is live.  The disciplined
+//! variants below — drop first, scope first, bind the clone not the
+//! guard — must stay silent.
+
+use std::sync::{Arc, Mutex};
+
+pub struct Two {
+    pub left: Mutex<u32>,
+    pub right: Mutex<u32>,
+    pub shared: Mutex<Arc<u32>>,
+}
+
+pub fn seeded(t: &Two) -> u32 {
+    let gl = t.left.lock().unwrap_or_else(|e| e.into_inner());
+    let gr = t.right.lock().unwrap_or_else(|e| e.into_inner()); // seed:lock
+    *gl + *gr
+}
+
+pub fn dropped_first(t: &Two) -> u32 {
+    let gl = t.left.lock().unwrap_or_else(|e| e.into_inner());
+    let x = *gl;
+    drop(gl);
+    let gr = t.right.lock().unwrap_or_else(|e| e.into_inner());
+    x + *gr
+}
+
+pub fn scoped_first(t: &Two) -> u32 {
+    let x = {
+        let gl = t.left.lock().unwrap_or_else(|e| e.into_inner());
+        *gl
+    };
+    let gr = t.right.lock().unwrap_or_else(|e| e.into_inner());
+    x + *gr
+}
+
+pub fn clone_is_not_a_guard(t: &Two) -> u32 {
+    // The guard here is a temporary dropped at the end of the
+    // statement; `snap` binds the Arc, so the later lock is fine.
+    let snap = Arc::clone(&t.shared.lock().unwrap_or_else(|e| e.into_inner()));
+    let gr = t.right.lock().unwrap_or_else(|e| e.into_inner());
+    *snap.as_ref() + *gr
+}

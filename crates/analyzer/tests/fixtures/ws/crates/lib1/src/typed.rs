@@ -1,0 +1,28 @@
+//! Seeded typed_errors violations in a library crate: boxed dynamic
+//! errors, stringly expects, and silent `unwrap_or_default()`.
+
+pub fn boxed() -> Result<(), Box<dyn std::error::Error>> { // seed:typed
+    Ok(())
+}
+
+pub fn defaulted(r: Result<u32, ()>) -> u32 {
+    r.unwrap_or_default() // seed:typed
+}
+
+pub fn stringly(v: Option<u32>) -> u32 {
+    v.expect("present") // seed:typed
+}
+
+pub fn stringly_split(v: Option<u32>) -> u32 {
+    v.expect( // seed:typed
+        "rustfmt may push the message to the next line",
+    )
+}
+
+pub fn expect_on_a_typed_error(v: Option<u32>) -> u32 {
+    // A non-string argument is not a stringly expect; this must stay
+    // silent (the rule only fires on string literals).
+    v.expect(MESSAGE)
+}
+
+const MESSAGE: &str = "named message";

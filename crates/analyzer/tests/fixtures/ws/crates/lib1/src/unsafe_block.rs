@@ -1,0 +1,15 @@
+//! Seeded unsafe_audit violation: an `unsafe` block with no
+//! justification.  The two annotated forms must stay silent.
+
+pub fn seeded(p: *const u8) -> u8 {
+    unsafe { *p } // seed:unsafe
+}
+
+pub fn justified_above(p: *const u8) -> u8 {
+    // SAFETY: caller contract — `p` is valid for reads in this fixture.
+    unsafe { *p }
+}
+
+pub fn justified_same_line(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: caller contract — `p` is valid for reads.
+}

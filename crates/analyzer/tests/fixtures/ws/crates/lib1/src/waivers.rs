@@ -1,0 +1,37 @@
+//! Seeded waiver_syntax violations: every malformed waiver is itself a
+//! seed-tagged deny finding, and none of them can suppress
+//! anything.  The well-formed-but-unused waiver at the bottom must be
+//! reported with a suppression count of zero.
+
+pub fn missing_reason() -> u32 {
+    // naps-lint: allow(typed_errors) // seed:waiver
+    0
+}
+
+pub fn unknown_rule() -> u32 {
+    // naps-lint: allow(not_a_rule, "reason") // seed:waiver
+    0
+}
+
+pub fn empty_reason() -> u32 {
+    // naps-lint: allow(typed_errors, "") // seed:waiver
+    0
+}
+
+pub fn unterminated() -> u32 {
+    // naps-lint: allow(typed_errors, "no closing paren // seed:waiver
+    0
+}
+
+pub fn not_allow() -> u32 {
+    // naps-lint: deny(typed_errors, "wrong verb") // seed:waiver
+    0
+}
+
+// naps-lint: allow-fn(panic_freedom, "fixture: nothing below is a function") // seed:waiver
+pub const NOT_A_FN: u32 = 0;
+
+pub fn unused_waiver() -> u32 {
+    // naps-lint: allow(typed_errors, "fixture: suppresses nothing and must show up as unused")
+    0
+}

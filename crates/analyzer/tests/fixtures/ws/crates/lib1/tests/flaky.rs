@@ -1,0 +1,22 @@
+//! Seeded test_flakiness violation: a bare sleep in test code.  The
+//! waived sleep and the deadline poll must stay silent.
+
+#[test]
+fn seeded_sleep() {
+    std::thread::sleep(std::time::Duration::from_millis(10)); // seed:flaky
+}
+
+#[test]
+fn waived_sleep() {
+    // naps-lint: allow(test_flakiness, "fixture: pacing inside a deadline poll, not a sync point")
+    std::thread::sleep(std::time::Duration::from_millis(1)); // seed:waived
+}
+
+#[test]
+fn deadline_poll_is_fine() {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(1);
+    while std::time::Instant::now() < deadline {
+        std::thread::yield_now();
+        break;
+    }
+}

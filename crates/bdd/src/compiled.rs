@@ -215,6 +215,7 @@ impl CompiledZone {
 
     /// The flat branch-free walk (used when no small index exists; pub
     /// so tests can pin it independently of dispatch).
+    // naps-lint: allow-fn(panic_freedom, "cur >= 2 guards the node-slot offset; node vars are < num_vars in a validated snapshot, so var>>6 < words_per_pattern, and every caller asserts words is at least that long")
     fn eval_flat(&self, words: &[u64]) -> bool {
         let mut cur = self.root;
         while cur >= 2 {
@@ -245,6 +246,7 @@ impl CompiledZone {
     /// # Panics
     ///
     /// Panics if `var_words.len() < num_vars`.
+    // naps-lint: allow-fn(panic_freedom, "var_words.len() >= num_vars is asserted on entry; root and child slots index the validated topo-ordered node array (terminals are peeled off before subtracting 2)")
     pub fn eval_block(&self, var_words: &[u64], lanes: u64) -> u64 {
         assert!(
             var_words.len() >= self.num_vars,
@@ -310,6 +312,7 @@ impl CompiledZone {
         out
     }
 
+    // naps-lint: allow-fn(panic_freedom, "Interval is built only for single-word zones and Sorted returns early on stride 0; callers assert words.len() >= words_per_pattern == stride")
     fn small_contains(&self, index: &SmallIndex, words: &[u64]) -> bool {
         match index {
             SmallIndex::Interval { lo, hi } => {
@@ -416,6 +419,7 @@ impl CompiledZone {
     /// means unbounded.  The minimum XOR-popcount over exactly the
     /// satisfying assignments *is* the min-Hamming distance, so this
     /// agrees with the node-array sweeps by construction.
+    // naps-lint: allow-fn(panic_freedom, "Interval is built only for single-word zones; callers assert words.len() >= words_per_pattern, and zip bounds the key iteration")
     fn small_min_hamming(&self, index: &SmallIndex, words: &[u64], budget: u32) -> Option<u32> {
         let mut best = u32::MAX;
         match index {
@@ -447,6 +451,7 @@ impl CompiledZone {
     /// Bottom-up sweep with a `u32` sentinel array: one pass over the
     /// node array, `DIST_NONE` standing in for "unreachable" so the inner
     /// loop is pure integer min/add.
+    // naps-lint: allow-fn(panic_freedom, "dist has one slot per node plus the two terminals; child and root offsets are in range for a validated topo-ordered snapshot, and i+2 is node i's own slot")
     fn flat_min_hamming(&self, words: &[u64]) -> Option<u32> {
         if self.root < 2 {
             return (self.root == 1).then_some(0);
@@ -475,6 +480,7 @@ impl CompiledZone {
     /// same branch-and-bound slack tightening, same slack-0 agree-chain
     /// walk) — structure and visit order are identical, so results are
     /// too.
+    // naps-lint: allow-fn(panic_freedom, "memo spans (node_count + 2) * stride bytes and key = entry * stride + slack with slack < stride, so every validated entry fits; terminals return before the node-slot offset")
     fn bounded_rec(
         &self,
         entry: u32,
@@ -520,6 +526,7 @@ impl CompiledZone {
 
     /// Slack-0 base layer: only agreeing edges may be followed, so the
     /// search is a straight chain walk, memoised along the whole chain.
+    // naps-lint: allow-fn(panic_freedom, "cur > 1 guards every memo probe and node-slot offset; memo spans (node_count + 2) * stride bytes, covering cur * stride for every validated node index")
     fn agree_walk(&self, entry: u32, words: &[u64], stride: usize, memo: &mut [u8]) -> u8 {
         let step = |cur: u32| {
             let n = self.nodes[cur as usize - 2];
@@ -559,6 +566,7 @@ impl CompiledZone {
     /// Exact satisfying-assignment count when it is at most `limit`,
     /// `None` otherwise.  Bottom-up over the topo-ordered array with
     /// saturating arithmetic: skipped levels double the child's count.
+    // naps-lint: allow-fn(panic_freedom, "counts has one slot per node plus the two terminals; children precede parents in a validated topo order, so every child offset was already written")
     fn bounded_sat_count(&self, limit: u64) -> Option<u64> {
         let level = |entry: u32| -> u32 {
             if entry < 2 {
@@ -599,6 +607,7 @@ impl CompiledZone {
 
     /// Enumerates the zone's `count` satisfying patterns into sorted
     /// packed keys, collapsing to an interval when they are contiguous.
+    // naps-lint: allow-fn(panic_freedom, "keys_flat's length is a multiple of stride and key indices stay below keys_flat.len()/stride; lvl < num_vars makes lvl>>6 < stride; compile-time only, never on the serving path")
     fn build_small_index(&self, count: u64) -> SmallIndex {
         let stride = self.words_per_pattern;
         let mut keys_flat: Vec<u64> = Vec::with_capacity(count as usize * stride);
@@ -666,6 +675,7 @@ impl CompiledZone {
 /// Packs a `&[bool]` assignment into `u64` words, least-significant bit
 /// of word 0 = variable 0 — the layout [`CompiledZone`] queries take and
 /// `naps-core`'s `Pattern` stores.
+// naps-lint: allow-fn(panic_freedom, "words has ceil(bits.len()/64) entries, so i/64 is in range for every bit index i")
 pub fn pack_words(bits: &[bool]) -> Vec<u64> {
     let mut words = vec![0u64; bits.len().div_ceil(64)];
     for (i, &b) in bits.iter().enumerate() {
@@ -683,6 +693,7 @@ pub fn pack_words(bits: &[bool]) -> Vec<u64> {
 ///
 /// Uses a 64×64 bit-matrix transpose per word column (`O(64 log 64)` word
 /// ops) rather than per-bit extraction.
+// naps-lint: allow-fn(panic_freedom, "at most 64 lanes is asserted, so block[j] is in range; each lane carries words_per_pattern words by the documented layout; base + take <= num_vars bounds the copy")
 pub fn bit_slice_block(patterns: &[&[u64]], words_per_pattern: usize, num_vars: usize) -> Vec<u64> {
     assert!(patterns.len() <= 64, "at most 64 lanes per block");
     let mut out = vec![0u64; num_vars];
@@ -704,6 +715,7 @@ pub fn bit_slice_block(patterns: &[&[u64]], words_per_pattern: usize, num_vars: 
 
 /// In-place 64×64 bit-matrix transpose: afterwards, bit `r` of word `c`
 /// equals bit `c` of the original word `r`.
+// naps-lint: allow-fn(panic_freedom, "a is a fixed 64-word array and the butterfly iteration keeps bit j of k clear, so k and k + j both stay below 64")
 fn transpose64(a: &mut [u64; 64]) {
     let mut j = 32usize;
     let mut m: u64 = 0x0000_0000_FFFF_FFFF;

@@ -75,6 +75,7 @@ impl BddSnapshot {
             .iter()
             .map(|&n| {
                 (
+                    // naps-lint: allow(typed_errors, "n iterates this bdd's decision-node set, for which node_var is always Some; terminals were filtered out above")
                     bdd.node_var(n).expect("decision node"),
                     encode(bdd.low(n), &index_of),
                     encode(bdd.high(n), &index_of),

@@ -120,6 +120,7 @@ pub fn observe_layered_batch<'a>(
             let patterns = taps
                 .clone()
                 .map(|(layer, selection)| {
+                    // naps-lint: allow(typed_errors, "taps was derived from this same plan, so every tapped layer has a position in it")
                     let slot = plan.position(layer).expect("planned layer");
                     selection.pattern_from(observed[slot].row(r))
                 })

@@ -303,6 +303,7 @@ impl<Z: Zone> Monitor<Z> {
     pub fn observe(&self, model: &mut Sequential, input: &Tensor) -> (usize, Pattern) {
         self.observe_batch(model, std::slice::from_ref(input))
             .pop()
+            // naps-lint: allow(typed_errors, "observe_batch returns one entry per input row; the slice has exactly one row")
             .expect("one observation per input")
     }
 
@@ -338,6 +339,7 @@ impl<Z: Zone> ActivationMonitor for Monitor<Z> {
     fn check(&self, model: &mut Sequential, input: &Tensor) -> MonitorReport {
         self.check_batch(model, std::slice::from_ref(input))
             .pop()
+            // naps-lint: allow(typed_errors, "check_batch returns one report per input row; the slice has exactly one row")
             .expect("one report per input")
     }
 

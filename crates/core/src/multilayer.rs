@@ -290,6 +290,7 @@ impl<Z: Zone> ActivationMonitor for LayeredMonitor<Z> {
     fn check(&self, model: &mut Sequential, input: &Tensor) -> LayeredReport {
         self.check_batch(model, std::slice::from_ref(input))
             .pop()
+            // naps-lint: allow(typed_errors, "check_batch returns one report per input row; the slice has exactly one row")
             .expect("one report per input")
     }
 

@@ -85,12 +85,9 @@ pub fn order_by_saliency(saliency: &[f32]) -> Vec<u32> {
 /// `perm[i] = rank of i`.
 fn rank_descending(width: usize, key: impl Fn(usize) -> f64) -> Vec<u32> {
     let mut idx: Vec<usize> = (0..width).collect();
-    idx.sort_by(|&a, &b| {
-        key(b)
-            .partial_cmp(&key(a))
-            .expect("finite keys")
-            .then(a.cmp(&b))
-    });
+    // `total_cmp` is a total order: a NaN key sorts deterministically
+    // (after +inf) instead of panicking the ranking.
+    idx.sort_by(|&a, &b| key(b).total_cmp(&key(a)).then(a.cmp(&b)));
     let mut perm = vec![0u32; width];
     for (pos, &neuron) in idx.iter().enumerate() {
         perm[neuron] = pos as u32;

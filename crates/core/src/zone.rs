@@ -237,6 +237,7 @@ impl Zone for BddZone {
         let (snap, _) = other.snapshot();
         let other_seeds = snap
             .restore(&mut self.bdd)
+            // naps-lint: allow(typed_errors, "the snapshot was taken from a live zone by the line above; restore of a just-taken snapshot cannot be malformed")
             .expect("snapshot from a live zone is well-formed");
         self.seeds = self.bdd.or(self.seeds, other_seeds);
         let ball = self.bdd.dilate(other_seeds, self.gamma);

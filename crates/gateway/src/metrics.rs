@@ -30,6 +30,8 @@ impl Histogram {
         } else {
             ((63 - us.leading_zeros()) as usize).min(BUCKETS - 1)
         };
+        // ordering: relaxed — independent per-bucket tallies; snapshot
+        // reads tolerate torn cross-bucket views.
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -39,6 +41,8 @@ impl Histogram {
         let counts: Vec<u64> = self
             .buckets
             .iter()
+            // ordering: relaxed — dashboard read of monotone tallies;
+            // slight staleness is fine.
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let total: u64 = counts.iter().sum();
@@ -109,16 +113,19 @@ impl Metrics {
 
     pub(crate) fn snapshot(&self, queue_depth: usize) -> GatewayStats {
         let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
+        // ordering: relaxed — all snapshot loads below read independent
+        // monotone counters; the snapshot is advisory, not a sync point.
         let answered = self.answered.load(Ordering::Relaxed);
         GatewayStats {
             uptime_secs: uptime,
+            // ordering: relaxed — advisory snapshot (see above)
             connections_current: self.connections_current.load(Ordering::Relaxed),
-            connections_total: self.connections_total.load(Ordering::Relaxed),
-            accepted: self.accepted.load(Ordering::Relaxed),
+            connections_total: self.connections_total.load(Ordering::Relaxed), // ordering: relaxed snapshot
+            accepted: self.accepted.load(Ordering::Relaxed), // ordering: relaxed snapshot
             answered,
-            shed: self.shed.load(Ordering::Relaxed),
-            malformed: self.malformed.load(Ordering::Relaxed),
-            write_errors: self.write_errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed), // ordering: relaxed snapshot
+            malformed: self.malformed.load(Ordering::Relaxed), // ordering: relaxed snapshot
+            write_errors: self.write_errors.load(Ordering::Relaxed), // ordering: relaxed snapshot
             queue_depth,
             qps: answered as f64 / uptime,
             kinds: RequestKind::ALL
@@ -127,7 +134,7 @@ impl Metrics {
                     let s = self.kind(k);
                     KindSnapshot {
                         kind: k.name(),
-                        count: s.count.load(Ordering::Relaxed),
+                        count: s.count.load(Ordering::Relaxed), // ordering: relaxed snapshot
                         p50_us: s.latency.quantile_upper_us(0.50),
                         p99_us: s.latency.quantile_upper_us(0.99),
                     }

@@ -278,8 +278,10 @@ impl WireError {
 pub fn read_frame(r: &mut impl Read, max: u32) -> Result<Vec<u8>, WireError> {
     let mut prefix = [0u8; 4];
     let mut got = 0;
-    while got < prefix.len() {
-        match r.read(&mut prefix[got..]) {
+    // `get_mut` + emptiness filter is the loop condition: the slice is
+    // `prefix[got..]` and the loop ends exactly when it is empty.
+    while let Some(rest) = prefix.get_mut(got..).filter(|rest| !rest.is_empty()) {
+        match r.read(rest) {
             Ok(0) => {
                 return if got == 0 {
                     Err(WireError::Closed)
@@ -324,10 +326,9 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> 
 
 /// Encodes the 6-byte hello (`MAGIC` + version); both sides send one.
 pub fn encode_hello(version: u16) -> [u8; 6] {
-    let mut hello = [0u8; 6];
-    hello[..4].copy_from_slice(&MAGIC);
-    hello[4..].copy_from_slice(&version.to_le_bytes());
-    hello
+    let [m0, m1, m2, m3] = MAGIC;
+    let [v0, v1] = version.to_le_bytes();
+    [m0, m1, m2, m3, v0, v1]
 }
 
 /// Reads and validates a hello, returning the peer's version (which may
@@ -342,11 +343,13 @@ pub fn read_hello(r: &mut impl Read) -> Result<u16, WireError> {
             WireError::Io(e)
         }
     })?;
-    let magic: [u8; 4] = [hello[0], hello[1], hello[2], hello[3]];
+    // Destructuring splits the fixed-size hello without any indexing.
+    let [m0, m1, m2, m3, v0, v1] = hello;
+    let magic = [m0, m1, m2, m3];
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    Ok(u16::from_le_bytes([hello[4], hello[5]]))
+    Ok(u16::from_le_bytes([v0, v1]))
 }
 
 // ---------------------------------------------------------------------
@@ -368,38 +371,43 @@ impl<'a> Reader<'a> {
             .pos
             .checked_add(n)
             .ok_or(WireError::Overflow { what })?;
-        if end > self.buf.len() {
-            return Err(WireError::Truncated { what });
-        }
-        let slice = &self.buf[self.pos..end];
+        // `get` is the bounds check: None (out of range) is a truncated
+        // payload, reported with the field being read.
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(WireError::Truncated { what })?;
         self.pos = end;
         Ok(slice)
     }
 
+    /// [`Reader::take`], but as a fixed-size array — the total form the
+    /// fixed-width readers below build on (no indexing anywhere).
+    fn take_array<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N], WireError> {
+        let b = self.take(N, what)?;
+        // `take` returned exactly N bytes; the conversion re-checks the
+        // length rather than assuming it.
+        <[u8; N]>::try_from(b).map_err(|_| WireError::Truncated { what })
+    }
+
     fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
-        Ok(self.take(1, what)?[0])
+        Ok(u8::from_le_bytes(self.take_array(what)?))
     }
 
     fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
-        let b = self.take(2, what)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
+        Ok(u16::from_le_bytes(self.take_array(what)?))
     }
 
     fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
-        let b = self.take(4, what)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(u32::from_le_bytes(self.take_array(what)?))
     }
 
     fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
-        let b = self.take(8, what)?;
-        let mut raw = [0u8; 8];
-        raw.copy_from_slice(b);
-        Ok(u64::from_le_bytes(raw))
+        Ok(u64::from_le_bytes(self.take_array(what)?))
     }
 
     fn f32(&mut self, what: &'static str) -> Result<f32, WireError> {
-        let b = self.take(4, what)?;
-        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(f32::from_le_bytes(self.take_array(what)?))
     }
 
     fn finish(self) -> Result<(), WireError> {

@@ -130,18 +130,30 @@ impl ResponseGuard {
     fn write(&self, resp: &Response) {
         let metrics = &self.conn.inner.metrics;
         // Encoding a verdict only fails on count overflow (≥ 2^32
-        // classes); degrade to a typed internal error, never tear down.
-        let bytes = proto::encode_response(self.id, resp).unwrap_or_else(|_| {
-            proto::encode_response(self.id, &Response::Rejected(Rejection::Internal))
-                .unwrap_or_default()
-        });
-        let mut writer = self.conn.writer.lock().unwrap_or_else(|e| e.into_inner());
-        if proto::write_frame(&mut *writer, &bytes).is_err() {
-            // The client vanished mid-request; the response is lost but
-            // accounted for, and the reader will notice the dead socket.
-            metrics.write_errors.fetch_add(1, Ordering::Relaxed);
+        // classes); degrade to a typed internal error.  The fixed-shape
+        // `Internal` rejection always encodes, but if that ever changed
+        // the response would be *counted as lost* — never an empty frame
+        // on the wire, never a panic.
+        let encoded = proto::encode_response(self.id, resp)
+            .or_else(|_| proto::encode_response(self.id, &Response::Rejected(Rejection::Internal)));
+        match encoded {
+            Ok(bytes) => {
+                let mut writer = self.conn.writer.lock().unwrap_or_else(|e| e.into_inner());
+                if proto::write_frame(&mut *writer, &bytes).is_err() {
+                    // The client vanished mid-request; the response is
+                    // lost but accounted for, and the reader will notice
+                    // the dead socket.
+                    // ordering: relaxed — independent stat counter
+                    metrics.write_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                // ordering: relaxed — independent stat counter
+                metrics.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        drop(writer);
+        // ordering: relaxed — monotone counter; the drain barrier is the
+        // in_flight mutex + condvar, not this metric.
         metrics.answered.fetch_add(1, Ordering::Relaxed);
         metrics
             .kind(self.kind)
@@ -382,6 +394,7 @@ fn spawn_connection(inner: &Arc<Inner>, stream: TcpStream, peer: SocketAddr) {
                 inner
                     .metrics
                     .connections_current
+                    // ordering: relaxed — gauge; readers tolerate staleness
                     .fetch_sub(1, Ordering::Relaxed);
             }
         });
@@ -390,10 +403,12 @@ fn spawn_connection(inner: &Arc<Inner>, stream: TcpStream, peer: SocketAddr) {
             inner
                 .metrics
                 .connections_current
+                // ordering: relaxed — gauge; readers tolerate staleness
                 .fetch_add(1, Ordering::Relaxed);
             inner
                 .metrics
                 .connections_total
+                // ordering: relaxed — monotone stat counter
                 .fetch_add(1, Ordering::Relaxed);
             reg.handles.push(handle);
         }
@@ -418,6 +433,7 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream, id: u64, peer: S
     match proto::read_hello(&mut stream) {
         Ok(version) if version == WIRE_VERSION => {}
         Ok(version) => {
+            // ordering: relaxed — stat counter on the error path
             inner.metrics.malformed.fetch_add(1, Ordering::Relaxed);
             eprintln!("naps-gateway: conn {id} ({peer}): unsupported protocol v{version}");
             // Tell the peer which version we speak, then hang up.
@@ -426,6 +442,7 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream, id: u64, peer: S
         }
         Err(e) => {
             if e.is_malformed() {
+                // ordering: relaxed — stat counter on the error path
                 inner.metrics.malformed.fetch_add(1, Ordering::Relaxed);
                 eprintln!("naps-gateway: conn {id} ({peer}): bad handshake: {e}");
             }
@@ -461,6 +478,7 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream, id: u64, peer: S
             Err(WireError::Closed) => break, // clean EOF (or shutdown sweep)
             Err(e) => {
                 if e.is_malformed() {
+                    // ordering: relaxed — stat counter on the error path
                     inner.metrics.malformed.fetch_add(1, Ordering::Relaxed);
                     eprintln!("naps-gateway: conn {id} ({peer}): dropping: {e}");
                 }
@@ -470,6 +488,7 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream, id: u64, peer: S
         let req = match proto::decode_request(&payload) {
             Ok(r) => r,
             Err(e) => {
+                // ordering: relaxed — stat counter on the error path
                 inner.metrics.malformed.fetch_add(1, Ordering::Relaxed);
                 eprintln!("naps-gateway: conn {id} ({peer}): dropping: {e}");
                 break;
@@ -505,11 +524,14 @@ fn serve_request(inner: &Arc<Inner>, conn: &Arc<Conn>, req: Request) {
         query,
         input,
     } = req;
+    // ordering: relaxed — monotone stat counters; the answer-everything
+    // guarantee rides on the ResponseGuard, not on these.
     inner.metrics.accepted.fetch_add(1, Ordering::Relaxed);
     inner
         .metrics
         .kind(kind)
         .count
+        // ordering: relaxed — monotone stat counter
         .fetch_add(1, Ordering::Relaxed);
     let guard = ResponseGuard::new(Arc::clone(conn), id, kind);
     if inner.shutting_down.load(Ordering::SeqCst) {
@@ -538,6 +560,7 @@ fn serve_request(inner: &Arc<Inner>, conn: &Arc<Conn>, req: Request) {
     if let Err(err) = result {
         if let Some(guard) = slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
             if matches!(err, SubmitError::Saturated) {
+                // ordering: relaxed — monotone stat counter
                 inner.metrics.shed.fetch_add(1, Ordering::Relaxed);
             }
             guard.respond(&Response::Rejected(rejection_for(&err)));

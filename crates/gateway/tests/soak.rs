@@ -49,6 +49,7 @@ fn eventually<F: FnMut() -> bool>(mut f: F, what: &str) {
         if f() {
             return;
         }
+        // naps-lint: allow(test_flakiness, "5ms pacing inside a 2s deadline poll; the deadline, not the sleep, is the synchronization point")
         std::thread::sleep(Duration::from_millis(5));
     }
     panic!("timed out waiting for: {what}");
@@ -143,6 +144,7 @@ struct SlowLayer {
 
 impl Layer for SlowLayer {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        // naps-lint: allow(test_flakiness, "simulates a slow model so the bounded queue observably fills; a workload, not a synchronization point")
         std::thread::sleep(Duration::from_millis(30));
         x.clone()
     }

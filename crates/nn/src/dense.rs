@@ -107,6 +107,7 @@ impl Layer for Dense {
         let x = self
             .cached_x
             .as_ref()
+            // naps-lint: allow(typed_errors, "Layer::backward contract: forward caches first; misuse is a caller bug, not a runtime error path")
             .expect("backward called before forward");
         // dW += x^T @ g ; db += column sums of g ; dx = g @ W^T.
         let gw = x.matmul_at(grad_out);

@@ -100,6 +100,7 @@ impl Layer for BatchNorm2d {
         let xhat = self
             .cached_xhat
             .as_ref()
+            // naps-lint: allow(typed_errors, "Layer::backward contract: forward caches first; misuse is a caller bug, not a runtime error path")
             .expect("backward called before forward");
         let batch = grad_out.shape()[0];
         let in_len = self.c * self.hw;

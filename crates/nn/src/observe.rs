@@ -120,6 +120,7 @@ impl Sequential {
             let input = carry
                 .as_ref()
                 .or_else(|| observed.last())
+                // naps-lint: allow(typed_errors, "loop invariant: each step leaves the activation in carry or pushed onto observed, and carry starts Some(input)")
                 .expect("current activation");
             let out = self.layer_mut(i).forward(input, train);
             if plan.observes(i) {
@@ -133,6 +134,7 @@ impl Sequential {
             Some(t) => t,
             // The last layer itself is observed: the logits are the final
             // observed entry (one extra clone, only in that rare plan).
+            // naps-lint: allow(typed_errors, "carry is None only when the final layer was observed, i.e. its output was pushed onto observed")
             None => observed.last().cloned().expect("observed last layer"),
         };
         (observed, logits)
@@ -175,6 +177,7 @@ impl ModelSnapshot {
             let input = carry
                 .as_ref()
                 .or_else(|| observed.last())
+                // naps-lint: allow(typed_errors, "loop invariant: each step leaves the activation in carry or pushed onto observed, and carry starts Some(input)")
                 .expect("current activation");
             let out = snapshot_layer_forward(layer, input);
             if plan.observes(i) {
@@ -186,6 +189,7 @@ impl ModelSnapshot {
         }
         let logits = match carry {
             Some(t) => t,
+            // naps-lint: allow(typed_errors, "carry is None only when the final layer was observed, i.e. its output was pushed onto observed")
             None => observed.last().cloned().expect("observed last layer"),
         };
         (observed, logits)

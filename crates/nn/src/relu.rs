@@ -33,6 +33,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // naps-lint: allow(typed_errors, "Layer::backward contract: forward caches first; misuse is a caller bug, not a runtime error path")
         let mask = self.mask.as_ref().expect("backward called before forward");
         assert_eq!(
             mask.len(),

@@ -86,6 +86,7 @@ impl Sequential {
         let mut acts = Vec::with_capacity(self.layers.len() + 1);
         acts.push(x.clone());
         for layer in &mut self.layers {
+            // naps-lint: allow(typed_errors, "acts starts with the input pushed two lines up and only grows; never empty")
             let next = layer.forward(acts.last().expect("nonempty"), train);
             acts.push(next);
         }

@@ -114,6 +114,10 @@ pub enum EngineError {
     /// comparable across epochs, and the worker model replicas would be
     /// observing the wrong layers.
     IncompatibleMonitor(&'static str),
+    /// The OS refused to spawn a worker thread.  Construction fails as a
+    /// whole: any workers already started are shut down and joined
+    /// before this is returned, so nothing leaks.
+    WorkerSpawn(std::io::Error),
 }
 
 impl fmt::Display for EngineError {
@@ -127,6 +131,7 @@ impl fmt::Display for EngineError {
             EngineError::IncompatibleMonitor(what) => {
                 write!(f, "published monitor incompatible with served one: {what}")
             }
+            EngineError::WorkerSpawn(e) => write!(f, "cannot spawn engine worker: {e}"),
         }
     }
 }
@@ -263,6 +268,7 @@ impl LayeredEpochReport {
     /// graded ranking under the combined verdict's epoch.  For an
     /// `N = 1` engine this is the whole verdict — the combined verdict
     /// *is* the lone layer's — so the projection is exact.
+    // naps-lint: allow-fn(panic_freedom, "a LayeredEpochReport always carries one report and ranking per monitored layer, and the frozen family is validated non-empty")
     pub fn to_single(&self) -> EpochReport {
         EpochReport {
             epoch: self.epoch,
@@ -404,6 +410,7 @@ impl DriftState {
         )
     }
 
+    // naps-lint: allow-fn(panic_freedom, "class is range-checked on entry; combined, distance_ewma and every dets vec share len num_classes by construction, and per_layer is non-empty by family validation")
     fn observe(&mut self, verdict: &LayeredVerdict) {
         let class = verdict.predicted;
         if class >= self.combined.len() {
@@ -477,6 +484,7 @@ fn class_statuses(
             epoch,
             windowed_rate: det.windowed_rate(),
             ewma_rate: det.ewma_rate(),
+            // naps-lint: allow(panic_freedom, "class enumerates the detector vec; distance_ewma has the same num_classes length by construction")
             mean_distance: distance_ewma.and_then(|d| d[class]),
             observed: det.observed(),
             alarms: det.alarm_count(),
@@ -681,7 +689,7 @@ impl MonitorEngine {
             space: Condvar::new(),
             max_batch: config.max_batch,
             queue_capacity: config.queue_capacity,
-            input_len: model_input_len(&replicas[0]),
+            input_len: replicas.first().and_then(model_input_len),
             alive: AtomicUsize::new(config.workers),
             published: Mutex::new(Arc::new(monitor)),
             epoch: AtomicU64::new(initial_epoch),
@@ -692,22 +700,35 @@ impl MonitorEngine {
             swaps: AtomicU64::new(0),
             drift: Mutex::new(None),
         });
-        let workers = replicas
-            .into_iter()
-            .enumerate()
-            .map(|(id, model)| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("naps-serve-{id}"))
-                    .spawn(move || {
-                        let _guard = WorkerGuard {
-                            shared: Arc::clone(&shared),
-                        };
-                        worker_loop(id, &shared, model);
-                    })
-                    .expect("spawn engine worker")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(config.workers);
+        for (id, model) in replicas.into_iter().enumerate() {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("naps-serve-{id}"))
+                .spawn(move || {
+                    let _guard = WorkerGuard {
+                        shared: Arc::clone(&worker_shared),
+                    };
+                    worker_loop(id, &worker_shared, model);
+                });
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Partial spawn: wind the already-started workers
+                    // down and join them before reporting, so a failed
+                    // construction leaks no thread.
+                    {
+                        let mut state = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+                        state.shutdown = true;
+                    }
+                    shared.work.notify_all();
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(EngineError::WorkerSpawn(e));
+                }
+            }
+        }
         Ok(MonitorEngine { shared, workers })
     }
 
@@ -733,6 +754,8 @@ impl MonitorEngine {
 
     /// Epoch of the snapshot currently being served.
     pub fn epoch(&self) -> u64 {
+        // ordering: acquire — pairs with the Release store in publish;
+        // an observed epoch implies the slot already holds its snapshot.
         self.shared.epoch.load(Ordering::Acquire)
     }
 
@@ -791,15 +814,18 @@ impl MonitorEngine {
                 return Err(EngineError::IncompatibleMonitor("neuron selection differs"));
             }
         }
+        // ordering: acquire — epoch reads pair with the Release store
+        // below; publishers serialize on the slot mutex held here.
         let epoch = self.shared.epoch.load(Ordering::Acquire) + 1;
         monitor.set_epoch(epoch);
         *slot = Arc::new(monitor);
-        // Publish the new epoch only after the slot holds the snapshot
-        // (workers re-read the slot under its mutex when they see the
-        // epoch move, so they can never pair the old snapshot with the
-        // new stamp).
+        // ordering: release — publish the new epoch only after the slot
+        // holds the snapshot (workers re-read the slot under its mutex
+        // when they see the epoch move, so they can never pair the old
+        // snapshot with the new stamp).
         self.shared.epoch.store(epoch, Ordering::Release);
         drop(slot);
+        // ordering: relaxed — monotone stat counter
         self.shared.swaps.fetch_add(1, Ordering::Relaxed);
         // Re-arm drift tracking for the new zone set: sustained
         // out-of-pattern rates measured under the replaced epoch are not
@@ -1188,7 +1214,10 @@ impl MonitorEngine {
         drop(tx);
         let mut out: Vec<Option<LayeredEpochReport>> = vec![None; inputs.len()];
         for (i, report) in rx {
-            out[i] = Some(report);
+            // `i` enumerated `inputs`; `get_mut` rather than trusting it.
+            if let Some(slot) = out.get_mut(i) {
+                *slot = Some(report);
+            }
         }
         // A missing slot means a worker died with that request in hand
         // (its callback was dropped unanswered) — a typed error, never a
@@ -1242,11 +1271,13 @@ impl MonitorEngine {
     /// behaviour).
     pub fn stats(&self) -> EngineStats {
         EngineStats {
+            // ordering: relaxed — advisory snapshot of monotone counters;
+            // no cross-counter consistency is promised (all loads below).
             processed: self.shared.processed.load(Ordering::Relaxed),
-            batches: self.shared.batches.load(Ordering::Relaxed),
-            stolen: self.shared.stolen.load(Ordering::Relaxed),
-            largest_batch: self.shared.largest_batch.load(Ordering::Relaxed) as u64,
-            swaps: self.shared.swaps.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed), // ordering: relaxed snapshot
+            stolen: self.shared.stolen.load(Ordering::Relaxed),   // ordering: relaxed snapshot
+            largest_batch: self.shared.largest_batch.load(Ordering::Relaxed) as u64, // ordering: relaxed snapshot
+            swaps: self.shared.swaps.load(Ordering::Relaxed), // ordering: relaxed snapshot
         }
     }
 
@@ -1329,6 +1360,7 @@ impl MonitorEngine {
         }
         let slot = state.next % state.queues.len();
         state.next = state.next.wrapping_add(1);
+        // naps-lint: allow(panic_freedom, "slot is taken modulo queues.len(), which is fixed and non-zero since construction")
         state.queues[slot].push_back(Request {
             input,
             graded,
@@ -1363,6 +1395,7 @@ fn model_input_len(model: &Sequential) -> Option<usize> {
         let layer = model.layer(i);
         let any = layer.as_any();
         if let Some(dense) = any.downcast_ref::<Dense>() {
+            // naps-lint: allow(panic_freedom, "Dense weights are always a 2-D tensor; shape() has two entries")
             return Some(dense.weights().shape()[0]);
         }
         if any.downcast_ref::<Flatten>().is_some() {
@@ -1383,6 +1416,7 @@ fn model_input_len(model: &Sequential) -> Option<usize> {
 /// Pops a micro-batch for worker `id`: own queue first (FIFO), then
 /// back-stealing from the most-loaded sibling.  Returns `None` to shut
 /// down.  Blocks on the `work` condvar while idle.
+// naps-lint: allow-fn(panic_freedom, "worker ids are 0..workers and victim slots are taken modulo queues.len(); the queue vec's length equals the worker count and is fixed at construction")
 fn next_batch(id: usize, shared: &Shared) -> Option<Vec<Request>> {
     let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
     loop {
@@ -1406,20 +1440,29 @@ fn next_batch(id: usize, shared: &Shared) -> Option<Vec<Request>> {
                     .len()
                     .div_ceil(2)
                     .min(shared.max_batch - batch.len());
+                let before = batch.len();
                 for _ in 0..take {
-                    let r = state.queues[victim].pop_back().expect("victim non-empty");
-                    batch.push(r);
+                    // `take` ≤ the victim's length, both read under the
+                    // state lock — but steal what is actually there
+                    // rather than assert it.
+                    match state.queues[victim].pop_back() {
+                        Some(r) => batch.push(r),
+                        None => break,
+                    }
                 }
-                stolen += take as u64;
+                stolen += (batch.len() - before) as u64;
             }
             if !batch.is_empty() {
                 state.pending -= batch.len();
                 drop(state);
                 shared.space.notify_all();
+                // ordering: relaxed — stat counters; queue state is
+                // consistent under the state mutex released above.
                 shared.stolen.fetch_add(stolen, Ordering::Relaxed);
-                shared.batches.fetch_add(1, Ordering::Relaxed);
+                shared.batches.fetch_add(1, Ordering::Relaxed); // ordering: relaxed stat counter
                 shared
                     .largest_batch
+                    // ordering: relaxed — stat high-water mark
                     .fetch_max(batch.len(), Ordering::Relaxed);
                 return Some(batch);
             }
@@ -1454,6 +1497,9 @@ struct WorkerGuard {
 impl Drop for WorkerGuard {
     fn drop(&mut self) {
         let panicked = std::thread::panicking();
+        // ordering: acqrel — the last decrement must observe every
+        // earlier worker's effects before declaring the engine dead, and
+        // release this worker's own writes to whoever reads `alive`.
         let last = self.shared.alive.fetch_sub(1, Ordering::AcqRel) == 1;
         if !panicked && !last {
             return;
@@ -1490,6 +1536,8 @@ fn worker_loop(id: usize, shared: &Shared, mut model: Sequential) {
         Arc::clone(&shared.published.lock().unwrap_or_else(|e| e.into_inner()));
     let mut epoch = monitor.epoch();
     while let Some(batch) = next_batch(id, shared) {
+        // ordering: acquire — pairs with publish's Release store; a moved
+        // epoch guarantees the slot re-read below sees the new snapshot.
         if shared.epoch.load(Ordering::Acquire) != epoch {
             monitor = Arc::clone(&shared.published.lock().unwrap_or_else(|e| e.into_inner()));
             epoch = monitor.epoch();
@@ -1511,6 +1559,7 @@ fn worker_loop(id: usize, shared: &Shared, mut model: Sequential) {
         let observed = monitor.observe_batch(&mut model, &inputs);
         shared
             .processed
+            // ordering: relaxed — monotone stat counter
             .fetch_add(observed.len() as u64, Ordering::Relaxed);
         let binary_rows: Vec<(usize, &[Pattern])> = metas
             .iter()
@@ -1525,6 +1574,7 @@ fn worker_loop(id: usize, shared: &Shared, mut model: Sequential) {
                 None => (
                     binary_verdicts
                         .next()
+                        // naps-lint: allow(panic_freedom, typed_errors, "report_batch returns exactly one verdict per binary row collected six lines up in this same function; unreachable from any input")
                         .expect("one batched verdict per binary row"),
                     None,
                 ),

@@ -634,6 +634,7 @@ impl FrozenMonitor {
             if rows.is_empty() {
                 continue;
             }
+            // naps-lint: allow(typed_errors, "by_class buckets were filled only for classes this monitor covers, so zone(class) is Some")
             let zone = self.zone(class).expect("grouped rows are monitored");
             let words: Vec<&[u64]> = rows.iter().map(|&r| pairs[r].1.words()).collect();
             let hits = zone.zone_eval().eval_many(&words);
@@ -650,6 +651,7 @@ impl FrozenMonitor {
             }
         }
         out.into_iter()
+            // naps-lint: allow(typed_errors, "the loops above wrote a verdict into every slot: each row landed in exactly one class bucket")
             .map(|r| r.expect("every row judged"))
             .collect()
     }
@@ -742,6 +744,7 @@ impl FrozenMonitor {
     pub fn check(&self, model: &mut Sequential, input: &Tensor) -> MonitorReport {
         self.check_batch(model, std::slice::from_ref(input))
             .pop()
+            // naps-lint: allow(typed_errors, "check_batch returns one report per input row; the slice has exactly one row")
             .expect("one report per input")
     }
 }
@@ -851,6 +854,7 @@ impl FrozenLayeredMonitor {
             .map(|m| FrozenMonitor::shard_by_class(m, num_shards))
             .collect();
         Self::try_from_monitors(monitors, layered.policy())
+            // naps-lint: allow(typed_errors, "a live LayeredMonitor already passed the same family validation; re-freezing it cannot fail")
             .expect("a live LayeredMonitor is a valid family by construction")
     }
 
@@ -1063,6 +1067,7 @@ impl FrozenLayeredMonitor {
     pub fn check(&self, model: &mut Sequential, input: &Tensor) -> LayeredVerdict {
         self.check_batch(model, std::slice::from_ref(input))
             .pop()
+            // naps-lint: allow(typed_errors, "check_batch returns one report per input row; the slice has exactly one row")
             .expect("one report per input")
     }
 

@@ -425,8 +425,19 @@ fn blocked_submitters_are_released_by_stop() {
             unreachable!("cycle() never ends")
         })
     };
-    // Let the flood establish, then stop the engine out from under it.
-    std::thread::sleep(std::time::Duration::from_millis(30));
+    // The flood is established once a verdict has flowed and the
+    // one-slot queue is full again — from there the flooder is blocking
+    // (or about to block) on the space condvar.  Deadline-polled; the
+    // property under test holds for current *and* future submitters
+    // either way.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !(engine.stats().processed > 0 && engine.queue_depth() == 1) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "flood never established"
+        );
+        std::thread::yield_now();
+    }
     engine.stop();
     let shutdowns = flooder.join().expect("flooder must terminate");
     assert_eq!(shutdowns, 1, "flooder ended without observing ShutDown");

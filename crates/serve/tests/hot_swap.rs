@@ -53,6 +53,15 @@ fn confirm_all_warnings(
     admitted
 }
 
+/// Deadline-polls `cond` with yields (no sleeps — nothing here assumes
+/// how fast a loaded CI box schedules threads).
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !cond() {
+        assert!(std::time::Instant::now() < deadline, "timed out: {what}");
+        std::thread::yield_now();
+    }
+}
 #[test]
 fn hot_swap_under_load_is_non_disruptive_and_exact() {
     let (mut monitor, mut net, probes) = fixture(21);
@@ -106,6 +115,8 @@ fn hot_swap_under_load_is_non_disruptive_and_exact() {
             let mut answered = 0u64;
             let mut epochs_seen = [0u64; 2];
             let mut round = 0usize;
+            // ordering: relaxed — quiescent stop flag; no data rides on
+            // it, threads just exit at their next check.
             while !stop.load(Ordering::Relaxed) || round == 0 {
                 let indices: Vec<usize> = (0..n).map(|k| (t + 3 * k) % n).collect();
                 let tickets: Vec<_> = indices
@@ -137,14 +148,27 @@ fn hot_swap_under_load_is_non_disruptive_and_exact() {
         }));
     }
 
-    // Give the load a moment, then hot-swap.
-    std::thread::sleep(std::time::Duration::from_millis(20));
+    // Let verdicts flow under epoch 0, then hot-swap.  Deadline-polled
+    // on the processed counter — no wall-clock assumption.
+    wait_until(
+        || engine.stats().processed > 0,
+        "no epoch-0 verdict was served",
+    );
     let new_epoch = engine
         .publish(frozen1.clone())
         .expect("compatible snapshot");
     assert_eq!(new_epoch, 1);
     assert_eq!(engine.epoch(), 1);
-    std::thread::sleep(std::time::Duration::from_millis(20));
+    // Keep the load running until rows submitted *after* the publish
+    // have been judged: anything enqueued once publish() returned is
+    // served by the new snapshot, so two more probe-set's worth of rows
+    // guarantees epoch-1 verdicts in the threads' tallies.
+    let goal = engine.stats().processed + 2 * probes.len() as u64;
+    wait_until(
+        || engine.stats().processed >= goal,
+        "no post-swap rows were processed",
+    );
+    // ordering: relaxed — quiescent stop flag (see the load loop)
     stop.store(true, Ordering::Relaxed);
 
     let mut seen = [0u64; 2];

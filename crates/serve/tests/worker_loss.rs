@@ -109,6 +109,7 @@ fn eventually<F: FnMut() -> bool>(mut f: F, what: &str) {
         if f() {
             return;
         }
+        // naps-lint: allow(test_flakiness, "5ms pacing inside a 2s deadline poll; the deadline, not the sleep, is the synchronization point")
         std::thread::sleep(Duration::from_millis(5));
     }
     panic!("timed out waiting for: {what}");

@@ -62,6 +62,7 @@ fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
     }
     // Tail rows (m % GEMM_MR): the single-row kernel.
     for i in blocks * GEMM_MR..m {
+        // naps-lint: allow(typed_errors, "rows yields exactly m output rows (chunks_exact over an m*n buffer) and this loop visits at most m of them")
         let orow = rows.next().expect("one output row per a row");
         let arow = &a[i * k..(i + 1) * k];
         for (p, &av) in arow.iter().enumerate() {
