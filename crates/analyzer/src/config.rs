@@ -48,6 +48,11 @@ pub struct Config {
     /// Crate directory names whose test code is exempt from the
     /// test-flakiness rule (benchmark harnesses sleep on purpose).
     pub flakiness_exempt_crates: Vec<String>,
+    /// Crate directory names whose `src/` code must import sync
+    /// primitives through the `naps_sync` facade rather than
+    /// `std::sync` / `std::thread` (so the simulator can schedule
+    /// them).
+    pub facade_crates: Vec<String>,
 }
 
 impl Default for Config {
@@ -60,6 +65,7 @@ impl Default for Config {
             panic_deny_files: Vec::new(),
             library_crates: Vec::new(),
             flakiness_exempt_crates: Vec::new(),
+            facade_crates: Vec::new(),
         }
     }
 }
@@ -139,6 +145,9 @@ impl Config {
             }
             ("rules.test_flakiness", "exempt_crates") => {
                 self.flakiness_exempt_crates = parse_string_array(value, idx)?;
+            }
+            ("rules.sync_facade", "facade_crates") => {
+                self.facade_crates = parse_string_array(value, idx)?;
             }
             (s, k) => {
                 return Err(ConfigError::at(
@@ -245,6 +254,10 @@ exempt_crates = ["bench"]
 
 [rules.typed_errors]
 library_crates = ["core", "serve"]
+
+[rules.sync_facade]
+severity = "deny"
+facade_crates = ["serve", "gateway"]
 "#,
         )
         .expect("config parses");
@@ -255,6 +268,7 @@ library_crates = ["core", "serve"]
         assert_eq!(cfg.severity("unlisted_rule"), Severity::Deny);
         assert_eq!(cfg.library_crates, ["core", "serve"]);
         assert_eq!(cfg.flakiness_exempt_crates, ["bench"]);
+        assert_eq!(cfg.facade_crates, ["serve", "gateway"]);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | `unsafe_audit` | every `unsafe` carries a `// SAFETY:` justification |
 //! | `typed_errors` | library crates use their typed error enums — no `Box<dyn Error>`, stringly `.expect("…")`, or `unwrap_or_default()` |
 //! | `test_flakiness` | no `thread::sleep` as a synchronization point in test code |
+//! | `sync_facade` | facade crates (`analyzer.toml`) import sync primitives through `naps_sync`, never `std::sync`/`std::thread` directly — direct paths are invisible to the `naps_sim` scheduler |
 //! | `waiver_syntax` | waivers themselves are well-formed, name known rules, and carry a non-empty reason (never waivable) |
 //!
 //! ## Waivers

@@ -93,6 +93,7 @@ pub fn to_json(analysis: &Analysis, cfg: &Config) -> String {
 
     let mut j = String::new();
     j.push_str("{\n");
+    let _ = writeln!(j, "  \"schema_version\": 2,");
     let _ = writeln!(j, "  \"tool\": \"naps-analyzer\",");
     let _ = writeln!(j, "  \"files_scanned\": {},", analysis.files_scanned);
     let _ = writeln!(j, "  \"lines_scanned\": {},", analysis.lines_scanned);

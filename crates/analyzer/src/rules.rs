@@ -15,13 +15,14 @@ use crate::scanner::ScannedFile;
 
 /// Every rule the engine knows, in report order.  Waivers may only
 /// name rules from this list (typos are `waiver_syntax` violations).
-pub const RULE_NAMES: [&str; 7] = [
+pub const RULE_NAMES: [&str; 8] = [
     "panic_freedom",
     "atomics_ordering",
     "lock_hygiene",
     "unsafe_audit",
     "typed_errors",
     "test_flakiness",
+    "sync_facade",
     "waiver_syntax",
 ];
 
@@ -69,6 +70,7 @@ pub fn check_file(ctx: &FileContext, file: &ScannedFile, cfg: &Config) -> Vec<Vi
     unsafe_audit(ctx, file, &mut out);
     typed_errors(ctx, file, cfg, &mut out);
     test_flakiness(ctx, file, cfg, &mut out);
+    sync_facade(ctx, file, cfg, &mut out);
     out
 }
 
@@ -487,6 +489,41 @@ fn test_flakiness(ctx: &FileContext, file: &ScannedFile, cfg: &Config, out: &mut
     }
 }
 
+/// Rule 7 — **sync_facade**: `src/` code in facade crates (config
+/// `[rules.sync_facade] facade_crates`) reaches sync primitives and
+/// threads through the `naps_sync` facade, never `std::sync` or
+/// `std::thread` directly — a direct `std` path compiles to the same
+/// thing in production but is invisible to the `naps_sim` scheduler,
+/// silently shrinking the interleaving space the checker explores.
+/// Catches both `use` statements and inline paths
+/// (`std::thread::sleep(…)`); comments and strings can't trigger it
+/// (the rule reads the masked code channel).  Test code in those
+/// crates runs under the real OS scheduler anyway and is exempt.
+fn sync_facade(ctx: &FileContext, file: &ScannedFile, cfg: &Config, out: &mut Vec<Violation>) {
+    if ctx.kind != FileKind::Lib || !cfg.facade_crates.iter().any(|c| c == &ctx.crate_dir) {
+        return;
+    }
+    for (idx, l) in file.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let line = idx + 1;
+        for needle in ["std::sync", "std::thread"] {
+            for _ in token_positions(&l.code, needle) {
+                out.push(Violation {
+                    rule: "sync_facade",
+                    file: ctx.path.clone(),
+                    line,
+                    message: format!(
+                        "direct `{needle}` in a facade crate — import through \
+                         `naps_sync` so the simulator can schedule it"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -583,6 +620,30 @@ mod tests {
         let v = check_file(&ctx("crates/x/src/f.rs", FileKind::Lib), &f, &cfg);
         let t: Vec<_> = v.iter().filter(|v| v.rule == "typed_errors").collect();
         assert_eq!(t.len(), 3, "{t:?}");
+    }
+
+    #[test]
+    fn sync_facade_flags_std_paths_in_facade_crates_only() {
+        let src = "use std::sync::{Arc, Mutex};\nuse std::thread;\n// a comment saying std::sync is fine\nlet s = \"std::thread in a string\";\nstd::thread::sleep(d);\nuse naps_sync::{Arc, Mutex};\n#[cfg(test)]\nmod tests {\n    use std::sync::mpsc;\n}\n";
+        let f = scan(src, false);
+        let cfg = Config {
+            facade_crates: vec!["serve".to_string()],
+            ..Config::default()
+        };
+        let v = check_file(&ctx("crates/serve/src/engine.rs", FileKind::Lib), &f, &cfg);
+        let s: Vec<_> = v.iter().filter(|v| v.rule == "sync_facade").collect();
+        assert_eq!(s.len(), 3, "{s:?}");
+        assert_eq!(
+            s.iter().map(|v| v.line).collect::<Vec<_>>(),
+            [1, 2, 5],
+            "comments, strings and test code must not flag"
+        );
+        // The same file in a non-facade crate is silent.
+        let v = check_file(&ctx("crates/nn/src/engine.rs", FileKind::Lib), &f, &cfg);
+        assert!(v.iter().all(|v| v.rule != "sync_facade"), "{v:?}");
+        // So is a test file in the facade crate.
+        let v = check_file(&ctx("crates/serve/tests/e2e.rs", FileKind::Test), &f, &cfg);
+        assert!(v.iter().all(|v| v.rule != "sync_facade"), "{v:?}");
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Seeded sync_facade violations: direct `std::sync` / `std::thread`
+//! paths in a facade crate's `src/` code.  Mentions in comments and
+//! strings, longer identifiers (`mystd`, masked by token boundaries)
+//! and `#[cfg(test)]` code must all stay silent, and a waiver with a
+//! reason gates the rule like any other.  Not compiled — consumed
+//! only by the analyzer's fixture tests.
+
+use std::sync::{Arc, Mutex}; // seed:facade
+use std::thread; // seed:facade
+
+pub fn inline_path() -> std::thread::JoinHandle<u32> { // seed:facade
+    thread::spawn(|| 0)
+}
+
+/// Talking about std::sync in a doc comment is fine.
+pub fn mentions_are_silent() -> u32 {
+    // plain comment: std::thread is also fine here
+    let msg = "std::sync::Mutex inside a string";
+    let longer = mystd::sync::helper();
+    msg.len() as u32 + longer
+}
+
+pub fn waived_direct() {
+    // naps-lint: allow(sync_facade, "fixture: the facade waiver must suppress this pinned std path")
+    std::thread::yield_now(); // seed:waived
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code runs under the real OS scheduler; direct std paths
+    // here are out of scope for sync_facade.
+    use std::sync::mpsc;
+    use std::thread;
+
+    #[test]
+    fn real_threads_are_fine_in_tests() {
+        let (tx, rx) = mpsc::channel();
+        thread::spawn(move || tx.send(1u32));
+        assert_eq!(rx.recv(), Ok(1));
+    }
+}

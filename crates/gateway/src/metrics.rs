@@ -8,8 +8,8 @@
 //! p50/p99 dashboards and costs one fetch-add per request.
 
 use crate::proto::RequestKind;
+use naps_sync::atomic::{AtomicU64, Ordering};
 use serde::Serialize;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Number of power-of-two latency buckets: bucket `i` covers
@@ -78,6 +78,9 @@ pub(crate) struct KindStats {
 pub(crate) struct Metrics {
     pub(crate) started: Instant,
     pub(crate) connections_current: AtomicU64,
+    /// High-water mark of concurrently open connections, maintained
+    /// with `fetch_max` so racing accepts can never regress it.
+    pub(crate) connections_peak: AtomicU64,
     pub(crate) connections_total: AtomicU64,
     /// Requests decoded from a frame (whether served or rejected).
     pub(crate) accepted: AtomicU64,
@@ -97,6 +100,7 @@ impl Metrics {
         Metrics {
             started: Instant::now(),
             connections_current: AtomicU64::new(0),
+            connections_peak: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
             answered: AtomicU64::new(0),
@@ -120,6 +124,7 @@ impl Metrics {
             uptime_secs: uptime,
             // ordering: relaxed — advisory snapshot (see above)
             connections_current: self.connections_current.load(Ordering::Relaxed),
+            connections_peak: self.connections_peak.load(Ordering::Relaxed), // ordering: relaxed snapshot
             connections_total: self.connections_total.load(Ordering::Relaxed), // ordering: relaxed snapshot
             accepted: self.accepted.load(Ordering::Relaxed), // ordering: relaxed snapshot
             answered,
@@ -155,6 +160,10 @@ impl Metrics {
         out.push_str(&format!(
             "naps_gateway_connections_current {}\n",
             snap.connections_current
+        ));
+        out.push_str(&format!(
+            "naps_gateway_connections_peak {}\n",
+            snap.connections_peak
         ));
         out.push_str(&format!(
             "naps_gateway_connections_total {}\n",
@@ -205,6 +214,8 @@ pub struct GatewayStats {
     pub uptime_secs: f64,
     /// Connections open right now.
     pub connections_current: u64,
+    /// Most connections ever open at once.
+    pub connections_peak: u64,
     /// Connections accepted over the gateway's lifetime.
     pub connections_total: u64,
     /// Requests successfully decoded from client frames.

@@ -25,13 +25,13 @@ use crate::proto::{
     self, Rejection, Request, RequestKind, Response, WireError, DEFAULT_MAX_FRAME, WIRE_VERSION,
 };
 use naps_serve::{LayeredEpochReport, MonitorEngine, SubmitError};
+use naps_sync::atomic::{AtomicBool, Ordering};
+use naps_sync::thread::{self, JoinHandle};
+use naps_sync::{Arc, Condvar, Mutex};
 use naps_tensor::Tensor;
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// Tunables for a [`Gateway`].
@@ -400,11 +400,19 @@ fn spawn_connection(inner: &Arc<Inner>, stream: TcpStream, peer: SocketAddr) {
         });
     match spawned {
         Ok(handle) => {
-            inner
+            let open = inner
                 .metrics
                 .connections_current
                 // ordering: relaxed — gauge; readers tolerate staleness
-                .fetch_add(1, Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed)
+                + 1;
+            inner
+                .metrics
+                .connections_peak
+                // ordering: relaxed — high-water gauge; fetch_max keeps
+                // racing accepts from regressing it (checked by the
+                // naps-sim stat_max model)
+                .fetch_max(open, Ordering::Relaxed);
             inner
                 .metrics
                 .connections_total

@@ -59,14 +59,14 @@ use naps_core::{
     Monitor, MonitorReport, Pattern, Verdict,
 };
 use naps_nn::{ModelSnapshot, Sequential, SnapshotError};
+use naps_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use naps_sync::thread::JoinHandle;
+use naps_sync::{mpsc, Arc, Condvar, Mutex};
 use naps_tensor::Tensor;
 use serde::Serialize;
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 
 /// Sizing knobs of a [`MonitorEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -703,7 +703,7 @@ impl MonitorEngine {
         let mut workers = Vec::with_capacity(config.workers);
         for (id, model) in replicas.into_iter().enumerate() {
             let worker_shared = Arc::clone(&shared);
-            let spawned = std::thread::Builder::new()
+            let spawned = naps_sync::thread::Builder::new()
                 .name(format!("naps-serve-{id}"))
                 .spawn(move || {
                     let _guard = WorkerGuard {
@@ -1496,7 +1496,7 @@ struct WorkerGuard {
 
 impl Drop for WorkerGuard {
     fn drop(&mut self) {
-        let panicked = std::thread::panicking();
+        let panicked = naps_sync::thread::panicking();
         // ordering: acqrel — the last decrement must observe every
         // earlier worker's effects before declaring the engine dead, and
         // release this worker's own writes to whoever reads `alive`.

@@ -26,12 +26,12 @@ use naps_core::{
     MonitorReport, NearestZone, NeuronSelection, Pattern, Verdict,
 };
 use naps_nn::Sequential;
+use naps_sync::Arc;
 use naps_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use std::path::Path;
-use std::sync::Arc;
 use std::{fs, io};
 
 /// One class's comfort zone, frozen for lock-free concurrent queries.

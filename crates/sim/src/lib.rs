@@ -1,0 +1,289 @@
+//! naps-sim: a bounded schedule-exploring model checker for the
+//! concurrency protocols of `naps-serve` and `naps-gateway`.
+//!
+//! The checker drives a *model body* — a closure built entirely from
+//! [`naps_sync::sim`] primitives — through a depth-first search over
+//! thread interleavings.  Each run is one schedule: the scheduler in
+//! `naps-sync` parks every thread at each visible operation and lets
+//! exactly one proceed, recording the decision.  The explorer then
+//! branches on every decision where another thread was enabled,
+//! pruning with **sleep sets** (a sibling interleaving that only
+//! reorders independent operations is never re-run) and cutting with
+//! configurable depth and preemption bounds.
+//!
+//! Failures are deterministic: every run's schedule is a plain list of
+//! thread choices, printable as a compact **schedule id**
+//! (`v1-0121020…`) that [`replay`] turns back into the exact same
+//! interleaving.  The `naps-sim` binary reads `NAPS_SIM_SCHEDULE` /
+//! `NAPS_SIM_MODEL` to replay an id printed by a failing exploration.
+//!
+//! The protocol models themselves live in [`models`]; the
+//! `cfg(naps_sim)`-gated `seeded` module reintroduces two historical
+//! races (the PR 4 drift-epoch stamping race and the PR 7 worker-loss
+//! ticket hang) that the checker must find.
+
+#![forbid(unsafe_code)]
+
+pub mod models;
+#[cfg(naps_sim)]
+pub mod seeded;
+
+use naps_sync::sim::{Execution, Limits, Op, Outcome, RunResult, Schedule};
+
+/// Bounds for one exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Per-run decision cap; a run that exceeds it counts as
+    /// [`Outcome::DepthBounded`] and generates no children past the cap.
+    pub max_decisions: usize,
+    /// Cap on *executed* schedules (pruned replays do not count).
+    /// When hit, the remaining frontier is abandoned and counted in
+    /// [`ExploreReport::frontier_abandoned`].
+    pub max_schedules: usize,
+    /// If set, a branch whose cumulative preemption count would exceed
+    /// the bound is skipped (counted, not explored).  `None` explores
+    /// every preemption.
+    pub preemption_bound: Option<usize>,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_decisions: 4_000,
+            max_schedules: 3_000,
+            preemption_bound: None,
+        }
+    }
+}
+
+/// Where one exploration stopped and what it saw.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreReport {
+    /// Distinct schedules actually executed to a terminal outcome
+    /// (complete, failed, or depth-bounded).
+    pub schedules: usize,
+    /// Runs whose every enabled thread was asleep — subtrees proven
+    /// covered by a sibling, at the cost of replaying the prefix.
+    pub pruned_runs: usize,
+    /// Branches never scheduled because the alternative thread was in
+    /// the sleep set at the decision (covered without any replay).
+    pub sleep_skipped: usize,
+    /// Branches cut by the preemption bound.
+    pub preemption_skipped: usize,
+    /// Executed runs cut by the per-run decision cap.
+    pub bounded: usize,
+    /// Frontier jobs abandoned when `max_schedules` was hit.
+    pub frontier_abandoned: usize,
+    /// `true` when the DFS frontier emptied: every schedule not pruned
+    /// or bounded away has been executed.
+    pub exhausted: bool,
+    /// The first failing run, if any (exploration stops on it).
+    pub failure: Option<FailureReport>,
+}
+
+impl ExploreReport {
+    /// Fraction of the considered schedule space dismissed without a
+    /// full run: pruned replays and sleep-skipped branches over
+    /// everything considered.
+    pub fn pruning_ratio(&self) -> f64 {
+        let pruned = self.pruned_runs + self.sleep_skipped;
+        let total = self.schedules + pruned;
+        if total == 0 {
+            0.0
+        } else {
+            pruned as f64 / total as f64
+        }
+    }
+}
+
+/// A failing schedule, replayable by id.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    pub outcome: Outcome,
+    /// Compact id accepted by [`decode_schedule_id`] and the
+    /// `NAPS_SIM_SCHEDULE` environment variable.
+    pub schedule_id: String,
+    /// The raw choice list (`trace[i].chosen` for every decision).
+    pub choices: Vec<usize>,
+}
+
+/// One pending DFS branch: a forced prefix plus the sleep set to
+/// install at its last decision.
+struct Job {
+    choices: Vec<usize>,
+    sleep: Vec<(usize, Op)>,
+}
+
+/// Explores interleavings of `body` depth-first until the space is
+/// exhausted, a failure is found, or `max_schedules` runs have been
+/// executed.
+///
+/// `body` must be deterministic apart from scheduling: rerun under the
+/// same forced choices it must make the same choices itself (no
+/// ambient randomness, time, or IO).  All the facade primitives
+/// satisfy this by construction.
+pub fn explore<F: Fn()>(cfg: &ExploreConfig, body: F) -> ExploreReport {
+    let limits = Limits {
+        max_decisions: cfg.max_decisions,
+    };
+    let mut report = ExploreReport::default();
+    let mut stack = vec![Job {
+        choices: Vec::new(),
+        sleep: Vec::new(),
+    }];
+    while let Some(job) = stack.pop() {
+        if report.schedules >= cfg.max_schedules {
+            report.frontier_abandoned = stack.len() + 1;
+            return report;
+        }
+        let run = Execution::run(
+            &Schedule {
+                choices: job.choices,
+                sleep: job.sleep,
+            },
+            &limits,
+            &body,
+        );
+        let deepen = match &run.outcome {
+            Outcome::Pruned => {
+                report.pruned_runs += 1;
+                false
+            }
+            Outcome::DepthBounded => {
+                report.schedules += 1;
+                report.bounded += 1;
+                true
+            }
+            Outcome::Complete => {
+                report.schedules += 1;
+                true
+            }
+            failure => {
+                report.schedules += 1;
+                let choices = run.choices();
+                report.failure = Some(FailureReport {
+                    outcome: failure.clone(),
+                    schedule_id: encode_schedule_id(&choices),
+                    choices,
+                });
+                return report;
+            }
+        };
+        if deepen {
+            branch(cfg, &run, &mut stack, &mut report);
+        }
+    }
+    report.exhausted = true;
+    report
+}
+
+/// Pushes one child job per unexplored alternative at every free
+/// (non-forced) decision of `run`.  Forced decisions are skipped: their
+/// siblings were generated when the parent branched there.
+fn branch(cfg: &ExploreConfig, run: &RunResult, stack: &mut Vec<Job>, report: &mut ExploreReport) {
+    for (i, rec) in run.trace.iter().enumerate() {
+        if rec.forced {
+            continue;
+        }
+        // Sleep-set discipline: each later sibling branch goes to sleep
+        // on every earlier one, starting with the choice this run made.
+        let mut done: Vec<(usize, Op)> = vec![(rec.chosen, rec.chosen_op)];
+        for &(tid, op) in &rec.candidates {
+            if tid == rec.chosen {
+                continue;
+            }
+            if rec.sleeping.iter().any(|&(t, _)| t == tid) {
+                report.sleep_skipped += 1;
+                continue;
+            }
+            if let Some(bound) = cfg.preemption_bound {
+                let preemptive = rec
+                    .from
+                    .is_some_and(|f| f != tid && rec.candidates.iter().any(|&(c, _)| c == f));
+                if rec.preemptions_before + usize::from(preemptive) > bound {
+                    report.preemption_skipped += 1;
+                    continue;
+                }
+            }
+            let mut choices: Vec<usize> = run.trace[..i].iter().map(|d| d.chosen).collect();
+            choices.push(tid);
+            let mut sleep = rec.sleeping.clone();
+            sleep.extend(done.iter().copied());
+            stack.push(Job { choices, sleep });
+            done.push((tid, op));
+        }
+    }
+}
+
+/// Replays one schedule: the forced prefix is `choices`, and any
+/// decisions beyond it follow the default deterministic policy.
+pub fn replay<F: Fn()>(max_decisions: usize, choices: &[usize], body: F) -> RunResult {
+    Execution::run(
+        &Schedule {
+            choices: choices.to_vec(),
+            sleep: Vec::new(),
+        },
+        &Limits { max_decisions },
+        body,
+    )
+}
+
+/// Encodes a choice list as a compact schedule id.
+///
+/// `v1-` followed by one hex digit per choice when every thread id is
+/// below 16 (the common case — models spawn a handful of threads);
+/// `v2-` followed by dot-separated decimals otherwise.
+pub fn encode_schedule_id(choices: &[usize]) -> String {
+    if choices.iter().all(|&t| t < 16) {
+        let mut s = String::with_capacity(3 + choices.len());
+        s.push_str("v1-");
+        for &t in choices {
+            s.push(char::from_digit(t as u32, 16).expect("tid < 16 has a hex digit"));
+        }
+        s
+    } else {
+        let body: Vec<String> = choices.iter().map(|t| t.to_string()).collect();
+        format!("v2-{}", body.join("."))
+    }
+}
+
+/// Decodes a schedule id produced by [`encode_schedule_id`].
+pub fn decode_schedule_id(id: &str) -> Option<Vec<usize>> {
+    if let Some(hex) = id.strip_prefix("v1-") {
+        hex.chars()
+            .map(|c| c.to_digit(16).map(|d| d as usize))
+            .collect()
+    } else if let Some(body) = id.strip_prefix("v2-") {
+        if body.is_empty() {
+            return Some(Vec::new());
+        }
+        body.split('.').map(|p| p.parse::<usize>().ok()).collect()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_ids_round_trip() {
+        for choices in [vec![], vec![0], vec![0, 1, 2, 1, 0, 15], vec![0usize; 100]] {
+            let id = encode_schedule_id(&choices);
+            assert!(id.starts_with("v1-"), "{id}");
+            assert_eq!(decode_schedule_id(&id), Some(choices));
+        }
+        let wide = vec![0, 16, 3, 255];
+        let id = encode_schedule_id(&wide);
+        assert_eq!(id, "v2-0.16.3.255");
+        assert_eq!(decode_schedule_id(&id), Some(wide));
+    }
+
+    #[test]
+    fn bad_schedule_ids_are_rejected() {
+        for bad in ["", "v1", "v3-000", "v1-0g", "v2-1.x", "0121"] {
+            assert_eq!(decode_schedule_id(bad), None, "{bad}");
+        }
+    }
+}

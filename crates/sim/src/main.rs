@@ -1,0 +1,323 @@
+//! The `naps-sim` binary: the CI smoke exploration and the schedule
+//! replay tool.
+//!
+//! Default mode explores every protocol model under bounded DFS,
+//! verifies the invariants on every schedule, requires at least
+//! [`MIN_SCHEDULES`] distinct schedules per protocol, pins the
+//! `fetch_max` high-water-mark regression, and — when built with
+//! `RUSTFLAGS="--cfg naps_sim"` — confirms the checker finds both
+//! seeded historical races.  Results land in `results/sim.json`
+//! (`schema_version` 1); any violation or missed seeded bug makes the
+//! exit code non-zero.
+//!
+//! Replay mode: set `NAPS_SIM_MODEL` to a model name and
+//! `NAPS_SIM_SCHEDULE` to a schedule id printed by a failing
+//! exploration, and the binary re-executes exactly that interleaving.
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use naps_sim::{decode_schedule_id, explore, replay, ExploreConfig, ExploreReport};
+use naps_sync::sim::Outcome;
+
+/// Per-protocol floor on distinct executed schedules in the smoke run.
+const MIN_SCHEDULES: usize = 1_000;
+
+/// Decision cap for replay mode, matching the smoke configuration.
+const REPLAY_MAX_DECISIONS: usize = 4_000;
+
+fn smoke_config() -> ExploreConfig {
+    ExploreConfig {
+        max_decisions: 4_000,
+        max_schedules: 2_000,
+        preemption_bound: None,
+    }
+}
+
+/// Every model the binary can explore or replay by name.
+fn all_models() -> Vec<(&'static str, fn())> {
+    fn stat_buggy() {
+        naps_sim::models::stat_max(false);
+    }
+    fn stat_fixed() {
+        naps_sim::models::stat_max(true);
+    }
+    let mut v = naps_sim::models::protocol_models();
+    v.push(("stat_max_buggy", stat_buggy as fn()));
+    v.push(("stat_max_fixed", stat_fixed as fn()));
+    #[cfg(naps_sim)]
+    v.extend(naps_sim::seeded::seeded_bugs());
+    v
+}
+
+fn main() -> ExitCode {
+    match env::var("NAPS_SIM_SCHEDULE") {
+        Ok(id) => replay_mode(&id),
+        Err(_) => smoke_mode(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replay mode
+// ---------------------------------------------------------------------------
+
+fn replay_mode(id: &str) -> ExitCode {
+    let models = all_models();
+    let wanted = env::var("NAPS_SIM_MODEL").unwrap_or_default();
+    let Some(&(name, body)) = models.iter().find(|(n, _)| *n == wanted) else {
+        let names: Vec<&str> = models.iter().map(|&(n, _)| n).collect();
+        eprintln!(
+            "naps-sim: NAPS_SIM_MODEL must name the model to replay; one of: {}",
+            names.join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    let Some(choices) = decode_schedule_id(id) else {
+        eprintln!("naps-sim: NAPS_SIM_SCHEDULE is not a valid schedule id: {id}");
+        return ExitCode::from(2);
+    };
+    let run = replay(REPLAY_MAX_DECISIONS, &choices, body);
+    println!("model:    {name}");
+    println!(
+        "schedule: {id} ({} forced choices, {} decisions executed)",
+        choices.len(),
+        run.trace.len()
+    );
+    println!("outcome:  {:?}", run.outcome);
+    if matches!(run.outcome, Outcome::ReplayDivergence { .. }) {
+        eprintln!("naps-sim: the schedule does not fit this model (wrong model or stale id)");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// Smoke mode
+// ---------------------------------------------------------------------------
+
+struct ProtocolRow {
+    name: &'static str,
+    report: ExploreReport,
+    ok: bool,
+}
+
+fn explore_protocol(cfg: &ExploreConfig, name: &'static str, body: fn()) -> ProtocolRow {
+    let report = explore(cfg, body);
+    let mut ok = true;
+    println!(
+        "{name}: {} schedules ({} pruned runs, {} sleep-skipped, {} bounded, \
+         pruning ratio {:.2}{})",
+        report.schedules,
+        report.pruned_runs,
+        report.sleep_skipped,
+        report.bounded,
+        report.pruning_ratio(),
+        if report.exhausted { ", exhausted" } else { "" },
+    );
+    if let Some(f) = &report.failure {
+        ok = false;
+        println!("  FAILURE: {:?}", f.outcome);
+        println!(
+            "  replay: NAPS_SIM_MODEL={name} NAPS_SIM_SCHEDULE={} cargo run -p naps-sim",
+            f.schedule_id
+        );
+    } else if report.schedules < MIN_SCHEDULES {
+        ok = false;
+        println!(
+            "  FAILURE: only {} schedules executed, need at least {MIN_SCHEDULES}",
+            report.schedules
+        );
+    }
+    ProtocolRow { name, report, ok }
+}
+
+/// Explores a model expected to fail, returning the catching failure.
+fn expect_caught(name: &str, body: fn()) -> (bool, Option<String>, String) {
+    let cfg = ExploreConfig {
+        max_schedules: 5_000,
+        ..smoke_config()
+    };
+    let report = explore(&cfg, body);
+    match report.failure {
+        Some(f) => {
+            println!(
+                "{name}: caught after {} schedules — {:?} (schedule {})",
+                report.schedules, f.outcome, f.schedule_id
+            );
+            (true, Some(f.schedule_id), format!("{:?}", f.outcome))
+        }
+        None => {
+            println!(
+                "{name}: MISSED — {} schedules explored without finding the seeded bug",
+                report.schedules
+            );
+            (false, None, String::new())
+        }
+    }
+}
+
+fn smoke_mode() -> ExitCode {
+    let cfg = smoke_config();
+    println!(
+        "naps-sim smoke: max {} schedules/protocol, depth {} decisions",
+        cfg.max_schedules, cfg.max_decisions
+    );
+
+    let mut rows = Vec::new();
+    for (name, body) in naps_sim::models::protocol_models() {
+        rows.push(explore_protocol(&cfg, name, body));
+    }
+
+    // fetch_max regression pin: the load-compare-store max must fail,
+    // the fetch_max max must be clean on the full (exhausted) space.
+    let (stat_caught, stat_id, _) = expect_caught("stat_max_buggy", || {
+        naps_sim::models::stat_max(false);
+    });
+    let stat_fixed = explore(&cfg, || naps_sim::models::stat_max(true));
+    let stat_fixed_clean = stat_fixed.failure.is_none() && stat_fixed.exhausted;
+    println!(
+        "stat_max_fixed: {} schedules, clean={stat_fixed_clean}",
+        stat_fixed.schedules
+    );
+
+    let seeded_json = seeded_section();
+    let protocols_ok = rows.iter().all(|r| r.ok);
+    let pass = protocols_ok && stat_caught && stat_fixed_clean && seeded_json.1;
+
+    let json = render_json(
+        &cfg,
+        &rows,
+        stat_caught,
+        &stat_id,
+        stat_fixed_clean,
+        &seeded_json.0,
+        pass,
+    );
+    if let Err(e) = fs::create_dir_all("results").and_then(|()| fs::write("results/sim.json", json))
+    {
+        eprintln!("naps-sim: cannot write results/sim.json: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "naps-sim smoke: {} — results/sim.json written",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs the seeded-bug fixtures when compiled in.  Returns the JSON
+/// fragment for the `"seeded"` key and whether this section passes.
+#[cfg(naps_sim)]
+fn seeded_section() -> (String, bool) {
+    let mut parts = Vec::new();
+    let mut all = true;
+    for (name, body) in naps_sim::seeded::seeded_bugs() {
+        let (caught, id, outcome) = expect_caught(name, body);
+        all &= caught;
+        parts.push(format!(
+            "\"{name}\": {{\"caught\": {caught}, \"schedule_id\": {}, \"outcome\": \"{}\"}}",
+            match id {
+                Some(i) => format!("\"{i}\""),
+                None => "null".to_string(),
+            },
+            json_escape(&outcome),
+        ));
+    }
+    let json = format!(
+        "{{\"enabled\": true, {}, \"both_caught\": {all}}}",
+        parts.join(", ")
+    );
+    (json, all)
+}
+
+/// Without `cfg(naps_sim)` the fixtures do not exist; the section says
+/// so and `both_caught` is absent, so the CI grep fails loudly if the
+/// cfg was dropped.
+#[cfg(not(naps_sim))]
+fn seeded_section() -> (String, bool) {
+    println!("seeded fixtures not compiled in (build with RUSTFLAGS=\"--cfg naps_sim\")");
+    ("{\"enabled\": false}".to_string(), true)
+}
+
+fn render_json(
+    cfg: &ExploreConfig,
+    rows: &[ProtocolRow],
+    stat_caught: bool,
+    stat_id: &Option<String>,
+    stat_fixed_clean: bool,
+    seeded: &str,
+    pass: bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema_version\": 1,\n  \"tool\": \"naps-sim\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"max_decisions\": {}, \"max_schedules\": {}, \"preemption_bound\": {}, \"min_schedules\": {MIN_SCHEDULES}}},\n",
+        cfg.max_decisions,
+        cfg.max_schedules,
+        match cfg.preemption_bound {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        }
+    ));
+    out.push_str("  \"protocols\": {\n");
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let failure = match &r.report.failure {
+                Some(f) => format!(
+                    "{{\"outcome\": \"{}\", \"schedule_id\": \"{}\"}}",
+                    json_escape(&format!("{:?}", f.outcome)),
+                    f.schedule_id
+                ),
+                None => "null".to_string(),
+            };
+            format!(
+                "    \"{}\": {{\"schedules\": {}, \"pruned_runs\": {}, \"sleep_skipped\": {}, \
+                 \"preemption_skipped\": {}, \"bounded\": {}, \"exhausted\": {}, \
+                 \"pruning_ratio\": {:.4}, \"ok\": {}, \"failure\": {}}}",
+                r.name,
+                r.report.schedules,
+                r.report.pruned_runs,
+                r.report.sleep_skipped,
+                r.report.preemption_skipped,
+                r.report.bounded,
+                r.report.exhausted,
+                r.report.pruning_ratio(),
+                r.ok,
+                failure
+            )
+        })
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n  },\n");
+    out.push_str(&format!(
+        "  \"stat_max\": {{\"buggy_caught\": {stat_caught}, \"buggy_schedule_id\": {}, \"fetch_max_clean\": {stat_fixed_clean}}},\n",
+        match stat_id {
+            Some(i) => format!("\"{i}\""),
+            None => "null".to_string(),
+        }
+    ));
+    out.push_str(&format!("  \"seeded\": {seeded},\n"));
+    out.push_str(&format!("  \"pass\": {pass}\n}}\n"));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,82 @@
+//! The shipped protocols hold on every explored schedule, and the
+//! checker demonstrably catches protocol bugs (the racy high-water
+//! mark) — so a clean exploration means something.
+
+use naps_sim::models;
+use naps_sim::{explore, ExploreConfig};
+use naps_sync::sim::Outcome;
+
+fn cfg(max_schedules: usize) -> ExploreConfig {
+    ExploreConfig {
+        max_decisions: 4_000,
+        max_schedules,
+        preemption_bound: None,
+    }
+}
+
+#[test]
+fn epoch_stamping_protocol_holds() {
+    let r = explore(&cfg(300), || models::epoch_stamping(true));
+    assert!(r.failure.is_none(), "{:?}", r.failure);
+    assert_eq!(r.schedules, 300, "model too small to fill the cap");
+}
+
+#[test]
+fn worker_drain_protocol_holds() {
+    let r = explore(&cfg(300), || models::worker_drain(true));
+    assert!(r.failure.is_none(), "{:?}", r.failure);
+    assert_eq!(r.schedules, 300, "model too small to fill the cap");
+}
+
+#[test]
+fn submitter_wakeup_protocol_holds_exhaustively() {
+    let r = explore(&cfg(2_000), models::submitter_wakeup);
+    assert!(r.failure.is_none(), "{:?}", r.failure);
+    assert!(
+        r.exhausted,
+        "expected the full space within 2000 schedules, got {}",
+        r.schedules
+    );
+}
+
+#[test]
+fn registry_sweep_protocol_holds() {
+    let r = explore(&cfg(300), models::registry_sweep);
+    assert!(r.failure.is_none(), "{:?}", r.failure);
+    assert_eq!(r.schedules, 300, "model too small to fill the cap");
+}
+
+#[test]
+fn racy_stat_max_is_caught() {
+    let r = explore(&cfg(500), || models::stat_max(false));
+    let f = r
+        .failure
+        .expect("load-compare-store max must lose an update");
+    match &f.outcome {
+        Outcome::Panic { message, .. } => {
+            assert!(message.contains("high-water mark"), "{message}")
+        }
+        other => panic!("expected a panic outcome, got {other:?}"),
+    }
+}
+
+#[test]
+fn fetch_max_stat_is_clean_on_the_full_space() {
+    let r = explore(&cfg(500), || models::stat_max(true));
+    assert!(r.failure.is_none(), "{:?}", r.failure);
+    assert!(r.exhausted, "tiny model must be exhaustible");
+}
+
+#[test]
+fn preemption_bound_hides_preemption_races() {
+    // The lost update needs a mid-RMW preemption; with a bound of 0
+    // the checker runs threads to completion and cannot see it — and
+    // reports what it skipped.
+    let bounded = ExploreConfig {
+        preemption_bound: Some(0),
+        ..cfg(500)
+    };
+    let r = explore(&bounded, || models::stat_max(false));
+    assert!(r.failure.is_none(), "{:?}", r.failure);
+    assert!(r.preemption_skipped > 0, "bound should have cut branches");
+}

@@ -1,0 +1,31 @@
+//! A failing exploration's schedule id deterministically replays the
+//! exact interleaving — decode(encode(choices)) drives the same trace
+//! to the same outcome, twice.
+
+use naps_sim::models;
+use naps_sim::{decode_schedule_id, explore, replay, ExploreConfig};
+use naps_sync::sim::Outcome;
+
+#[test]
+fn failing_schedule_round_trips_through_its_id() {
+    let cfg = ExploreConfig::default();
+    let r = explore(&cfg, || models::stat_max(false));
+    let f = r.failure.expect("the racy max must fail somewhere");
+    let choices = decode_schedule_id(&f.schedule_id).expect("own ids must decode");
+    assert_eq!(choices, f.choices, "id must encode the exact choice list");
+    let first = replay(cfg.max_decisions, &choices, || models::stat_max(false));
+    let second = replay(cfg.max_decisions, &choices, || models::stat_max(false));
+    for run in [&first, &second] {
+        match &run.outcome {
+            Outcome::Panic { message, .. } => {
+                assert!(message.contains("high-water mark"), "{message}")
+            }
+            other => panic!("replay changed the outcome: {other:?}"),
+        }
+    }
+    assert_eq!(
+        first.choices(),
+        second.choices(),
+        "replay must be deterministic"
+    );
+}

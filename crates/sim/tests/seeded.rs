@@ -1,0 +1,53 @@
+//! The seeded historical races (compiled only under `cfg(naps_sim)`)
+//! must be found by the checker, and their schedule ids must replay.
+
+#![cfg(naps_sim)]
+
+use naps_sim::{decode_schedule_id, explore, replay, seeded, ExploreConfig};
+use naps_sync::sim::Outcome;
+
+fn cfg() -> ExploreConfig {
+    ExploreConfig {
+        max_schedules: 5_000,
+        ..ExploreConfig::default()
+    }
+}
+
+#[test]
+fn seeded_drift_epoch_race_is_caught() {
+    let r = explore(&cfg(), seeded::drift_epoch_race);
+    let f = r
+        .failure
+        .expect("the checker must find the PR 4 drift-epoch race");
+    match &f.outcome {
+        Outcome::Panic { message, .. } => {
+            assert!(message.contains("stale-epoch"), "{message}")
+        }
+        other => panic!("expected the stale-evidence assert, got {other:?}"),
+    }
+}
+
+#[test]
+fn seeded_ticket_hang_is_caught_and_replays_by_id() {
+    let r = explore(&cfg(), seeded::worker_loss_ticket_hang);
+    let f = r
+        .failure
+        .expect("the checker must find the PR 7 ticket hang");
+    assert!(
+        matches!(f.outcome, Outcome::Deadlock(_)),
+        "the hang should surface as a deadlock, got {:?}",
+        f.outcome
+    );
+    let choices = decode_schedule_id(&f.schedule_id).expect("own ids must decode");
+    assert_eq!(choices, f.choices);
+    let run = replay(
+        cfg().max_decisions,
+        &choices,
+        seeded::worker_loss_ticket_hang,
+    );
+    assert!(
+        matches!(run.outcome, Outcome::Deadlock(_)),
+        "replay changed the outcome: {:?}",
+        run.outcome
+    );
+}

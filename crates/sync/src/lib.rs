@@ -1,0 +1,76 @@
+//! # naps-sync — the workspace's sync-primitive facade
+//!
+//! `naps-serve` and `naps-gateway` import every synchronization
+//! primitive they use (`Mutex`, `Condvar`, `mpsc`, `thread::spawn`,
+//! the atomics) from this crate instead of `std`.  The facade has two
+//! personalities, switched by the `naps_sim` cfg flag:
+//!
+//! * **Production (default): plain `std`, zero added indirection.**
+//!   Every name this crate exports is a `pub use` of the corresponding
+//!   `std::sync` / `std::thread` item — not a wrapper, not a newtype.
+//!   `naps_sync::Mutex<T>` *is* `std::sync::Mutex<T>`; the compiled
+//!   code of a production build is byte-for-byte what it would be with
+//!   direct `std` imports.  This is a guarantee, not an aspiration:
+//!   the re-exports below contain no code of their own.
+//!
+//! * **Simulation (`RUSTFLAGS="--cfg naps_sim"`): every acquire,
+//!   release, load, store, wait and notify becomes a scheduling
+//!   decision.**  The same names resolve to the controlled
+//!   implementations in [`sim`], which park the calling thread at each
+//!   visible operation and let a deterministic scheduler pick who runs
+//!   next.  `naps-sim` drives that scheduler through a bounded DFS
+//!   over interleavings to model-check the engine/gateway protocols.
+//!
+//! The [`sim`] module itself is compiled **unconditionally** so the
+//! ordinary `cargo test` suite exercises the checker; `naps_sim` only
+//! switches which implementation the facade names resolve to.
+//!
+//! The `sync_facade` analyzer rule (see `crates/analyzer`) denies
+//! direct `use std::sync` / `use std::thread` in the facade crates, so
+//! code cannot quietly bypass the simulator.
+
+#![forbid(unsafe_code)]
+
+pub mod sim;
+
+#[cfg(not(naps_sim))]
+pub use std::sync::{mpsc, Arc, Condvar, LockResult, Mutex, MutexGuard, WaitTimeoutResult};
+
+/// Atomic types re-exported for the facade crates.
+///
+/// Production builds get the real `std::sync::atomic` types; under
+/// `cfg(naps_sim)` the same names are the simulator's instrumented
+/// cells (every access is a scheduling decision).  `Ordering` is
+/// always `std`'s — the simulator explores sequentially-consistent
+/// interleavings and treats the ordering argument as documentation.
+#[cfg(not(naps_sim))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Thread spawning and inspection for the facade crates.
+///
+/// Production builds re-export `std::thread`; under `cfg(naps_sim)`
+/// `spawn`/`Builder` create simulator-registered threads whose every
+/// visible operation is scheduled deterministically, and `sleep` is a
+/// pure yield point (simulated time never blocks the checker).
+#[cfg(not(naps_sim))]
+pub mod thread {
+    pub use std::thread::{panicking, sleep, spawn, yield_now, Builder, JoinHandle};
+}
+
+#[cfg(naps_sim)]
+pub use crate::sim::sync::{mpsc, Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+#[cfg(naps_sim)]
+pub use std::sync::{Arc, LockResult};
+
+#[cfg(naps_sim)]
+pub mod atomic {
+    pub use crate::sim::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+    pub use std::sync::atomic::Ordering;
+}
+
+#[cfg(naps_sim)]
+pub mod thread {
+    pub use crate::sim::thread::{panicking, sleep, spawn, yield_now, Builder, JoinHandle};
+}

@@ -1,0 +1,135 @@
+//! Simulated atomics: every load/store/RMW is a scheduling decision
+//! on the cell's object, backed by a real `std` atomic.  The simulator
+//! explores thread interleavings under sequential consistency; the
+//! `Ordering` argument is passed through to the real cell but is not
+//! weakened further (weak-memory reorderings are out of scope and the
+//! limitation is documented on [`crate::sim`]).
+
+use std::fmt;
+use std::sync::atomic::{self, Ordering};
+
+use super::runtime::{abort_tick, current, fresh_object_id, Access, Op, OpKind, Pending, Wake};
+
+/// One decision point per atomic access.  Outside a run the access is
+/// just the real operation (construction in test scaffolding, metrics
+/// rendered after a run, …).  During teardown the real operation
+/// proceeds, with a budget that eventually kills spin loops whose
+/// partner thread is gone.
+fn sim_point(obj: u64, access: Access, kind: OpKind) {
+    if let Some(ctx) = current() {
+        if let Wake::Abort = ctx.exec.park(
+            ctx.tid,
+            Pending::ready(Op {
+                obj,
+                obj2: 0,
+                access,
+                kind,
+            }),
+        ) {
+            abort_tick();
+        }
+    }
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $int:ty) => {
+        pub struct $name {
+            id: u64,
+            cell: atomic::$name,
+        }
+
+        impl $name {
+            pub fn new(v: $int) -> $name {
+                $name {
+                    id: fresh_object_id(),
+                    cell: atomic::$name::new(v),
+                }
+            }
+
+            pub fn load(&self, order: Ordering) -> $int {
+                sim_point(self.id, Access::Read, OpKind::Load);
+                self.cell.load(order)
+            }
+
+            pub fn store(&self, val: $int, order: Ordering) {
+                sim_point(self.id, Access::Write, OpKind::Store);
+                self.cell.store(val, order)
+            }
+
+            pub fn fetch_add(&self, val: $int, order: Ordering) -> $int {
+                sim_point(self.id, Access::Write, OpKind::Rmw);
+                self.cell.fetch_add(val, order)
+            }
+
+            pub fn fetch_sub(&self, val: $int, order: Ordering) -> $int {
+                sim_point(self.id, Access::Write, OpKind::Rmw);
+                self.cell.fetch_sub(val, order)
+            }
+
+            pub fn fetch_max(&self, val: $int, order: Ordering) -> $int {
+                sim_point(self.id, Access::Write, OpKind::Rmw);
+                self.cell.fetch_max(val, order)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> $name {
+                $name::new(0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                // ordering: Debug snapshot, any value is fine.
+                let v = self.cell.load(Ordering::Relaxed);
+                f.debug_tuple(stringify!($name)).field(&v).finish()
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU64, u64);
+int_atomic!(AtomicUsize, usize);
+
+pub struct AtomicBool {
+    id: u64,
+    cell: atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            id: fresh_object_id(),
+            cell: atomic::AtomicBool::new(v),
+        }
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        sim_point(self.id, Access::Read, OpKind::Load);
+        self.cell.load(order)
+    }
+
+    pub fn store(&self, val: bool, order: Ordering) {
+        sim_point(self.id, Access::Write, OpKind::Store);
+        self.cell.store(val, order)
+    }
+
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        sim_point(self.id, Access::Write, OpKind::Rmw);
+        self.cell.swap(val, order)
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+}
+
+impl fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // ordering: Debug snapshot, any value is fine.
+        let v = self.cell.load(Ordering::Relaxed);
+        f.debug_tuple("AtomicBool").field(&v).finish()
+    }
+}

@@ -1,0 +1,53 @@
+//! The deterministic concurrency simulator.
+//!
+//! This module is compiled unconditionally (so the ordinary test suite
+//! exercises it); the `naps_sim` cfg only decides whether the facade
+//! names at the crate root resolve to `std` or to the types here.
+//!
+//! ## Execution model
+//!
+//! A simulated run ([`Execution::run`]) executes a closure on real OS
+//! threads under a **baton** discipline: at most one simulated thread
+//! runs between *decision points*, and every visible operation — lock
+//! acquire, condvar wait/notify, channel send/recv, atomic access,
+//! spawn, join — is a decision point.  Before each visible operation
+//! the thread parks and a scheduler picks who proceeds, either by
+//! following a forced [`Schedule`] prefix (replay) or by a default
+//! run-to-block policy.  The full decision trace is recorded, so any
+//! run can be replayed exactly from its choice list.
+//!
+//! ## What is modeled
+//!
+//! * `Mutex` ownership (a critical section is one decision — acquire;
+//!   release re-enables blocked lockers at the next decision point),
+//! * `Condvar` wait queues with FIFO `notify_one`, `notify_all`, and
+//!   `wait_timeout` modeled as a nondeterministic timeout transition
+//!   that is always schedulable (no spurious wakeups are injected),
+//! * unbounded `mpsc` channels with sender counting and disconnect,
+//! * atomics as sequentially-consistent shared cells (the simulator
+//!   explores thread interleavings, not weak-memory reorderings; the
+//!   `Ordering` argument is preserved but not weakened),
+//! * thread spawn/join and panic propagation: the first panic on any
+//!   simulated thread ends the run as a [`Outcome::Panic`] failure, and
+//!   a run in which every unfinished thread is blocked is reported as
+//!   [`Outcome::Deadlock`].
+//!
+//! ## Teardown
+//!
+//! When a run ends early (failure, depth bound, sleep-set prune) the
+//! scheduler switches to *abort mode*: parked threads are released,
+//! every subsequent decision point is a free pass, condvar waits return
+//! spuriously and receives drain or disconnect, so all threads run to
+//! completion under their real (std) locks and the process is reusable
+//! for the next schedule.  Failures observed during abort teardown are
+//! deliberately not recorded — only the primary outcome counts.
+
+mod runtime;
+
+pub mod atomic;
+pub mod sync;
+pub mod thread;
+
+pub use runtime::{
+    dependent, Access, DecisionRecord, Execution, Limits, Op, OpKind, Outcome, RunResult, Schedule,
+};

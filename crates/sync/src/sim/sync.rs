@@ -1,0 +1,425 @@
+//! Simulated `Mutex`, `Condvar`, and `mpsc` channels.
+//!
+//! Data always lives behind real `std` primitives — the simulator adds
+//! a *scheduling* layer on top (who may acquire when), never an
+//! `unsafe` one.  During normal runs the scheduler guarantees at most
+//! one thread contends for any real lock; during abort teardown the
+//! real lock alone provides the exclusion.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+use std::time::Duration;
+
+use super::runtime::{
+    abort_blocking, current, fresh_object_id, require_ctx, Op, OpKind, Pending, Wait, Wake,
+};
+
+/// A mutex whose acquisitions are scheduling decisions.  Poisoning
+/// behaves like `std`: a panic while the guard is held poisons the
+/// lock for later acquirers.
+pub struct Mutex<T> {
+    id: u64,
+    data: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(t: T) -> Mutex<T> {
+        Mutex {
+            id: fresh_object_id(),
+            data: StdMutex::new(t),
+        }
+    }
+
+    /// Parks at a decision point until the scheduler grants ownership.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let ctx = require_ctx();
+        if let Wake::Abort = ctx.exec.park(
+            ctx.tid,
+            Pending {
+                op: Op::write(self.id, OpKind::Lock),
+                wait: Wait::LockFree { mutex: self.id },
+            },
+        ) {
+            abort_blocking();
+            // Unwinding teardown: the real mutex alone provides the
+            // exclusion (nested-lock-free code cannot cycle on it).
+        }
+        self.lock_real()
+    }
+
+    fn lock_real(&self) -> LockResult<MutexGuard<'_, T>> {
+        match self.data.lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                inner: Some(g),
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                inner: Some(p.into_inner()),
+            })),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("id", &self.id).finish()
+    }
+}
+
+/// Guard for a simulated [`Mutex`].  Dropping it releases the real
+/// lock first, then the simulated ownership — so by the time another
+/// simulated thread is granted the lock, the real one is free.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    fn real(&self) -> &StdMutexGuard<'a, T> {
+        self.inner
+            .as_ref()
+            .expect("sim MutexGuard used after defuse")
+    }
+
+    /// Takes the pieces out without running `Drop` — `Condvar::wait`
+    /// releases the lock through the scheduler, not through the
+    /// guard's destructor.
+    fn defuse(mut self) -> (&'a Mutex<T>, Option<StdMutexGuard<'a, T>>) {
+        let lock = self.lock;
+        let inner = self.inner.take();
+        std::mem::forget(self);
+        (lock, inner)
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.real()
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("sim MutexGuard used after defuse")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some(ctx) = current() {
+            ctx.exec.unlock(self.lock.id);
+        }
+    }
+}
+
+/// The simulator's `WaitTimeoutResult` (`std`'s has no public
+/// constructor).  Same surface: [`WaitTimeoutResult::timed_out`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condvar with a FIFO wait queue.  `notify_one` wakes the oldest
+/// waiter; no spurious wakeups are injected (callers loop on their
+/// predicate anyway).  `wait_timeout` models the timeout as a
+/// nondeterministic transition the scheduler may fire at any decision
+/// point — the `Duration` is ignored, which *widens* coverage: every
+/// "timeout raced the notify" interleaving is explored.
+pub struct Condvar {
+    id: u64,
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar {
+            id: fresh_object_id(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match self.wait_inner(guard, false) {
+            Ok((g, _)) => Ok(g),
+            Err(p) => Err(PoisonError::new(p.into_inner().0)),
+        }
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        self.wait_inner(guard, true)
+    }
+
+    fn wait_inner<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timed: bool,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let ctx = require_ctx();
+        let op = Op::write2(self.id, guard.lock.id, OpKind::CvWait);
+        if let Wake::Abort = ctx.exec.park(ctx.tid, Pending::ready(op)) {
+            abort_blocking();
+            // Unwinding teardown: spurious wakeup, keep the guard.
+            return Ok((guard, WaitTimeoutResult(true)));
+        }
+        let (lock, real) = guard.defuse();
+        drop(real);
+        ctx.exec.cv_enter_limbo(ctx.tid, self.id, lock.id, timed);
+        let timed_out = match ctx.exec.wait_regrant(ctx.tid) {
+            Wake::Abort => {
+                abort_blocking();
+                true
+            }
+            Wake::Granted { timed_out } => timed_out,
+        };
+        match lock.lock_real() {
+            Ok(g) => Ok((g, WaitTimeoutResult(timed_out))),
+            Err(p) => Err(PoisonError::new((
+                p.into_inner(),
+                WaitTimeoutResult(timed_out),
+            ))),
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.notify(false);
+    }
+
+    pub fn notify_all(&self) {
+        self.notify(true);
+    }
+
+    fn notify(&self, all: bool) {
+        if let Some(ctx) = current() {
+            if let Wake::Abort = ctx.exec.park(
+                ctx.tid,
+                Pending::ready(Op::write(self.id, OpKind::CvNotify)),
+            ) {
+                // Teardown wakes parked waiters by itself.
+                abort_blocking();
+                return;
+            }
+            ctx.exec.cv_notify_apply(self.id, all);
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").field("id", &self.id).finish()
+    }
+}
+
+/// Simulated unbounded channels with `std`-compatible error types.
+pub mod mpsc {
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    use super::super::runtime::{
+        abort_blocking, current, fresh_object_id, require_ctx, Op, OpKind, Pending, Wait, Wake,
+    };
+
+    /// The shared backing store.  Values live in the real queue; the
+    /// scheduler separately accounts the logical length and endpoint
+    /// counts so enabledness checks need no `T`.
+    struct Chan<T> {
+        id: u64,
+        q: StdMutex<VecDeque<T>>,
+    }
+
+    impl<T> Chan<T> {
+        fn push(&self, t: T) {
+            self.q
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(t);
+        }
+
+        fn pop(&self) -> Option<T> {
+            self.q.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+        }
+    }
+
+    /// Creates a simulated channel.  Only valid inside
+    /// `Execution::run` — channels are per-run objects.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let _ = require_ctx();
+        let chan = Arc::new(Chan {
+            id: fresh_object_id(),
+            q: StdMutex::new(VecDeque::new()),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            let ctx = require_ctx();
+            if let Wake::Abort = ctx.exec.park(
+                ctx.tid,
+                Pending::ready(Op::write(self.chan.id, OpKind::Send)),
+            ) {
+                abort_blocking();
+            }
+            if !ctx.exec.chan_rx_alive(self.chan.id) {
+                return Err(SendError(t));
+            }
+            // Real push before the accounted length bump: an accounted
+            // value always has a real value behind it.
+            self.chan.push(t);
+            ctx.exec.chan_len_inc(self.chan.id);
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            if let Some(ctx) = current() {
+                ctx.exec.chan_sender_cloned(self.chan.id);
+            }
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if let Some(ctx) = current() {
+                // The drop is a visible event (it can disconnect the
+                // receiver) but never a teardown kill — destructors
+                // must not panic mid-unwind.
+                if !ctx.exec.aborted() && !std::thread::panicking() {
+                    let _ = ctx.exec.park(
+                        ctx.tid,
+                        Pending::ready(Op::write(self.chan.id, OpKind::SenderDrop)),
+                    );
+                }
+                ctx.exec.chan_sender_dropped(self.chan.id);
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Sender").field("id", &self.chan.id).finish()
+        }
+    }
+
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks (in simulated time) until a value or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let ctx = require_ctx();
+            if let Wake::Abort = ctx.exec.park(
+                ctx.tid,
+                Pending {
+                    op: Op::write(self.chan.id, OpKind::Recv),
+                    wait: Wait::ChanReadable { chan: self.chan.id },
+                },
+            ) {
+                abort_blocking();
+                return self.chan.pop().ok_or(RecvError);
+            }
+            if ctx.exec.chan_len_dec(self.chan.id) {
+                // Accounting invariant: a logical value has a real one.
+                self.chan.pop().ok_or(RecvError)
+            } else {
+                // Enabled with an empty queue means no senders remain.
+                Err(RecvError)
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let ctx = require_ctx();
+            if let Wake::Abort = ctx.exec.park(
+                ctx.tid,
+                Pending::ready(Op::write(self.chan.id, OpKind::TryRecv)),
+            ) {
+                abort_blocking();
+                return self.chan.pop().ok_or(TryRecvError::Disconnected);
+            }
+            if ctx.exec.chan_len_dec(self.chan.id) {
+                self.chan.pop().ok_or(TryRecvError::Disconnected)
+            } else if ctx.exec.chan_senders(self.chan.id) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if let Some(ctx) = current() {
+                if !ctx.exec.aborted() && !std::thread::panicking() {
+                    let _ = ctx.exec.park(
+                        ctx.tid,
+                        Pending::ready(Op::write(self.chan.id, OpKind::ReceiverDrop)),
+                    );
+                }
+                ctx.exec.chan_rx_dropped(self.chan.id);
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Receiver")
+                .field("id", &self.chan.id)
+                .finish()
+        }
+    }
+
+    /// Owning iterator: yields until the channel disconnects, like
+    /// `std`'s.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+}

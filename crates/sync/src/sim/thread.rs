@@ -1,0 +1,220 @@
+//! Simulated thread spawn/join.  Simulated threads are real OS
+//! threads registered with the scheduler: they run only while holding
+//! the baton, and their panics become run outcomes instead of stderr
+//! noise.
+
+use std::fmt;
+use std::io;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::Duration;
+
+use super::runtime::{
+    abort_blocking, current, payload_msg, require_ctx, set_ctx, AbortSignal, Ctx, Exec, Op, OpKind,
+    Pending, Wait, Wake,
+};
+
+/// Mirrors `std::thread::panicking` — teardown and drop paths need it
+/// through the facade.
+pub fn panicking() -> bool {
+    std::thread::panicking()
+}
+
+/// Inside a run, a pure yield point: simulated time passes instantly
+/// and the scheduler explores every "the sleeper woke here"
+/// interleaving.  Outside a run, a real sleep.
+pub fn sleep(dur: Duration) {
+    match current() {
+        Some(ctx) => {
+            if let Wake::Abort = ctx
+                .exec
+                .park(ctx.tid, Pending::ready(Op::simple(OpKind::Sleep)))
+            {
+                abort_blocking();
+            }
+        }
+        None => std::thread::sleep(dur),
+    }
+}
+
+pub fn yield_now() {
+    match current() {
+        Some(ctx) => {
+            if let Wake::Abort = ctx
+                .exec
+                .park(ctx.tid, Pending::ready(Op::simple(OpKind::Yield)))
+            {
+                abort_blocking();
+            }
+        }
+        None => std::thread::yield_now(),
+    }
+}
+
+type Slot<T> = Arc<StdMutex<Option<std::thread::Result<T>>>>;
+
+fn store_slot<T>(slot: &Slot<T>, v: std::thread::Result<T>) {
+    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+}
+
+fn take_slot<T>(slot: &Slot<T>) -> std::thread::Result<T> {
+    slot.lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+        .unwrap_or_else(|| Err(Box::new(AbortSignal)))
+}
+
+fn slot_filled<T>(slot: &Slot<T>) -> bool {
+    slot.lock().unwrap_or_else(|e| e.into_inner()).is_some()
+}
+
+/// Simulated `thread::Builder` — only the `name` knob, which is all
+/// the facade crates use.
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns a simulated thread.  The spawn itself is a decision
+    /// point; the child first runs when the scheduler grants its
+    /// `Start`.
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let ctx = require_ctx();
+        if let Wake::Abort = ctx
+            .exec
+            .park(ctx.tid, Pending::ready(Op::simple(OpKind::Spawn)))
+        {
+            abort_blocking();
+            // Unwinding teardown: no thread; joining the dead handle
+            // reports a teardown error.
+            return Ok(JoinHandle { inner: None });
+        }
+        let tid = ctx.exec.register_thread();
+        let slot: Slot<T> = Arc::new(StdMutex::new(None));
+        let child_exec = Arc::clone(&ctx.exec);
+        let child_slot = Arc::clone(&slot);
+        let mut b = std::thread::Builder::new();
+        if let Some(n) = self.name {
+            b = b.name(n);
+        }
+        let real = b.spawn(move || {
+            set_ctx(Some(Ctx {
+                exec: Arc::clone(&child_exec),
+                tid,
+            }));
+            let outcome: std::thread::Result<T> = match child_exec.wait_start(tid) {
+                // Aborted before ever running: don't start the body.
+                Wake::Abort => Err(Box::new(AbortSignal)),
+                Wake::Granted { .. } => panic::catch_unwind(AssertUnwindSafe(f)),
+            };
+            let panic_info = match &outcome {
+                Ok(_) => None,
+                Err(p) => Some((p.is::<AbortSignal>(), payload_msg(p.as_ref()))),
+            };
+            // Slot before finish: a joiner enabled by `Finished` must
+            // find the result already there.
+            store_slot(&child_slot, outcome);
+            set_ctx(None);
+            child_exec.finish(tid, panic_info);
+        })?;
+        ctx.exec.attach_handle(tid, real);
+        Ok(JoinHandle {
+            inner: Some(Inner {
+                exec: Arc::clone(&ctx.exec),
+                tid,
+                slot,
+            }),
+        })
+    }
+}
+
+/// Spawns with the default builder, panicking on OS failure like
+/// `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match Builder::new().spawn(f) {
+        Ok(h) => h,
+        Err(e) => panic!("failed to spawn simulated thread: {e}"),
+    }
+}
+
+struct Inner<T> {
+    exec: Arc<Exec>,
+    tid: usize,
+    slot: Slot<T>,
+}
+
+/// Handle to a simulated thread.  `inner` is `None` only for handles
+/// fabricated during teardown.
+pub struct JoinHandle<T> {
+    inner: Option<Inner<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (in simulated time) until the target finishes, then
+    /// reaps the real OS thread and returns the stored result.
+    pub fn join(self) -> std::thread::Result<T> {
+        let Some(h) = self.inner else {
+            return Err(Box::new(AbortSignal));
+        };
+        let ctx = require_ctx();
+        if let Wake::Abort = ctx.exec.park(
+            ctx.tid,
+            Pending {
+                op: Op::simple(OpKind::Join),
+                wait: Wait::ThreadDone { target: h.tid },
+            },
+        ) {
+            abort_blocking();
+            // Unwinding teardown: report whatever the child stored.
+            return take_slot(&h.slot);
+        }
+        if let Some(real) = h.exec.take_handle(h.tid) {
+            let _ = real.join();
+        }
+        take_slot(&h.slot)
+    }
+
+    /// A decision point plus a completion probe, so polling loops
+    /// (`handles.retain(|h| !h.is_finished())`) interleave with the
+    /// threads they watch.
+    pub fn is_finished(&self) -> bool {
+        let Some(h) = &self.inner else {
+            return true;
+        };
+        if let Some(ctx) = current() {
+            if let Wake::Abort = ctx
+                .exec
+                .park(ctx.tid, Pending::ready(Op::simple(OpKind::Yield)))
+            {
+                abort_blocking();
+            }
+        }
+        slot_filled(&h.slot)
+    }
+}
+
+impl<T> fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("tid", &self.inner.as_ref().map(|h| h.tid))
+            .finish()
+    }
+}
