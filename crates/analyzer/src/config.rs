@@ -42,6 +42,9 @@ pub struct Config {
     pub severity: BTreeMap<String, Severity>,
     /// Files (relative paths) under the panic-freedom deny-list.
     pub panic_deny_files: Vec<String>,
+    /// Files (relative paths) under the hot-path-allocation deny-list:
+    /// steady-state serving code that must not touch the allocator.
+    pub hot_path_files: Vec<String>,
     /// Crate directory names (under `crates/`) treated as library
     /// crates by the typed-errors rule.
     pub library_crates: Vec<String>,
@@ -63,6 +66,7 @@ impl Default for Config {
             results: "results/analysis.json".to_string(),
             severity: BTreeMap::new(),
             panic_deny_files: Vec::new(),
+            hot_path_files: Vec::new(),
             library_crates: Vec::new(),
             flakiness_exempt_crates: Vec::new(),
             facade_crates: Vec::new(),
@@ -139,6 +143,9 @@ impl Config {
             }
             ("rules.panic_freedom", "deny_files") => {
                 self.panic_deny_files = parse_string_array(value, idx)?;
+            }
+            ("rules.hot_path_alloc", "deny_files") => {
+                self.hot_path_files = parse_string_array(value, idx)?;
             }
             ("rules.typed_errors", "library_crates") => {
                 self.library_crates = parse_string_array(value, idx)?;
@@ -248,6 +255,10 @@ results = "results/analysis.json"
 severity = "deny"
 deny_files = ["crates/gateway/src/proto.rs"]
 
+[rules.hot_path_alloc]
+severity = "deny"
+deny_files = ["crates/core/src/prepared.rs"]
+
 [rules.test_flakiness]
 severity = "warn"
 exempt_crates = ["bench"]
@@ -264,6 +275,7 @@ facade_crates = ["serve", "gateway"]
         assert_eq!(cfg.roots, ["crates"]);
         assert_eq!(cfg.exclude.len(), 2);
         assert_eq!(cfg.severity("panic_freedom"), Severity::Deny);
+        assert_eq!(cfg.hot_path_files, ["crates/core/src/prepared.rs"]);
         assert_eq!(cfg.severity("test_flakiness"), Severity::Warn);
         assert_eq!(cfg.severity("unlisted_rule"), Severity::Deny);
         assert_eq!(cfg.library_crates, ["core", "serve"]);

@@ -15,8 +15,9 @@ use crate::scanner::ScannedFile;
 
 /// Every rule the engine knows, in report order.  Waivers may only
 /// name rules from this list (typos are `waiver_syntax` violations).
-pub const RULE_NAMES: [&str; 8] = [
+pub const RULE_NAMES: [&str; 9] = [
     "panic_freedom",
+    "hot_path_alloc",
     "atomics_ordering",
     "lock_hygiene",
     "unsafe_audit",
@@ -65,6 +66,7 @@ pub struct Violation {
 pub fn check_file(ctx: &FileContext, file: &ScannedFile, cfg: &Config) -> Vec<Violation> {
     let mut out = Vec::new();
     panic_freedom(ctx, file, cfg, &mut out);
+    hot_path_alloc(ctx, file, cfg, &mut out);
     atomics_ordering(ctx, file, &mut out);
     lock_hygiene(ctx, file, &mut out);
     unsafe_audit(ctx, file, &mut out);
@@ -141,6 +143,55 @@ fn panic_freedom(ctx: &FileContext, file: &ScannedFile, cfg: &Config, out: &mut 
                      use `.get(…)` or waive with an in-bounds proof"
                 ),
             });
+        }
+    }
+}
+
+/// Rule — **hot_path_alloc**: deny-listed steady-state files (config
+/// `[rules.hot_path_alloc] deny_files`) must not touch the allocator
+/// per call: no `Vec::new()`, `vec![…]`, `.to_vec()`,
+/// `Tensor::zeros(…)` or `.clone()` outside test code.  These files
+/// are the serving paths the `forward` eval gates at zero steady-state
+/// allocations — reuse caller-owned storage (`*_into` variants,
+/// `resize_in_place`) instead, and waive genuine warm-up or cold-path
+/// allocations with the reason.  Only method-call syntax matches
+/// `.clone(`: `Arc::clone(&x)` — the cheap refcount bump, written UFCS
+/// by convention — and `.cloned()` iterator adapters do not flag.
+fn hot_path_alloc(ctx: &FileContext, file: &ScannedFile, cfg: &Config, out: &mut Vec<Violation>) {
+    if !cfg.hot_path_files.iter().any(|f| f == &ctx.path) {
+        return;
+    }
+    for (idx, l) in file.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let line = idx + 1;
+        for (needle, what, instead) in [
+            ("Vec::new(", "`Vec::new()`", "reuse a cleared buffer"),
+            ("vec!", "`vec![…]`", "reuse a cleared buffer"),
+            (".to_vec(", "`.to_vec()`", "copy into reused storage"),
+            (
+                "Tensor::zeros",
+                "`Tensor::zeros(…)`",
+                "use `resize_zeroed` on a reused tensor",
+            ),
+            (
+                ".clone(",
+                "`.clone()`",
+                "refill the existing value in place",
+            ),
+        ] {
+            for _ in token_positions(&l.code, needle) {
+                out.push(Violation {
+                    rule: "hot_path_alloc",
+                    file: ctx.path.clone(),
+                    line,
+                    message: format!(
+                        "{what} on a deny-listed steady-state file allocates per call — \
+                         {instead}, or waive a warm-up/cold-path allocation with the reason"
+                    ),
+                });
+            }
         }
     }
 }
@@ -559,6 +610,28 @@ mod tests {
         let pf: Vec<_> = v.iter().filter(|v| v.rule == "panic_freedom").collect();
         assert_eq!(pf.len(), 4, "{pf:?}");
         assert!(pf.iter().all(|v| v.line <= 5));
+    }
+
+    #[test]
+    fn hot_path_alloc_catches_allocations_and_skips_lookalikes() {
+        let src = "fn f(v: &[u32]) {\n    let a = Vec::new();\n    let b = vec![1, 2];\n    let c = v.to_vec();\n    let t = Tensor::zeros(&[2]);\n    let d = x.clone();\n    let ok = Arc::clone(&x);\n    let ok2 = it.cloned().collect::<Vec<_>>();\n    let ok3 = Vec::with_capacity(4);\n    my_vec!(9);\n    // a comment saying vec![…] is fine\n}\n#[cfg(test)]\nmod tests {\n    fn t() { let z = Vec::new(); }\n}\n";
+        let f = scan(src, false);
+        let cfg = Config {
+            hot_path_files: vec!["crates/core/src/prepared.rs".to_string()],
+            ..Config::default()
+        };
+        let v = check_file(&ctx("crates/core/src/prepared.rs", FileKind::Lib), &f, &cfg);
+        let h: Vec<_> = v.iter().filter(|v| v.rule == "hot_path_alloc").collect();
+        assert_eq!(h.len(), 5, "{h:?}");
+        assert_eq!(
+            h.iter().map(|v| v.line).collect::<Vec<_>>(),
+            [2, 3, 4, 5, 6],
+            "UFCS Arc::clone, .cloned(), with_capacity, other macros, \
+             comments and test code must not flag"
+        );
+        // The same file off the deny-list is silent.
+        let v = check_file(&ctx("crates/core/src/other.rs", FileKind::Lib), &f, &cfg);
+        assert!(v.iter().all(|v| v.rule != "hot_path_alloc"), "{v:?}");
     }
 
     #[test]

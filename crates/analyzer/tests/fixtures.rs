@@ -21,8 +21,9 @@ use std::path::{Path, PathBuf};
 /// Marker tag → rule name.  Tags are deliberately short so no marker
 /// comment can satisfy a rule's own justification scan (`ordering:`,
 /// `SAFETY:`) or be mistaken for a waiver.
-const MARKERS: [(&str, &str); 8] = [
+const MARKERS: [(&str, &str); 9] = [
     ("seed:panic", "panic_freedom"),
+    ("seed:hotalloc", "hot_path_alloc"),
     ("seed:atomics", "atomics_ordering"),
     ("seed:lock", "lock_hygiene"),
     ("seed:unsafe", "unsafe_audit"),
@@ -189,6 +190,7 @@ fn waiver_census_counts_suppressions() {
     assert_eq!(by_reason("the line waiver must suppress").suppressed, 1);
     assert_eq!(by_reason("must cover the whole body").suppressed, 2);
     assert_eq!(by_reason("not a sync point").suppressed, 1);
+    assert_eq!(by_reason("hot-path waiver must suppress").suppressed, 1);
     assert_eq!(by_reason("facade waiver must suppress").suppressed, 1);
     assert_eq!(by_reason("must show up as unused").suppressed, 0);
     let total_suppressed: usize = analysis.waivers.iter().map(|w| w.suppressed).sum();

@@ -1,0 +1,44 @@
+//! Seeded hot-path-allocation violations.  This file is on the fixture
+//! config's `[rules.hot_path_alloc] deny_files` list; every seed-tagged
+//! line must be flagged, every untagged line must stay silent.  Not
+//! compiled — consumed only by the analyzer's fixture tests.
+
+pub fn bad_vec_new() -> Vec<u32> {
+    Vec::new() // seed:hotalloc
+}
+
+pub fn bad_vec_macro() -> Vec<u32> {
+    vec![1, 2, 3] // seed:hotalloc
+}
+
+pub fn bad_to_vec(v: &[u32]) -> Vec<u32> {
+    v.to_vec() // seed:hotalloc
+}
+
+pub fn bad_tensor_zeros() -> Tensor {
+    Tensor::zeros(&[4, 4]) // seed:hotalloc
+}
+
+pub fn bad_clone(t: &Tensor) -> Tensor {
+    t.clone() // seed:hotalloc
+}
+
+pub fn bad_chain(rows: &[Vec<u32>]) -> Vec<u32> {
+    rows.first().cloned().unwrap_or_else(|| vec![0]) // seed:hotalloc
+}
+
+pub fn waived_warm_up(rows: &mut Vec<Vec<u32>>) {
+    // naps-lint: allow(hot_path_alloc, "fixture: warm-up growth, the hot-path waiver must suppress")
+    rows.push(Vec::new()); // seed:waived
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code inside a deny-listed file is out of scope for
+    // hot_path_alloc: nothing below may be flagged.
+    #[test]
+    fn allocating_in_tests_is_fine() {
+        let v = vec![1u32, 2];
+        assert_eq!(v.to_vec().clone(), Vec::from([1, 2]));
+    }
+}

@@ -1,0 +1,38 @@
+//! Lookalike-token file: deny-listed for hot_path_alloc yet completely
+//! clean — any finding in this file is a rule false positive.
+//!
+//! Docs may mention `Vec::new()`, `vec![…]`, `.to_vec()` and
+//! `t.clone()` without being code, as this comment just did.
+
+/// A string literal full of allocating spellings, all masked by the
+/// scanner: `Vec::new()` vec![1] .to_vec() Tensor::zeros .clone().
+pub const STR_WITH_ALLOCS: &str = "Vec::new() vec![1] x.to_vec() t.clone() Tensor::zeros(&[1])";
+
+/// `Arc::clone(&x)` is the cheap refcount bump written UFCS by
+/// convention — it must not match the `.clone(` needle.
+pub fn share(x: &Arc<State>) -> Arc<State> {
+    Arc::clone(x)
+}
+
+/// `.cloned()` is an iterator adapter, not `.clone(`; `with_capacity`
+/// and `collect` are deliberate one-time reservations, not needles.
+pub fn reserve(xs: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(xs.len());
+    out.extend(xs.iter().cloned());
+    out
+}
+
+/// Identifiers that merely *contain* needle spellings stay silent.
+pub fn to_vec_len(my_vec_new: usize) -> usize {
+    my_vec!(my_vec_new)
+}
+
+#[cfg(test)]
+mod tests {
+    // Allocation in test code is always fine, deny-listed or not.
+    #[test]
+    fn test_allocations_do_not_flag() {
+        let v = vec![1u32].to_vec();
+        assert_eq!(v.clone(), Vec::new().into_iter().chain(v.iter().cloned()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,162 @@
+//! The allocation-free prepared forward pass: what pre-packed weights
+//! and reused scratch buy over the allocating per-call path.
+//!
+//! Three groups on the shared serving fixture, equivalence asserted
+//! before anything is timed (a fast wrong path must not look like a
+//! win):
+//!
+//! * `forward/gemm` — packed [`PackedWeights`] GEMM vs. the per-call
+//!   `matmul` on the fixture's layer shapes (the same blocked kernel
+//!   underneath; the delta is allocation + packing only).
+//! * `forward/observe` — the full serving front half per micro-batch
+//!   size: [`FrozenLayeredMonitor::observe_batch_prepared`] with a
+//!   warmed [`PreparedObserver`] vs. the allocating `observe_batch`.
+//! * `forward/layers` — marginal prepared-forward cost as model depth
+//!   grows, isolating the per-layer cost of the ping-pong scratch.
+//!
+//! `results/forward.json` (the `naps-eval` `forward` binary) records
+//! the same comparison with explicit QPS and an allocation census, and
+//! hard-gates zero steady-state allocations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naps_bench::serving_fixture;
+use naps_core::prepared::PreparedObserver;
+use naps_nn::{Dense, Layer, ModelSnapshot, Relu, Sequential};
+use naps_serve::{FrozenLayeredMonitor, FrozenMonitor};
+use naps_tensor::{PackedWeights, Tensor};
+
+const CLASSES: usize = 6;
+const PROBES: usize = 256;
+const BATCHES: [usize; 3] = [1, 16, 64];
+
+/// Packed vs. per-call GEMM on the serving fixture's layer shapes.
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward/gemm");
+    for &(m, k, n) in &[(16usize, 16usize, 96usize), (16, 96, 48), (16, 48, 6)] {
+        let x = Tensor::from_vec(
+            vec![m, k],
+            (0..m * k).map(|i| (i as f32 * 0.13).sin()).collect(),
+        );
+        let w = Tensor::from_vec(
+            vec![k, n],
+            (0..k * n).map(|i| (i as f32 * 0.29).cos()).collect(),
+        );
+        let packed = PackedWeights::pack(&w);
+        let mut out = Tensor::default();
+        // The packed path must be bit-identical before it is timed.
+        packed.matmul_into(&x, &mut out);
+        assert_eq!(out, x.matmul(&w), "packed GEMM diverged at {m}x{k}x{n}");
+        group.bench_with_input(
+            BenchmarkId::new("per-call", format!("{m}x{k}x{n}")),
+            &x,
+            |b, x| b.iter(|| x.matmul(&w)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("packed-into", format!("{m}x{k}x{n}")),
+            &x,
+            |b, x| b.iter(|| packed.matmul_into(x, &mut out)),
+        );
+    }
+    group.finish();
+}
+
+/// The serving front half: allocating observe vs. warmed prepared
+/// observer, per micro-batch size.
+fn bench_observe(c: &mut Criterion) {
+    let (monitor, mut model, probes) = serving_fixture(CLASSES, PROBES, 42);
+    let frozen = FrozenLayeredMonitor::from_single(FrozenMonitor::freeze(&monitor));
+    let snapshot = ModelSnapshot::capture(&model).expect("serving fixture is an MLP");
+    let prepared = snapshot.prepare(frozen.plan());
+    let mut observer = PreparedObserver::new();
+    // Equivalence before timing, across every batch size used below.
+    for batch in BATCHES {
+        for chunk in probes.chunks(batch) {
+            let want = frozen.observe_batch(&mut model, chunk);
+            let got = frozen.observe_batch_prepared(&prepared, &mut observer, chunk);
+            assert_eq!(got, &want[..], "prepared observe diverged at batch {batch}");
+        }
+    }
+    let mut group = c.benchmark_group("forward/observe");
+    for batch in BATCHES {
+        group.bench_with_input(
+            BenchmarkId::new("fresh-alloc", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let mut served = 0usize;
+                    for chunk in probes.chunks(batch) {
+                        served += frozen.observe_batch(&mut model, chunk).len();
+                    }
+                    served
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scratch-reuse", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let mut served = 0usize;
+                    for chunk in probes.chunks(batch) {
+                        served += frozen
+                            .observe_batch_prepared(&prepared, &mut observer, chunk)
+                            .len();
+                    }
+                    served
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Marginal per-layer cost of the prepared forward: deterministic MLPs
+/// of growing depth, one ping-pong step per extra Dense+ReLU block.
+fn bench_layers(c: &mut Criterion) {
+    let dense = |inw: usize, outw: usize, seed: f32| {
+        Dense::from_parts(
+            Tensor::from_vec(
+                vec![inw, outw],
+                (0..inw * outw)
+                    .map(|i| ((i as f32 + seed) * 0.37).sin())
+                    .collect(),
+            ),
+            Tensor::from_vec(
+                vec![outw],
+                (0..outw)
+                    .map(|i| ((i as f32 + seed) * 0.19).cos())
+                    .collect(),
+            ),
+        )
+    };
+    let batch = Tensor::from_vec(
+        vec![16, 32],
+        (0..16 * 32).map(|i| (i as f32 * 0.11).sin()).collect(),
+    );
+    let mut group = c.benchmark_group("forward/layers");
+    for blocks in [1usize, 2, 4, 8] {
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        for d in 0..blocks {
+            layers.push(Box::new(dense(32, 32, d as f32)));
+            layers.push(Box::new(Relu::new()));
+        }
+        layers.push(Box::new(dense(32, CLASSES, 99.0)));
+        let model = Sequential::new(layers);
+        let snapshot = ModelSnapshot::capture(&model).expect("MLP captures");
+        // Observe the last ReLU, as the paper's close-to-output monitor does.
+        let plan = naps_core::batch::ObservationPlan::new(vec![2 * blocks - 1]);
+        let prepared = snapshot.prepare(&plan);
+        let mut scratch = naps_core::batch::ForwardScratch::new();
+        let mut observed = Vec::new();
+        group.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, _| {
+            b.iter(|| {
+                prepared.forward_observe_into(&batch, &mut scratch, &mut observed);
+                scratch.logits().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_observe, bench_layers);
+criterion_main!(benches);

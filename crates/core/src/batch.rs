@@ -23,7 +23,7 @@ use crate::selection::NeuronSelection;
 use naps_nn::Sequential;
 use naps_tensor::Tensor;
 
-pub use naps_nn::ObservationPlan;
+pub use naps_nn::{ForwardScratch, ObservationPlan, PreparedModel};
 
 /// Packs per-input rows into one `[n, feat]` batch tensor.
 ///
@@ -31,13 +31,26 @@ pub use naps_nn::ObservationPlan;
 ///
 /// Panics if `inputs` is empty or the inputs have inconsistent widths.
 pub fn pack_batch(inputs: &[Tensor]) -> Tensor {
+    let mut out = Tensor::default();
+    pack_batch_into(inputs, &mut out);
+    out
+}
+
+/// Like [`pack_batch`], but writes into the caller-provided `out` tensor
+/// (resized in place; allocation-free once its capacity has reached the
+/// high-water batch size).
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or the inputs have inconsistent widths.
+pub fn pack_batch_into(inputs: &[Tensor], out: &mut Tensor) {
     let feat = inputs[0].len();
-    let mut data = Vec::with_capacity(inputs.len() * feat);
-    for t in inputs {
+    out.resize_in_place(&[inputs.len(), feat]);
+    let data = out.data_mut();
+    for (i, t) in inputs.iter().enumerate() {
         assert_eq!(t.len(), feat, "inconsistent input widths");
-        data.extend_from_slice(t.data());
+        data[i * feat..(i + 1) * feat].copy_from_slice(t.data());
     }
-    Tensor::from_vec(vec![inputs.len(), feat], data)
 }
 
 /// Index of the largest logit (first wins on ties), i.e. `dec(in)`.
@@ -53,7 +66,11 @@ pub fn argmax(row: &[f32]) -> usize {
 
 /// One observed batch: per-row predicted classes plus the retained
 /// activations of every planned layer.
-#[derive(Debug, Clone)]
+///
+/// The struct is reusable storage: the prepared serving path refills one
+/// `ObservedBatch` per worker in place via [`ObservedBatch::refill`], so
+/// steady-state micro-batches allocate nothing.
+#[derive(Debug, Clone, Default)]
 pub struct ObservedBatch {
     /// Per-row `dec(in)` (argmax of the logits).
     pub predicted: Vec<usize>,
@@ -61,6 +78,22 @@ pub struct ObservedBatch {
     /// `plan.layers()[i]` — index monitored layers via
     /// [`ObservationPlan::position`].
     pub observed: Vec<Tensor>,
+}
+
+impl ObservedBatch {
+    /// The allocation-free counterpart of [`forward_observe_plan`]: runs
+    /// the prepared model on a packed `[n, feat]` batch, writing the
+    /// planned activations and per-row predictions into this struct's
+    /// reused storage.  Bit-identical to the allocating path (the
+    /// prepared forward pins this; `argmax` is shared verbatim).
+    pub fn refill(&mut self, model: &PreparedModel, batch: &Tensor, scratch: &mut ForwardScratch) {
+        model.forward_observe_into(batch, scratch, &mut self.observed);
+        self.predicted.clear();
+        let rows = batch.shape()[0];
+        for r in 0..rows {
+            self.predicted.push(argmax(scratch.logits().row(r)));
+        }
+    }
 }
 
 /// Runs one forward pass over a packed `[n, feat]` batch, keeping only

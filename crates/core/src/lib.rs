@@ -77,6 +77,7 @@ mod monitor;
 mod multilayer;
 mod ordering;
 mod pattern;
+pub mod prepared;
 mod refined;
 mod selection;
 mod stats;

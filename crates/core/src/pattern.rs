@@ -73,6 +73,30 @@ impl Pattern {
         p
     }
 
+    /// In-place counterpart of [`Pattern::from_selected_activations`]:
+    /// refills this pattern from `values[indices]`, reusing the word
+    /// buffer when the width already matches (the steady-state serving
+    /// case — no allocation then).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn refill_from_selected_activations(&mut self, values: &[f32], indices: &[usize]) {
+        if self.len != indices.len() {
+            *self = Pattern::from_selected_activations(values, indices);
+            return;
+        }
+        for w in &mut self.words {
+            *w = 0;
+        }
+        for (j, &i) in indices.iter().enumerate() {
+            assert!(i < values.len(), "neuron index {i} out of range");
+            if values[i] > 0.0 {
+                self.words[j / 64] |= 1 << (j % 64);
+            }
+        }
+    }
+
     /// Number of monitored neurons.
     #[inline]
     pub fn len(&self) -> usize {

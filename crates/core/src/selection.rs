@@ -148,6 +148,22 @@ impl NeuronSelection {
         );
         Pattern::from_selected_activations(activations, &self.indices)
     }
+
+    /// In-place counterpart of [`NeuronSelection::pattern_from`]: refills
+    /// `out` from `activations`, reusing its word buffer when the width
+    /// already matches (allocation-free on the steady-state serving path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activations.len() != layer_width`.
+    pub fn pattern_into(&self, activations: &[f32], out: &mut Pattern) {
+        assert_eq!(
+            activations.len(),
+            self.layer_width,
+            "activation width does not match selection's layer width"
+        );
+        out.refill_from_selected_activations(activations, &self.indices);
+    }
 }
 
 #[cfg(test)]
@@ -229,5 +245,18 @@ mod tests {
     fn pattern_from_checks_width() {
         let s = NeuronSelection::all(3);
         let _ = s.pattern_from(&[1.0]);
+    }
+
+    #[test]
+    fn pattern_into_matches_pattern_from() {
+        let s = NeuronSelection::from_indices(vec![0, 2, 3], 4);
+        let acts = [[1.0f32, -1.0, 0.0, 2.0], [-1.0, 3.0, 1.0, 0.0]];
+        // A reused (and initially wrong-width) pattern must converge to
+        // the same bits as the allocating path on every refill.
+        let mut out = Pattern::zeros(1);
+        for a in &acts {
+            s.pattern_into(a, &mut out);
+            assert_eq!(out, s.pattern_from(a));
+        }
     }
 }

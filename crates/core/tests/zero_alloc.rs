@@ -1,0 +1,135 @@
+//! Steady-state allocation regression test for the prepared observer.
+//!
+//! Installs a counting global allocator (each integration test is its
+//! own binary, so the allocator is private to this test) and asserts
+//! that a warmed [`PreparedObserver`] performs **zero** heap
+//! allocations across many consecutive micro-batches — the invariant
+//! the `forward` eval gates end to end and the `hot_path_alloc`
+//! analyzer rule guards textually.
+
+use naps_core::batch::ObservationPlan;
+use naps_core::prepared::PreparedObserver;
+use naps_core::NeuronSelection;
+use naps_nn::{Dense, Layer, ModelSnapshot, Relu, Sequential};
+use naps_tensor::Tensor;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation event while delegating to [`System`].
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: every method delegates verbatim to the System allocator,
+// which upholds the GlobalAlloc contract; the counter is a Relaxed
+// atomic add with no other side effect.
+unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: counting wrapper around System::alloc; the caller's contract is forwarded unchanged.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // ordering: relaxed — monotone event counter, read while the
+        // measured region is single-threaded.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout contract as our own caller's.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: direct delegation to System::dealloc; the caller's contract is forwarded unchanged.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: ptr/layout come from a matching alloc on System.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: counting wrapper around System::realloc; the caller's contract is forwarded unchanged.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // ordering: relaxed — monotone event counter (see alloc).
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as our own caller's.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    // SAFETY: counting wrapper around System::alloc_zeroed; the caller's contract is forwarded unchanged.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // ordering: relaxed — monotone event counter (see alloc).
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout contract as our own caller's.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// A deterministic MLP built from explicit parts — no RNG, no training,
+/// so the test allocates nothing surprising while constructing it.
+fn model() -> Sequential {
+    let dense = |inw: usize, outw: usize, seed: f32| {
+        Dense::from_parts(
+            Tensor::from_vec(
+                vec![inw, outw],
+                (0..inw * outw)
+                    .map(|i| ((i as f32 + seed) * 0.37).sin())
+                    .collect(),
+            ),
+            Tensor::from_vec(
+                vec![outw],
+                (0..outw)
+                    .map(|i| ((i as f32 + seed) * 0.19).cos())
+                    .collect(),
+            ),
+        )
+    };
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(dense(6, 16, 0.0)),
+        Box::new(Relu::new()),
+        Box::new(dense(16, 8, 5.0)),
+        Box::new(Relu::new()),
+        Box::new(dense(8, 3, 2.0)),
+    ];
+    Sequential::new(layers)
+}
+
+fn probes(n: usize) -> Vec<Tensor> {
+    (0..n)
+        .map(|p| {
+            Tensor::from_vec(
+                vec![6],
+                (0..6).map(|i| ((p * 6 + i) as f32 * 0.23).sin()).collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn warmed_observer_allocates_nothing_in_steady_state() {
+    let snapshot = ModelSnapshot::capture(&model()).expect("MLP captures");
+    let plan = ObservationPlan::new(vec![1, 3]);
+    let prepared = snapshot.prepare(&plan);
+    let sel1 = NeuronSelection::all(16);
+    let sel3 = NeuronSelection::from_indices(vec![0, 3, 6], 8);
+    let taps = [(1usize, &sel1), (3usize, &sel3)];
+    let mut observer = PreparedObserver::new();
+    let inputs = probes(8);
+
+    // Warm-up: grow every buffer to its high-water shape, including the
+    // largest micro-batch this test will serve.
+    for _ in 0..3 {
+        std::hint::black_box(observer.observe(&prepared, &inputs, taps.iter().copied()));
+    }
+
+    // Steady state: many consecutive micro-batches, including smaller
+    // ones (shrinking must reuse, never reallocate), with the exact
+    // allocation count pinned at zero.
+    let before = ALLOCATIONS.load(Ordering::Relaxed); // ordering: relaxed — quiescent read
+    for round in 0..100 {
+        let take = [8usize, 3, 1, 5][round % 4];
+        let rows = observer.observe(&prepared, &inputs[..take], taps.iter().copied());
+        assert_eq!(rows.len(), take);
+        std::hint::black_box(rows);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed); // ordering: relaxed — quiescent read
+    assert_eq!(
+        after - before,
+        0,
+        "a warmed PreparedObserver must not touch the allocator in steady state"
+    );
+}

@@ -29,6 +29,8 @@ pub struct ConditionResult {
 /// The full case-study result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CaseStudy {
+    /// Version of this JSON result shape (bump on breaking change).
+    pub schema_version: u32,
     /// Per-condition outcomes; index 0 is nominal.
     pub conditions: Vec<ConditionResult>,
 }
@@ -82,7 +84,10 @@ pub fn run(cfg: &RunConfig) -> CaseStudy {
     rule(56);
     println!("(expected shape: shifted conditions warn more than nominal)");
 
-    let result = CaseStudy { conditions };
+    let result = CaseStudy {
+        schema_version: 1,
+        conditions,
+    };
     write_json(&cfg.out_dir, "case_study", &result);
     result
 }

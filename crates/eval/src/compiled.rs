@@ -64,6 +64,8 @@ impl FastPathCounts {
 /// The full compiled-vs-walked comparison plus fast-path census.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CompiledEval {
+    /// Version of this JSON result shape (bump on breaking change).
+    pub schema_version: u32,
     /// Judged `(predicted, pattern)` pairs per timed pass.
     pub workload: usize,
     /// Monitored zones in the frozen fixture monitor.
@@ -353,6 +355,7 @@ pub fn run(cfg: &RunConfig) -> CompiledEval {
     );
 
     let result = CompiledEval {
+        schema_version: 1,
         workload: pairs.len(),
         monitored_zones,
         gamma: frozen.gamma(),

@@ -43,6 +43,8 @@ pub struct DriftRow {
 /// The full drift experiment result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Drift {
+    /// Version of this JSON result shape (bump on breaking change).
+    pub schema_version: u32,
     /// Baseline (clean validation) out-of-pattern rate the detector was
     /// calibrated with.
     pub baseline_rate: f64,
@@ -174,6 +176,7 @@ pub fn run(cfg: &RunConfig) -> Drift {
     }
 
     let result = Drift {
+        schema_version: 1,
         baseline_rate: baseline,
         alarm_rate: config.alarm_rate,
         rows,

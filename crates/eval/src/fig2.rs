@@ -33,6 +33,8 @@ pub struct SpectrumPoint {
 /// The Figure 2 result: the spectrum plus chosen γ values.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig2 {
+    /// Version of this JSON result shape (bump on breaking change).
+    pub schema_version: u32,
     /// Spectrum points for γ = 0.. until saturation.
     pub spectrum: Vec<SpectrumPoint>,
     /// γ chosen by the "monitor mostly silent" policy (≤ 2 % warnings).
@@ -100,6 +102,7 @@ pub fn run(cfg: &RunConfig) -> Fig2 {
     println!("(small γ = α1-like, no generalization; large γ = α3-like, over-generalization)");
 
     let fig = Fig2 {
+        schema_version: 1,
         spectrum,
         gamma_for_silence,
         gamma_for_precision,

@@ -1,0 +1,188 @@
+//! The allocation-free serving forward pass vs. the allocating baseline.
+//!
+//! PR 10's tentpole makes `check_batch`'s front half — pack the batch,
+//! run the plan-observed forward pass, extract per-row patterns —
+//! compute-bound instead of allocator-bound: weights are pre-packed once
+//! at freeze/publish/load ([`naps_nn::PreparedModel`]), and each engine
+//! worker owns a [`naps_core::prepared::PreparedObserver`] whose batch /
+//! carry / pattern storage is refilled in place across micro-batches.
+//!
+//! This experiment drives both paths over the shared serving fixture at
+//! the engine's micro-batch sizes, measures rows per second before and
+//! after, counts heap allocations per micro-batch on each path via the
+//! driving binary's counting global allocator, and verifies the prepared
+//! rows are **identical** to the allocating path's on the whole
+//! workload.  It writes `results/forward.json`; the driving binary exits
+//! non-zero when the prepared path allocates at all in steady state,
+//! when the single-row speedup falls below 1.3x, or on any divergence.
+
+use crate::config::RunConfig;
+use crate::report::{rule, write_json};
+use naps_bench::serving_fixture;
+use naps_core::prepared::PreparedObserver;
+use naps_nn::ModelSnapshot;
+use naps_serve::{FrozenLayeredMonitor, FrozenMonitor};
+use naps_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One micro-batch size, timed on both paths over the same workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForwardRow {
+    /// Rows per micro-batch.
+    pub batch_size: usize,
+    /// Allocating-path rows per second (`observe_batch`).
+    pub allocating_qps: f64,
+    /// Prepared-path rows per second (`observe_batch_prepared`).
+    pub prepared_qps: f64,
+    /// `prepared_qps / allocating_qps`.
+    pub speedup: f64,
+    /// Heap allocations per micro-batch on the allocating path.
+    pub allocating_allocs_per_batch: f64,
+    /// Heap allocations per micro-batch on the warmed prepared path
+    /// (the gated column: must be exactly zero).
+    pub prepared_allocs_per_batch: f64,
+    /// Whether the prepared rows matched the allocating path's exactly.
+    pub identical: bool,
+}
+
+/// The full before/after comparison the binary gates on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForwardEval {
+    /// Version of this JSON result shape (bump on breaking change).
+    pub schema_version: u32,
+    /// Probe rows driven through each path per timed pass.
+    pub workload: usize,
+    /// One row per micro-batch size.
+    pub rows: Vec<ForwardRow>,
+    /// Total prepared-path allocations across every steady-state timed
+    /// micro-batch (the hard gate: zero).
+    pub steady_state_allocs: u64,
+    /// The gated speedup: micro-batches of one row, the latency-bound
+    /// serving case where the allocator dominates the forward pass.
+    pub single_row_speedup: f64,
+    /// Whether every batch size agreed on every row.
+    pub all_identical: bool,
+}
+
+fn time_rows_per_sec<T>(rows: usize, repeats: usize, mut f: impl FnMut() -> T) -> f64 {
+    let start = Instant::now();
+    for _ in 0..repeats {
+        std::hint::black_box(f());
+    }
+    (repeats * rows) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Runs the allocating-vs-prepared comparison and writes
+/// `results/forward.json`.  `alloc_count` reads the driving binary's
+/// counting global allocator (monotone allocation events); the library
+/// cannot own the `#[global_allocator]` itself.
+pub fn run(cfg: &RunConfig, alloc_count: fn() -> u64) -> ForwardEval {
+    println!("== Allocation-free prepared forward pass vs allocating baseline ==");
+    let (probes_n, repeats) = if cfg.full { (1920, 9) } else { (480, 4) };
+    let (monitor, mut model, probes) = serving_fixture(6, probes_n, cfg.seed);
+    let frozen = FrozenLayeredMonitor::from_single(FrozenMonitor::freeze(&monitor));
+
+    // The cold half, once: capture the frozen weights and pre-pack them
+    // against the monitor's observation plan — exactly what the engine
+    // does per replica at construction/publish/load.
+    let snapshot = ModelSnapshot::capture(&model).expect("the serving fixture is an MLP");
+    let prepared = snapshot.prepare(frozen.plan());
+    let mut observer = PreparedObserver::new();
+
+    let batch_sizes = [1usize, 4, 16];
+    let mut rows = Vec::new();
+    let mut steady_state_allocs = 0u64;
+    rule(78);
+    println!(
+        "{:>6} {:>14} {:>14} {:>8} {:>12} {:>12} {:>6}",
+        "batch", "alloc qps", "prepared qps", "speedup", "allocs/b", "prep allocs", "same"
+    );
+    rule(78);
+    for &bs in &batch_sizes {
+        let batches: Vec<&[Tensor]> = probes.chunks(bs).collect();
+        let n_batches = batches.len();
+
+        // Equivalence first: every prepared row must equal the
+        // allocating path's on the whole workload.
+        let mut identical = true;
+        for chunk in &batches {
+            let want = frozen.observe_batch(&mut model, chunk);
+            let got = frozen.observe_batch_prepared(&prepared, &mut observer, chunk);
+            if got != &want[..] {
+                identical = false;
+            }
+        }
+
+        // Allocation census: allocations per micro-batch on each path.
+        // The prepared observer is already warm from the equivalence
+        // sweep above, so everything it does now is steady state.
+        let before = alloc_count();
+        for chunk in &batches {
+            std::hint::black_box(frozen.observe_batch(&mut model, chunk));
+        }
+        let allocating_allocs = alloc_count() - before;
+        let before = alloc_count();
+        for chunk in &batches {
+            std::hint::black_box(frozen.observe_batch_prepared(&prepared, &mut observer, chunk));
+        }
+        let prepared_allocs = alloc_count() - before;
+        steady_state_allocs += prepared_allocs;
+
+        let allocating_qps = time_rows_per_sec(probes.len(), repeats, || {
+            batches
+                .iter()
+                .map(|chunk| frozen.observe_batch(&mut model, chunk).len())
+                .sum::<usize>()
+        });
+        let prepared_qps = time_rows_per_sec(probes.len(), repeats, || {
+            batches
+                .iter()
+                .map(|chunk| {
+                    frozen
+                        .observe_batch_prepared(&prepared, &mut observer, chunk)
+                        .len()
+                })
+                .sum::<usize>()
+        });
+        let speedup = prepared_qps / allocating_qps;
+        let allocating_allocs_per_batch = allocating_allocs as f64 / n_batches as f64;
+        let prepared_allocs_per_batch = prepared_allocs as f64 / n_batches as f64;
+        println!(
+            "{bs:>6} {allocating_qps:>14.0} {prepared_qps:>14.0} {speedup:>8.2} \
+             {allocating_allocs_per_batch:>12.1} {prepared_allocs_per_batch:>12.1} \
+             {identical:>6}"
+        );
+        rows.push(ForwardRow {
+            batch_size: bs,
+            allocating_qps,
+            prepared_qps,
+            speedup,
+            allocating_allocs_per_batch,
+            prepared_allocs_per_batch,
+            identical,
+        });
+    }
+    rule(78);
+
+    let single_row_speedup = rows
+        .iter()
+        .find(|r| r.batch_size == 1)
+        .map_or(0.0, |r| r.speedup);
+    let all_identical = rows.iter().all(|r| r.identical);
+    println!(
+        "[single-row speedup {single_row_speedup:.2}x, steady-state prepared \
+         allocations {steady_state_allocs}, all identical: {all_identical}]"
+    );
+
+    let result = ForwardEval {
+        schema_version: 1,
+        workload: probes.len(),
+        rows,
+        steady_state_allocs,
+        single_row_speedup,
+        all_identical,
+    };
+    write_json(&cfg.out_dir, "forward", &result);
+    result
+}

@@ -45,6 +45,8 @@ pub struct KindLatency {
 /// The full gateway soak record.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GatewaySoak {
+    /// Version of this JSON result shape (bump on breaking change).
+    pub schema_version: u32,
     /// Concurrent client threads in the soak phase.
     pub client_threads: usize,
     /// Requests per thread in the soak phase.
@@ -295,6 +297,7 @@ pub fn run(cfg: &RunConfig) -> GatewaySoak {
     rule(60);
 
     let result = GatewaySoak {
+        schema_version: 1,
         client_threads: threads,
         requests_per_thread: per_thread,
         total_requests: (threads * per_thread) as u64,

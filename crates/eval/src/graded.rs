@@ -125,6 +125,8 @@ pub struct DriftSummary {
 /// The full graded-triage result (`results/graded.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GradedTriage {
+    /// Version of this JSON result shape (bump on breaking change).
+    pub schema_version: u32,
     /// The monitor's γ.
     pub gamma: u32,
     /// The graded query budget (γ + 1, within the ≤ γ + 2 bound).
@@ -428,6 +430,7 @@ pub fn run(cfg: &RunConfig) -> GradedTriage {
 
     engine.shutdown();
     let result = GradedTriage {
+        schema_version: 1,
         gamma,
         budget,
         histograms,

@@ -123,6 +123,8 @@ pub struct ObservationWin {
 /// The full layered-monitoring result (`results/layered.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LayeredEval {
+    /// Version of this JSON result shape (bump on breaking change).
+    pub schema_version: u32,
     /// Hamming budget γ of every monitored layer.
     pub gamma: u32,
     /// The monitored layers, deepest (baseline) first.
@@ -400,6 +402,7 @@ pub fn run(cfg: &RunConfig) -> LayeredEval {
     };
 
     let result = LayeredEval {
+        schema_version: 1,
         gamma,
         layers,
         rows,

@@ -57,6 +57,8 @@ pub struct OnlinePhase {
 /// The full online-adaptation trajectory.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OnlineAdaptation {
+    /// Version of this JSON result shape (bump on breaking change).
+    pub schema_version: u32,
     /// Served segments in order.
     pub phases: Vec<OnlinePhase>,
     /// Operator-confirmed patterns admitted by `enrich` (new seeds).
@@ -328,6 +330,7 @@ pub fn run(cfg: &RunConfig) -> OnlineAdaptation {
     let stats = engine.shutdown();
     let rate_dropped = shifted_rate_after < shifted_rate_before;
     let result = OnlineAdaptation {
+        schema_version: 1,
         phases,
         enriched_patterns,
         dirty_classes,

@@ -46,6 +46,8 @@ pub struct RefinementRow {
 /// The full refinement-ablation result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Refinement {
+    /// Version of this JSON result shape (bump on breaking change).
+    pub schema_version: u32,
     /// Binary monitor's Hamming budget.
     pub gamma: u32,
     /// Validation misclassification rate of the underlying network.
@@ -232,6 +234,7 @@ pub fn run(cfg: &RunConfig) -> Refinement {
     ));
 
     let result = Refinement {
+        schema_version: 1,
         gamma,
         misclassification_rate: miscls_total as f64 / total.max(1) as f64,
         rows,

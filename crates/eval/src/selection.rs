@@ -47,6 +47,8 @@ pub struct SelectionRow {
 /// The full selection-ablation result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Selection {
+    /// Version of this JSON result shape (bump on breaking change).
+    pub schema_version: u32,
     /// Monitored fraction of the 84-neuron layer (0.25, as in the paper).
     pub fraction: f64,
     /// Per-strategy, per-γ rows.
@@ -138,7 +140,11 @@ pub fn run(cfg: &RunConfig) -> Selection {
         }
     }
 
-    let result = Selection { fraction, rows };
+    let result = Selection {
+        schema_version: 1,
+        fraction,
+        rows,
+    };
     print_table(&result);
     write_json(&cfg.out_dir, "selection", &result);
     result

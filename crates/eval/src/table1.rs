@@ -27,6 +27,8 @@ pub struct Table1Row {
 /// The full Table I result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table1 {
+    /// Version of this JSON result shape (bump on breaking change).
+    pub schema_version: u32,
     /// Both rows.
     pub rows: Vec<Table1Row>,
 }
@@ -79,7 +81,10 @@ pub fn run(cfg: &RunConfig) -> Table1 {
     rule(78);
     println!("(paper: net 1 = 99.34%/98.81%, net 2 = 99.98%/96.73%)");
 
-    let table = Table1 { rows };
+    let table = Table1 {
+        schema_version: 1,
+        rows,
+    };
     write_json(&cfg.out_dir, "table1", &table);
     table
 }

@@ -43,6 +43,8 @@ pub struct Table2Block {
 /// The full Table II result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table2 {
+    /// Version of this JSON result shape (bump on breaking change).
+    pub schema_version: u32,
     /// Blocks for network 1 and network 2.
     pub blocks: Vec<Table2Block>,
 }
@@ -155,6 +157,7 @@ pub fn run(cfg: &RunConfig) -> Table2 {
     );
 
     let table = Table2 {
+        schema_version: 1,
         blocks: vec![block1, block2],
     };
     print_table(&table);

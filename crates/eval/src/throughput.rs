@@ -62,6 +62,8 @@ pub struct CompiledVsWalkedRow {
 /// The full throughput matrix plus environment context.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Throughput {
+    /// Version of this JSON result shape (bump on breaking change).
+    pub schema_version: u32,
     /// Hardware parallelism the run had available.
     pub available_parallelism: usize,
     /// Hardware threads, duplicated under the name downstream tooling
@@ -278,6 +280,7 @@ pub fn run(cfg: &RunConfig) -> Throughput {
     }];
 
     let result = Throughput {
+        schema_version: 1,
         available_parallelism: parallelism,
         hardware_threads: parallelism,
         workload: probes.len(),

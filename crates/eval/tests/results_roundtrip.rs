@@ -10,6 +10,7 @@ use naps_eval::table2::{Table2, Table2Block, Table2Row};
 #[test]
 fn table1_roundtrips() {
     let t = Table1 {
+        schema_version: 1,
         rows: vec![Table1Row {
             id: 1,
             classifier: "MNIST".into(),
@@ -23,6 +24,7 @@ fn table1_roundtrips() {
     let json = serde_json::to_string(&t).expect("serialize");
     let back: Table1 = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(back.rows.len(), 1);
+    assert_eq!(back.schema_version, 1);
     assert_eq!(back.rows[0].classifier, "MNIST");
     assert!((back.rows[0].train_accuracy - 0.9983).abs() < 1e-12);
 }
@@ -30,6 +32,7 @@ fn table1_roundtrips() {
 #[test]
 fn table2_roundtrips() {
     let t = Table2 {
+        schema_version: 1,
         blocks: vec![Table2Block {
             id: 2,
             misclassification_rate: 0.1028,
@@ -51,6 +54,7 @@ fn table2_roundtrips() {
 #[test]
 fn fig2_roundtrips() {
     let f = Fig2 {
+        schema_version: 1,
         spectrum: vec![SpectrumPoint {
             gamma: 4,
             out_of_pattern_rate: 0.016,
@@ -70,6 +74,7 @@ fn fig2_roundtrips() {
 #[test]
 fn case_study_roundtrips() {
     let c = CaseStudy {
+        schema_version: 1,
         conditions: vec![ConditionResult {
             condition: "heavy rain".into(),
             accuracy: 0.815,

@@ -1,7 +1,7 @@
 //! 2-D convolution lowered to matrix products via `im2col`.
 
 use crate::layer::{Layer, ParamGrad};
-use naps_tensor::{col2im, im2col, xavier_uniform, ConvDims, Tensor};
+use naps_tensor::{col2im, im2col_into, xavier_uniform, ConvDims, Tensor};
 use rand::Rng;
 
 /// A 2-D convolution with square kernel, stride as configured, no padding —
@@ -18,8 +18,22 @@ pub struct Conv2d {
     b: Tensor,
     grad_w: Tensor,
     grad_b: Tensor,
-    /// Cached im2col patch matrices, one per sample of the last batch.
+    /// Cached im2col patch matrices, one per sample of the last batch
+    /// (training only — inference reuses the scratch instead).
     cached_patches: Vec<Tensor>,
+    /// Reused forward-pass workspace (allocation-free after warm-up).
+    scratch: ConvScratch,
+}
+
+/// Per-layer forward scratch: the sample view, its im2col patch matrix,
+/// the GEMM output, and the `w^T` panel packed once per call instead of
+/// once per sample inside `matmul_bt`.
+#[derive(Debug, Clone, Default)]
+struct ConvScratch {
+    sample: Tensor,
+    patches: Tensor,
+    y: Tensor,
+    wt: Tensor,
 }
 
 impl Conv2d {
@@ -40,6 +54,7 @@ impl Conv2d {
             grad_w: Tensor::zeros(vec![out_c, dims.cols()]),
             grad_b: Tensor::zeros(vec![out_c]),
             cached_patches: Vec::new(),
+            scratch: ConvScratch::default(),
         }
     }
 
@@ -60,7 +75,7 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let batch = x.shape()[0];
         let in_len = self.dims.in_c * self.dims.in_h * self.dims.in_w;
         assert_eq!(
@@ -72,14 +87,19 @@ impl Layer for Conv2d {
         let rows = self.dims.rows();
         let mut out = Tensor::zeros(vec![batch, self.out_len()]);
         self.cached_patches.clear();
+        // Pack `w^T` once per call — `matmul_bt` would re-pack it per
+        // sample.  Same transpose + same GEMM, so bit-identical results.
+        self.w.transpose_into(&mut self.scratch.wt);
+        let sample_shape = [self.dims.in_c, self.dims.in_h, self.dims.in_w];
         for s in 0..batch {
-            let sample = Tensor::from_vec(
-                vec![self.dims.in_c, self.dims.in_h, self.dims.in_w],
-                x.row(s).to_vec(),
-            );
-            let patches = im2col(&sample, self.dims);
-            // [rows, cols] @ [out_c, cols]^T -> [rows, out_c]
-            let y = patches.matmul_bt(&self.w);
+            self.scratch.sample.resize_in_place(&sample_shape);
+            self.scratch.sample.data_mut().copy_from_slice(x.row(s));
+            im2col_into(&self.scratch.sample, self.dims, &mut self.scratch.patches);
+            // [rows, cols] @ [cols, out_c] -> [rows, out_c]
+            self.scratch
+                .patches
+                .matmul_into(&self.scratch.wt, &mut self.scratch.y);
+            let y = &self.scratch.y;
             let dst = out.data_mut();
             let base = s * self.out_c * rows;
             for c in 0..self.out_c {
@@ -88,7 +108,10 @@ impl Layer for Conv2d {
                     dst[base + c * rows + r] = y.at2(r, c) + bias;
                 }
             }
-            self.cached_patches.push(patches);
+            if train {
+                // Backward needs each sample's owned patch matrix.
+                self.cached_patches.push(self.scratch.patches.clone());
+            }
         }
         out
     }

@@ -49,6 +49,7 @@ mod norm;
 mod observe;
 mod optim;
 mod pool;
+mod prepared;
 mod relu;
 mod saliency;
 mod schedule;
@@ -72,6 +73,7 @@ pub use norm::BatchNorm2d;
 pub use observe::ObservationPlan;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use pool::MaxPool2d;
+pub use prepared::{ForwardScratch, PreparedModel};
 pub use relu::Relu;
 pub use saliency::{saliency_by_backward, saliency_from_output_weights, top_k_fraction};
 pub use schedule::{ConstantLr, CosineDecay, EarlyStop, LrSchedule, StepDecay};

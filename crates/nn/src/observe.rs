@@ -114,14 +114,12 @@ impl Sequential {
         let mut observed: Vec<Tensor> = Vec::with_capacity(plan.len());
         // The current activation lives either in `carry` (not observed:
         // dropped as soon as the next layer consumes it) or as the tail
-        // of `observed` (kept for the caller).
-        let mut carry: Option<Tensor> = Some(x.clone());
+        // of `observed` (kept for the caller).  Until the first layer has
+        // produced an output, the input batch is only borrowed — no
+        // upfront clone.
+        let mut carry: Option<Tensor> = None;
         for i in 0..self.len() {
-            let input = carry
-                .as_ref()
-                .or_else(|| observed.last())
-                // naps-lint: allow(typed_errors, "loop invariant: each step leaves the activation in carry or pushed onto observed, and carry starts Some(input)")
-                .expect("current activation");
+            let input = carry.as_ref().or_else(|| observed.last()).unwrap_or(x);
             let out = self.layer_mut(i).forward(input, train);
             if plan.observes(i) {
                 carry = None;
@@ -172,13 +170,11 @@ impl ModelSnapshot {
             return (Vec::new(), x.clone());
         }
         let mut observed: Vec<Tensor> = Vec::with_capacity(plan.len());
-        let mut carry: Option<Tensor> = Some(x.clone());
+        // As in the live path: the input is borrowed until the first layer
+        // produces an owned output — no upfront clone of the batch.
+        let mut carry: Option<Tensor> = None;
         for (i, layer) in self.layers.iter().enumerate() {
-            let input = carry
-                .as_ref()
-                .or_else(|| observed.last())
-                // naps-lint: allow(typed_errors, "loop invariant: each step leaves the activation in carry or pushed onto observed, and carry starts Some(input)")
-                .expect("current activation");
+            let input = carry.as_ref().or_else(|| observed.last()).unwrap_or(x);
             let out = snapshot_layer_forward(layer, input);
             if plan.observes(i) {
                 carry = None;

@@ -1,0 +1,357 @@
+//! The prepared, allocation-free snapshot inference path.
+//!
+//! [`ModelSnapshot::forward_observe_plan`] allocates a fresh output tensor
+//! per layer per call.  [`ModelSnapshot::prepare`] resolves everything
+//! that is frozen at capture time exactly once — layer kinds, `Dense`
+//! weight panels packed via [`PackedWeights`], the observation plan — and
+//! [`PreparedModel::forward_observe_into`] then runs the identical
+//! arithmetic writing into a caller-owned [`ForwardScratch`] (ping-pong
+//! carry buffers + logits) and a caller-owned observed-activation vector.
+//! After the first call has sized those buffers to the batch shape, the
+//! pass performs zero heap allocation, and every output is bit-identical
+//! to the snapshot path (the `*_into` kernels share the blocked GEMM's
+//! accumulation order, and Dropout/Flatten are exact identities).
+
+use crate::observe::ObservationPlan;
+use crate::serialize::{LayerSnapshot, ModelSnapshot};
+use naps_tensor::{PackedWeights, Tensor};
+
+/// One layer of a [`PreparedModel`]: weight- and kind-dispatch resolved at
+/// preparation time.
+#[derive(Debug, Clone)]
+enum PreparedOp {
+    /// Fully-connected layer with its weight panel packed once.
+    Dense {
+        /// The `[in, out]` panel, packed for `x @ w` products.
+        packed: PackedWeights,
+        /// Bias vector `[out]`.
+        bias: Tensor,
+    },
+    /// ReLU activation.
+    Relu,
+    /// Leaky ReLU with its slope.
+    LeakyRelu {
+        /// Negative-side slope.
+        slope: f32,
+    },
+    /// Dropout (inert at inference) and Flatten (data already flat):
+    /// exact identities, skipped entirely unless observed.
+    Identity,
+}
+
+/// Reusable per-worker workspace for [`PreparedModel::forward_observe_into`]:
+/// two ping-pong activation buffers and the logits, all resized in place.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    /// The current unobserved activation.
+    carry: Tensor,
+    /// The buffer the next layer writes into before the ping-pong swap.
+    spare: Tensor,
+    /// The final layer's output.
+    logits: Tensor,
+}
+
+impl ForwardScratch {
+    /// An empty scratch; buffers grow to their high-water shapes on first
+    /// use and are then reused allocation-free.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The logits written by the last
+    /// [`PreparedModel::forward_observe_into`] call.
+    pub fn logits(&self) -> &Tensor {
+        &self.logits
+    }
+}
+
+/// A [`ModelSnapshot`] with its frozen parts resolved for serving: packed
+/// weight panels and a fixed observation plan.
+#[derive(Debug, Clone)]
+pub struct PreparedModel {
+    ops: Vec<PreparedOp>,
+    plan: ObservationPlan,
+}
+
+impl ModelSnapshot {
+    /// Resolves the frozen half of the forward pass once: packs every
+    /// `Dense` weight panel and fixes the observation plan, so that
+    /// [`PreparedModel::forward_observe_into`] never allocates after
+    /// warm-up.  The serving publish/load path calls this exactly where it
+    /// compiles frozen zones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan names a layer `>= self.layers.len()`.
+    // naps-lint: allow-fn(hot_path_alloc, "preparation is the cold publish/load half: it allocates once so the per-request half never does")
+    pub fn prepare(&self, plan: &ObservationPlan) -> PreparedModel {
+        if let Some(deepest) = plan.max_layer() {
+            assert!(
+                deepest < self.layers.len(),
+                "plan observes layer {deepest} of a {}-layer snapshot",
+                self.layers.len()
+            );
+        }
+        let ops = self
+            .layers
+            .iter()
+            .map(|l| match l {
+                LayerSnapshot::Dense { w, b } => PreparedOp::Dense {
+                    packed: PackedWeights::pack(w),
+                    bias: b.clone(),
+                },
+                LayerSnapshot::Relu => PreparedOp::Relu,
+                LayerSnapshot::LeakyRelu { slope } => PreparedOp::LeakyRelu { slope: *slope },
+                LayerSnapshot::Dropout { .. } | LayerSnapshot::Flatten { .. } => {
+                    PreparedOp::Identity
+                }
+            })
+            .collect();
+        PreparedModel {
+            ops,
+            plan: plan.clone(),
+        }
+    }
+}
+
+impl PreparedModel {
+    /// The observation plan this model was prepared for.
+    pub fn plan(&self) -> &ObservationPlan {
+        &self.plan
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` for the empty model (logits are then the input).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The allocation-free counterpart of
+    /// [`ModelSnapshot::forward_observe_plan`]: after the call,
+    /// `observed[i]` is the output of plan layer `i` and
+    /// [`ForwardScratch::logits`] holds the logits — all bit-identical to
+    /// the snapshot path, all written into reused storage.
+    ///
+    /// `observed` is caller-owned reusable storage (e.g. the `observed`
+    /// field of a serving `ObservedBatch`); it is resized to the plan
+    /// length on first use and reused in place afterwards.
+    pub fn forward_observe_into(
+        &self,
+        x: &Tensor,
+        scratch: &mut ForwardScratch,
+        observed: &mut Vec<Tensor>,
+    ) {
+        // Warm-up only: size the observed storage to the plan.
+        if observed.len() != self.plan.len() {
+            observed.resize(self.plan.len(), Tensor::default());
+        }
+        /// Where the current activation lives: borrowed input, the carry
+        /// buffer, or an already-filled observed slot.
+        enum Src {
+            Input,
+            Carry,
+            Observed(usize),
+        }
+        let mut src = Src::Input;
+        for (i, op) in self.ops.iter().enumerate() {
+            match self.plan.position(i) {
+                Some(slot) => {
+                    match src {
+                        // Plan slots fill in ascending order, so a filled
+                        // source slot sits strictly left of `slot` and the
+                        // split borrows are disjoint.
+                        Src::Observed(j) => {
+                            let (done, rest) = observed.split_at_mut(slot);
+                            apply(op, &done[j], &mut rest[0]);
+                        }
+                        Src::Input => apply(op, x, &mut observed[slot]),
+                        Src::Carry => apply(op, &scratch.carry, &mut observed[slot]),
+                    }
+                    src = Src::Observed(slot);
+                }
+                None => {
+                    // Unobserved identities are exact no-ops: let the
+                    // current activation keep flowing.
+                    if matches!(op, PreparedOp::Identity) {
+                        continue;
+                    }
+                    match src {
+                        Src::Input => apply(op, x, &mut scratch.spare),
+                        Src::Carry => {
+                            let ForwardScratch { carry, spare, .. } = scratch;
+                            apply(op, carry, spare);
+                        }
+                        Src::Observed(j) => apply(op, &observed[j], &mut scratch.spare),
+                    }
+                    std::mem::swap(&mut scratch.carry, &mut scratch.spare);
+                    src = Src::Carry;
+                }
+            }
+        }
+        match src {
+            Src::Input => scratch.logits.copy_from(x),
+            Src::Carry => {
+                let ForwardScratch { carry, logits, .. } = scratch;
+                logits.copy_from(carry);
+            }
+            Src::Observed(j) => scratch.logits.copy_from(&observed[j]),
+        }
+    }
+}
+
+/// Inference-mode forward of one prepared layer into `out`, matching the
+/// snapshot path's `snapshot_layer_forward` arithmetic exactly (same GEMM
+/// kernel, same bias pass, same activation closures).
+fn apply(op: &PreparedOp, x: &Tensor, out: &mut Tensor) {
+    match op {
+        PreparedOp::Dense { packed, bias } => {
+            packed.matmul_into(x, out);
+            let width = packed.out_features();
+            let b = bias.data();
+            let rows = out.shape()[0];
+            let data = out.data_mut();
+            for r in 0..rows {
+                let row = &mut data[r * width..(r + 1) * width];
+                for (v, &bv) in row.iter_mut().zip(b) {
+                    *v += bv;
+                }
+            }
+        }
+        PreparedOp::Relu => map_into(x, out, |v| v.max(0.0)),
+        PreparedOp::LeakyRelu { slope } => {
+            let s = *slope;
+            map_into(x, out, move |v| if v > 0.0 { v } else { s * v });
+        }
+        PreparedOp::Identity => out.copy_from(x),
+    }
+}
+
+/// Elementwise map written into `out` (resized in place).
+fn map_into(x: &Tensor, out: &mut Tensor, f: impl Fn(f32) -> f32) {
+    out.resize_in_place(x.shape());
+    for (o, &v) in out.data_mut().iter_mut().zip(x.data()) {
+        *o = f(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::mlp;
+    use crate::sequential::Sequential;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn snap() -> ModelSnapshot {
+        let mut rng = StdRng::seed_from_u64(11);
+        ModelSnapshot::capture(&mlp(&[3, 7, 5, 2], &mut rng)).expect("MLP captures")
+    }
+
+    #[track_caller]
+    fn assert_bits_eq(got: &Tensor, want: &Tensor, what: &str) {
+        assert_eq!(got.shape(), want.shape(), "{what}: shape");
+        let same = got
+            .data()
+            .iter()
+            .zip(want.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "{what}: diverged from the snapshot path");
+    }
+
+    #[test]
+    fn prepared_matches_snapshot_bit_for_bit() {
+        let snap = snap();
+        let x = Tensor::from_vec(vec![2, 3], vec![0.3, -1.2, 0.5, 2.0, 0.1, -0.4]);
+        for layers in [vec![], vec![1], vec![3], vec![1, 3], vec![0, 2, 4], vec![4]] {
+            let plan = ObservationPlan::new(layers.clone());
+            let (want_obs, want_logits) = snap.forward_observe_plan(&x, &plan);
+            let prepared = snap.prepare(&plan);
+            let mut scratch = ForwardScratch::new();
+            let mut observed = Vec::new();
+            prepared.forward_observe_into(&x, &mut scratch, &mut observed);
+            assert_eq!(observed.len(), want_obs.len(), "{layers:?}");
+            for (got, want) in observed.iter().zip(&want_obs) {
+                assert_bits_eq(got, want, "observed");
+            }
+            assert_bits_eq(scratch.logits(), &want_logits, "logits");
+        }
+    }
+
+    #[test]
+    fn prepared_covers_every_layer_variant() {
+        use crate::dense::Dense;
+        use crate::dropout::Dropout;
+        use crate::layer::{Flatten, Layer};
+        use crate::leaky::LeakyRelu;
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Flatten::new(2)),
+            Box::new(Dense::from_parts(
+                Tensor::from_vec(vec![2, 3], vec![1., -1., 0.5, 0.25, 2., -0.75]),
+                Tensor::from_vec(vec![3], vec![0.1, -0.2, 0.3]),
+            )),
+            Box::new(LeakyRelu::new(0.1)),
+            Box::new(Dropout::new(0.4, 3)),
+            Box::new(Dense::from_parts(
+                Tensor::from_vec(vec![3, 2], vec![1., 0., -1., 2., 0.5, 0.5]),
+                Tensor::zeros(vec![2]),
+            )),
+        ];
+        let net = Sequential::new(layers);
+        let snap = ModelSnapshot::capture(&net).expect("captures");
+        let x = Tensor::from_vec(vec![2, 2], vec![0.6, -1.4, 2.2, 0.0]);
+        let plan = ObservationPlan::new(vec![0, 1, 2, 3, 4]);
+        let (want_obs, want_logits) = snap.forward_observe_plan(&x, &plan);
+        let prepared = snap.prepare(&plan);
+        let mut scratch = ForwardScratch::new();
+        let mut observed = Vec::new();
+        prepared.forward_observe_into(&x, &mut scratch, &mut observed);
+        for (got, want) in observed.iter().zip(&want_obs) {
+            assert_bits_eq(got, want, "observed");
+        }
+        assert_bits_eq(scratch.logits(), &want_logits, "logits");
+    }
+
+    #[test]
+    fn scratch_survives_changing_batch_sizes() {
+        let snap = snap();
+        let plan = ObservationPlan::new(vec![1, 3]);
+        let prepared = snap.prepare(&plan);
+        let mut scratch = ForwardScratch::new();
+        let mut observed = Vec::new();
+        for batch in [4usize, 1, 3, 2] {
+            let x = Tensor::from_vec(
+                vec![batch, 3],
+                (0..batch * 3).map(|i| (i as f32 * 0.31).sin()).collect(),
+            );
+            let (want_obs, want_logits) = snap.forward_observe_plan(&x, &plan);
+            prepared.forward_observe_into(&x, &mut scratch, &mut observed);
+            for (got, want) in observed.iter().zip(&want_obs) {
+                assert_bits_eq(got, want, "observed");
+            }
+            assert_bits_eq(scratch.logits(), &want_logits, "logits");
+        }
+    }
+
+    #[test]
+    fn empty_model_returns_input_as_logits() {
+        let snap = ModelSnapshot { layers: Vec::new() };
+        let prepared = snap.prepare(&ObservationPlan::new(vec![]));
+        assert!(prepared.is_empty());
+        let x = Tensor::ones(vec![1, 3]);
+        let mut scratch = ForwardScratch::new();
+        let mut observed = Vec::new();
+        prepared.forward_observe_into(&x, &mut scratch, &mut observed);
+        assert!(observed.is_empty());
+        assert_eq!(scratch.logits(), &x);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan observes layer 9")]
+    fn out_of_range_plan_panics() {
+        let _ = snap().prepare(&ObservationPlan::single(9));
+    }
+}

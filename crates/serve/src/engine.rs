@@ -56,7 +56,7 @@
 use crate::frozen::{FrozenLayeredMonitor, FrozenMonitor, LayeredVerdict};
 use naps_core::{
     BddZone, DriftConfig, DriftDetector, DriftStatus, GradedQuery, GradedReport, LayeredMonitor,
-    Monitor, MonitorReport, Pattern, Verdict,
+    Monitor, MonitorReport, Verdict,
 };
 use naps_nn::{ModelSnapshot, Sequential, SnapshotError};
 use naps_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -67,6 +67,9 @@ use serde::Serialize;
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
+
+mod worker;
+use worker::{worker_loop, WorkerGuard, WorkerModel};
 
 /// Sizing knobs of a [`MonitorEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -677,6 +680,16 @@ impl MonitorEngine {
             });
         }
         let initial_epoch = monitor.epoch();
+        let input_len = replicas.first().and_then(model_input_len);
+        // Pre-pack every replica's frozen weights now — construction is
+        // the serving counterpart of zone compilation: the cold half
+        // allocates once so the steady-state worker loop never packs or
+        // allocates for weights (replicas the snapshot format cannot
+        // express fall back to the live allocating path).
+        let models: Vec<WorkerModel> = replicas
+            .into_iter()
+            .map(|m| WorkerModel::prepare(m, &monitor))
+            .collect();
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queues: (0..config.workers).map(|_| VecDeque::new()).collect(),
@@ -689,7 +702,7 @@ impl MonitorEngine {
             space: Condvar::new(),
             max_batch: config.max_batch,
             queue_capacity: config.queue_capacity,
-            input_len: replicas.first().and_then(model_input_len),
+            input_len,
             alive: AtomicUsize::new(config.workers),
             published: Mutex::new(Arc::new(monitor)),
             epoch: AtomicU64::new(initial_epoch),
@@ -701,7 +714,7 @@ impl MonitorEngine {
             drift: Mutex::new(None),
         });
         let mut workers = Vec::with_capacity(config.workers);
-        for (id, model) in replicas.into_iter().enumerate() {
+        for (id, model) in models.into_iter().enumerate() {
             let worker_shared = Arc::clone(&shared);
             let spawned = naps_sync::thread::Builder::new()
                 .name(format!("naps-serve-{id}"))
@@ -1476,145 +1489,6 @@ fn next_batch(id: usize, shared: &Shared) -> Option<Vec<Request>> {
     }
 }
 
-/// Runs when a worker thread exits — normally (orderly shutdown with
-/// empty queues) or by unwinding out of a panic.  Its job is the "no
-/// hung ticket" invariant:
-///
-/// * A **panicking** worker may leave queued requests behind that only
-///   *it* was notified about; siblings are re-woken so they re-check the
-///   queues and steal the orphans.
-/// * The **last** worker to exit takes the queues with it: nothing can
-///   ever pop them again, so any still-queued request is drained and
-///   dropped — dropping a [`Request`] drops its completion callback,
-///   which disconnects the ticket channel and resolves the ticket with
-///   [`SubmitError::WorkerLost`] instead of leaving it hanging.  If the
-///   exit was a panic (not an orderly drain), the engine is also marked
-///   failed so subsequent submissions get the same typed error.
-struct WorkerGuard {
-    shared: Arc<Shared>,
-}
-
-impl Drop for WorkerGuard {
-    fn drop(&mut self) {
-        let panicked = naps_sync::thread::panicking();
-        // ordering: acqrel — the last decrement must observe every
-        // earlier worker's effects before declaring the engine dead, and
-        // release this worker's own writes to whoever reads `alive`.
-        let last = self.shared.alive.fetch_sub(1, Ordering::AcqRel) == 1;
-        if !panicked && !last {
-            return;
-        }
-        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
-        if panicked && last {
-            // A surviving sibling keeps a degraded engine serving; with
-            // none left the engine is failed, not merely degraded.
-            state.failed = true;
-            state.shutdown = true;
-        }
-        let orphans: Vec<VecDeque<Request>> = if last {
-            state.pending = 0;
-            state.queues.iter_mut().map(std::mem::take).collect()
-        } else {
-            Vec::new()
-        };
-        drop(state);
-        // Siblings blocked in `next_batch` re-check the queues (a panic
-        // can eat a submission's one `notify_one`); blocked submitters
-        // re-check the shutdown/failed flags.
-        self.shared.work.notify_all();
-        self.shared.space.notify_all();
-        drop(orphans);
-    }
-}
-
-fn worker_loop(id: usize, shared: &Shared, mut model: Sequential) {
-    // Each worker serves from its own Arc onto the published snapshot and
-    // re-reads the publish slot only at micro-batch boundaries where the
-    // epoch atomic says a newer snapshot exists: a batch is judged wholly
-    // by one snapshot, and the hot path takes no lock in steady state.
-    let mut monitor: Arc<FrozenLayeredMonitor> =
-        Arc::clone(&shared.published.lock().unwrap_or_else(|e| e.into_inner()));
-    let mut epoch = monitor.epoch();
-    while let Some(batch) = next_batch(id, shared) {
-        // ordering: acquire — pairs with publish's Release store; a moved
-        // epoch guarantees the slot re-read below sees the new snapshot.
-        if shared.epoch.load(Ordering::Acquire) != epoch {
-            monitor = Arc::clone(&shared.published.lock().unwrap_or_else(|e| e.into_inner()));
-            epoch = monitor.epoch();
-        }
-        let mut inputs = Vec::with_capacity(batch.len());
-        let mut metas = Vec::with_capacity(batch.len());
-        for r in batch {
-            inputs.push(r.input);
-            metas.push((r.graded, r.complete));
-        }
-        // One plan-observed forward pass for the micro-batch — only the
-        // monitored layers' activations are retained.  Binary rows are
-        // then judged as one batch (`report_batch` groups rows by
-        // predicted class so the compiled bit-sliced evaluators answer
-        // whole groups per pass); graded rows keep their per-row ranking
-        // query (one computation — each graded report embeds its binary
-        // one).  Mixed batches are fine; the snapshot is the same either
-        // way, and completions stay in submission order.
-        let observed = monitor.observe_batch(&mut model, &inputs);
-        shared
-            .processed
-            // ordering: relaxed — monotone stat counter
-            .fetch_add(observed.len() as u64, Ordering::Relaxed);
-        let binary_rows: Vec<(usize, &[Pattern])> = metas
-            .iter()
-            .zip(&observed)
-            .filter(|((query, _), _)| query.is_none())
-            .map(|(_, (predicted, patterns))| (*predicted, patterns.as_slice()))
-            .collect();
-        let mut binary_verdicts = monitor.report_batch(&binary_rows).into_iter();
-        let mut results = Vec::with_capacity(observed.len());
-        for ((query, complete), (predicted, patterns)) in metas.into_iter().zip(&observed) {
-            let (verdict, graded) = match query {
-                None => (
-                    binary_verdicts
-                        .next()
-                        // naps-lint: allow(panic_freedom, typed_errors, "report_batch returns exactly one verdict per binary row collected six lines up in this same function; unreachable from any input")
-                        .expect("one batched verdict per binary row"),
-                    None,
-                ),
-                Some(q) => {
-                    let (verdict, graded) = monitor.check_graded_pattern(*predicted, patterns, q);
-                    (verdict, Some(graded))
-                }
-            };
-            results.push((complete, verdict, graded));
-        }
-        // Fold the batch's verdicts into the drift detectors (when
-        // armed) before answering: one short lock per micro-batch, off
-        // the per-request path.  A batch judged under a different epoch
-        // than the detectors are armed for is skipped wholesale — a
-        // publish racing this batch must not contaminate the freshly
-        // re-armed detectors with old-zone evidence (nor stamp them
-        // with the old epoch).
-        {
-            let mut drift = shared.drift.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(state) = drift.as_mut() {
-                if state.epoch == epoch {
-                    for (_, verdict, _) in &results {
-                        state.observe(verdict);
-                    }
-                }
-            }
-        }
-        for (complete, verdict, graded) in results {
-            let LayeredVerdict {
-                predicted,
-                per_layer,
-                combined,
-            } = verdict;
-            complete(LayeredEpochReport {
-                epoch,
-                predicted,
-                per_layer,
-                combined,
-                graded,
-            });
-        }
-    }
-}
+// `WorkerGuard`, `WorkerModel`, and `worker_loop` — the per-thread
+// serving half of the engine — live in the `worker` child module so the
+// analyzer can deny-list the steady-state request path as a file.

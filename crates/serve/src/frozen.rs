@@ -19,8 +19,10 @@
 use naps_bdd::{BddError, BddSnapshot, CompiledZone};
 use naps_core::batch::{
     forward_observe_plan, observe_layered_batch, pack_batch, ObservationPlan, ObservedBatch,
+    PreparedModel,
 };
 use naps_core::graded::grade;
+use naps_core::prepared::PreparedObserver;
 use naps_core::{
     BddZone, CombinePolicy, GradedQuery, GradedReport, LayeredMonitor, Monitor, MonitorError,
     MonitorReport, NearestZone, NeuronSelection, Pattern, Verdict,
@@ -926,6 +928,30 @@ impl FrozenLayeredMonitor {
             model,
             inputs,
             &self.plan,
+            self.layers.iter().map(|m| (m.layer(), m.selection())),
+        )
+    }
+
+    /// The allocation-free counterpart of
+    /// [`FrozenLayeredMonitor::observe_batch`]: runs the pre-packed
+    /// forward pass and refills `observer`'s reused storage, returning
+    /// the live rows.  Bit-identical to the allocating path — `model`
+    /// must have been prepared with this monitor's
+    /// [`plan`](FrozenLayeredMonitor::plan) (the engine prepares both
+    /// from the same published snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a monitored layer is missing from `model`'s plan.
+    pub fn observe_batch_prepared<'a>(
+        &self,
+        model: &PreparedModel,
+        observer: &'a mut PreparedObserver,
+        inputs: &[Tensor],
+    ) -> &'a [(usize, Vec<Pattern>)] {
+        observer.observe(
+            model,
+            inputs,
             self.layers.iter().map(|m| (m.layer(), m.selection())),
         )
     }

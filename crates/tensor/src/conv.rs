@@ -72,6 +72,19 @@ impl ConvDims {
 ///
 /// Panics if `input` does not have `dims.in_c * in_h * in_w` elements.
 pub fn im2col(input: &Tensor, dims: ConvDims) -> Tensor {
+    let mut out = Tensor::default();
+    im2col_into(input, dims, &mut out);
+    out
+}
+
+/// Like [`im2col`], but writes the patch matrix into the caller-provided
+/// `out` scratch (resized in place; allocation-free after warm-up — the
+/// treatment frozen-weight serving paths give their conv lowering).
+///
+/// # Panics
+///
+/// Panics if `input` does not have `dims.in_c * in_h * in_w` elements.
+pub fn im2col_into(input: &Tensor, dims: ConvDims, out: &mut Tensor) {
     dims.validate();
     assert_eq!(
         input.len(),
@@ -81,7 +94,10 @@ pub fn im2col(input: &Tensor, dims: ConvDims) -> Tensor {
     let x = input.data();
     let (oh, ow) = (dims.out_h(), dims.out_w());
     let cols = dims.cols();
-    let mut out = vec![0.0f32; dims.rows() * cols];
+    // Every element below is overwritten, so the plain (retaining) resize
+    // suffices.
+    out.resize_in_place(&[dims.rows(), cols]);
+    let o = out.data_mut();
     let hw = dims.in_h * dims.in_w;
     let mut row = 0;
     for oy in 0..oh {
@@ -92,14 +108,13 @@ pub fn im2col(input: &Tensor, dims: ConvDims) -> Tensor {
                 for ky in 0..dims.k {
                     let iy = oy * dims.s + ky;
                     let src = c * hw + iy * dims.in_w + ox * dims.s;
-                    out[base + col..base + col + dims.k].copy_from_slice(&x[src..src + dims.k]);
+                    o[base + col..base + col + dims.k].copy_from_slice(&x[src..src + dims.k]);
                     col += dims.k;
                 }
             }
             row += 1;
         }
     }
-    Tensor::from_vec(vec![dims.rows(), cols], out)
 }
 
 /// Scatters a patch-matrix gradient `[out_h*out_w, in_c*k*k]` back onto the
@@ -267,6 +282,21 @@ mod tests {
         let p = im2col(&x, d);
         assert_eq!(p.shape(), &[1, 8]);
         assert_eq!(p.row(0), &[1., 2., 3., 4., 10., 20., 30., 40.]);
+    }
+
+    #[test]
+    fn im2col_into_reuses_dirty_scratch() {
+        let d = ConvDims {
+            in_c: 1,
+            in_h: 3,
+            in_w: 3,
+            k: 2,
+            s: 1,
+        };
+        let x = Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|i| i as f32).collect());
+        let mut scratch = Tensor::full(vec![9, 9], 7.0);
+        im2col_into(&x, d, &mut scratch);
+        assert_eq!(scratch, im2col(&x, d));
     }
 
     #[test]

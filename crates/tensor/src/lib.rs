@@ -24,6 +24,7 @@ mod linalg;
 mod rng;
 mod tensor;
 
-pub use conv::{col2im, im2col, max_pool2d, max_pool2d_backward, ConvDims};
+pub use conv::{col2im, im2col, im2col_into, max_pool2d, max_pool2d_backward, ConvDims};
+pub use linalg::PackedWeights;
 pub use rng::{xavier_uniform, Randn};
 pub use tensor::Tensor;

@@ -252,6 +252,35 @@ impl Tensor {
         }
     }
 
+    /// Reshapes this tensor in place to `shape`, reusing the existing
+    /// buffer capacity.  Element values are retained up to the new element
+    /// count; newly exposed elements are `0.0`.  Intended for scratch
+    /// buffers on allocation-free hot paths: once capacity has reached its
+    /// high-water mark, no allocation occurs.
+    pub fn resize_in_place(&mut self, shape: &[usize]) {
+        let numel: usize = shape.iter().product();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.resize(numel, 0.0);
+    }
+
+    /// Reshapes in place like [`Tensor::resize_in_place`] and fills the
+    /// buffer with `0.0` — the precondition of the GEMM `*_into` kernels,
+    /// which accumulate into their output.
+    pub fn resize_zeroed(&mut self, shape: &[usize]) {
+        self.resize_in_place(shape);
+        self.data.fill(0.0);
+    }
+
+    /// Makes this tensor an exact copy of `src` (shape and data), reusing
+    /// the existing buffer capacity.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&src.shape);
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Index of the maximum element of a 1-D tensor (ties break low).
     ///
     /// # Panics
@@ -349,6 +378,32 @@ mod tests {
     fn argmax_breaks_ties_low() {
         let t = Tensor::from_vec(vec![4], vec![1., 3., 3., 0.]);
         assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn resize_in_place_retains_then_zero_fills() {
+        let mut t = Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]);
+        t.resize_in_place(&[3, 2]);
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.data(), &[1., 2., 3., 4., 0., 0.]);
+        t.resize_in_place(&[2]);
+        assert_eq!(t.data(), &[1., 2.]);
+    }
+
+    #[test]
+    fn resize_zeroed_clears_every_element() {
+        let mut t = Tensor::from_vec(vec![3], vec![1., 2., 3.]);
+        t.resize_zeroed(&[2, 2]);
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.data(), &[0., 0., 0., 0.]);
+    }
+
+    #[test]
+    fn copy_from_matches_source_exactly() {
+        let src = Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32).collect());
+        let mut dst = Tensor::zeros(vec![10]);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

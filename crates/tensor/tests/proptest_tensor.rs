@@ -1,8 +1,22 @@
 //! Property-based tests for the tensor substrate: linear-algebra laws and
 //! the im2col/col2im adjoint relation on random geometries.
 
-use naps_tensor::{col2im, im2col, max_pool2d, max_pool2d_backward, ConvDims, Tensor};
+use naps_tensor::{
+    col2im, im2col, im2col_into, max_pool2d, max_pool2d_backward, ConvDims, PackedWeights, Tensor,
+};
 use proptest::prelude::*;
+
+/// Exact bitwise equality on shape and every `f32` element — the
+/// equivalence the serving gates demand (plain `==` would conflate
+/// `0.0` and `-0.0`).
+fn bits_eq(got: &Tensor, want: &Tensor) -> bool {
+    got.shape() == want.shape()
+        && got
+            .data()
+            .iter()
+            .zip(want.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
 
 fn tensor(m: usize, n: usize) -> impl Strategy<Value = Tensor> {
     proptest::collection::vec(-3.0f32..3.0, m * n)
@@ -86,6 +100,64 @@ proptest! {
         let g = Tensor::ones(vec![2, 2, 2]);
         let back = max_pool2d_backward(&g, &arg, x.len());
         prop_assert!((back.sum() - g.sum()).abs() < 1e-5);
+    }
+
+    /// The `*_into`/`PackedWeights` GEMM paths must be bit-identical to
+    /// the per-call kernels — and all of them to the naive ascending-`p`
+    /// triple loop — across shapes straddling the 4-row block boundary,
+    /// with exact zeros sprinkled in to exercise the sparsity skips.
+    #[test]
+    fn into_and_packed_gemm_are_bit_identical(
+        m in 1usize..10, k in 1usize..9, n in 1usize..7, seed in 0u64..500,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = Tensor::randn(vec![m, k], 1.0, &mut rng);
+        let b = Tensor::randn(vec![k, n], 1.0, &mut rng);
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            if i % 5 == 0 {
+                *v = 0.0;
+            }
+        }
+        let mut naive = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    naive[i * n + j] += a.data()[i * k + p] * b.data()[p * n + j];
+                }
+            }
+        }
+        let want = Tensor::from_vec(vec![m, n], naive);
+        prop_assert!(bits_eq(&a.matmul(&b), &want), "matmul vs naive");
+        prop_assert!(bits_eq(&a.transpose().matmul_at(&b), &want), "matmul_at");
+        prop_assert!(bits_eq(&a.matmul_bt(&b.transpose()), &want), "matmul_bt");
+        // Reused dirty scratch must not taint any variant.
+        let mut pack = Tensor::from_vec(vec![2], vec![5., 5.]);
+        let mut out = Tensor::from_vec(vec![2], vec![5., 5.]);
+        a.matmul_into(&b, &mut out);
+        prop_assert!(bits_eq(&out, &want), "matmul_into");
+        a.transpose().matmul_at_into(&b, &mut pack, &mut out);
+        prop_assert!(bits_eq(&out, &want), "matmul_at_into");
+        a.matmul_bt_into(&b.transpose(), &mut pack, &mut out);
+        prop_assert!(bits_eq(&out, &want), "matmul_bt_into");
+        PackedWeights::pack(&b).matmul_into(&a, &mut out);
+        prop_assert!(bits_eq(&out, &want), "packed");
+        PackedWeights::pack_transposed(&b.transpose()).matmul_into(&a, &mut out);
+        prop_assert!(bits_eq(&out, &want), "packed_transposed");
+    }
+
+    /// `im2col_into` into a reused dirty scratch equals fresh `im2col`.
+    #[test]
+    fn im2col_into_matches_fresh(
+        c in 1usize..3, h in 3usize..6, k in 1usize..3, seed in 0u64..200,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let dims = ConvDims { in_c: c, in_h: h, in_w: h, k, s: 1 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(vec![c, h, h], 1.0, &mut rng);
+        let mut scratch = Tensor::full(vec![3], 9.0);
+        im2col_into(&x, dims, &mut scratch);
+        prop_assert!(bits_eq(&scratch, &im2col(&x, dims)));
     }
 
     /// sum_rows equals per-column summation.
